@@ -1,0 +1,144 @@
+// Command pinbench runs the repository's REAL workload substrates —
+// the DCT transcoder (FFmpeg analog), minimpi Search/Prime (Open MPI
+// analog), the mini CMS under load (WordPress analog) and the kvstore
+// stress (Cassandra analog) — on the current machine, optionally pinned to
+// a CPU set, and reports wall times. It is the laptop-scale companion to
+// the simulator: same workloads, real kernel.
+//
+// Usage:
+//
+//	pinbench -workload transcode [-cpus 0-3] [-workers 8]
+//	pinbench -workload mpi       [-cpus 0-1] [-ranks 4]
+//	pinbench -workload web       [-requests 500]
+//	pinbench -workload kv        [-ops 2000] [-threads 50]
+//	pinbench -workload all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/affinity"
+	"repro/internal/kvstore"
+	"repro/internal/minimpi"
+	"repro/internal/topology"
+	"repro/internal/transcode"
+	"repro/internal/webapp"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "all", "transcode|mpi|web|kv|all")
+		cpus         = flag.String("cpus", "", "pin the run to this cpu list (empty = unpinned)")
+		workers      = flag.Int("workers", 8, "transcode worker count (≤16)")
+		ranks        = flag.Int("ranks", 4, "MPI rank count")
+		requests     = flag.Int("requests", 500, "web load request count")
+		ops          = flag.Int("ops", 2000, "kv stress operation count")
+		threads      = flag.Int("threads", 50, "kv stress thread count")
+	)
+	flag.Parse()
+
+	var pinned topology.CPUSet
+	if *cpus != "" {
+		var err error
+		pinned, err = topology.ParseList(*cpus)
+		if err != nil {
+			fatal(err)
+		}
+		if !affinity.Supported() {
+			fatal(fmt.Errorf("affinity syscalls unsupported on this platform; drop -cpus"))
+		}
+		// Pin the whole process, not just one thread: the workloads are
+		// multi-goroutine.
+		if err := affinity.Set(0, pinned); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("process pinned to %s\n", pinned)
+	}
+
+	run := func(name string, fn func() error) {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("%-10s %10.3fs\n", name, time.Since(t0).Seconds())
+	}
+
+	all := *workloadName == "all"
+	if all || *workloadName == "transcode" {
+		run("transcode", func() error {
+			job := transcode.DefaultJob()
+			job.Workers = *workers
+			res, err := transcode.Run(job)
+			if err == nil {
+				fmt.Printf("  %d frames, %d blocks, PSNR %.1f dB\n", res.Frames, res.Blocks, res.PSNR)
+			}
+			return err
+		})
+	}
+	if all || *workloadName == "mpi" {
+		run("mpi", func() error {
+			// Search for a value that provably exists: element 12345 of the
+			// synthetic array.
+			const n = 1 << 20
+			target := (int64(12345) * 2654435761) % (2 * n)
+			res, err := minimpi.Search(*ranks, n, target, time.Minute)
+			if err != nil {
+				return err
+			}
+			count, err := minimpi.Prime(*ranks, 50_000, time.Minute)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  search found=%v idx=%d; primes(≤50k)=%d\n", res.Found, res.Index, count)
+			return nil
+		})
+	}
+	if all || *workloadName == "web" {
+		run("web", func() error {
+			srv := httptest.NewServer(webapp.NewServer(webapp.DefaultConfig()))
+			defer srv.Close()
+			cfg := webapp.DefaultLoad()
+			cfg.Requests = *requests
+			res, err := webapp.RunLoad(srv.URL, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %d requests (%d errors): mean %v, p95 %v\n",
+				res.Requests, res.Errors, res.Mean, res.P95)
+			return nil
+		})
+	}
+	if all || *workloadName == "kv" {
+		run("kv", func() error {
+			dir, err := os.MkdirTemp("", "pinbench-kv")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			store, err := kvstore.Open(kvstore.DefaultOptions(dir))
+			if err != nil {
+				return err
+			}
+			defer store.Close()
+			cfg := kvstore.DefaultStress()
+			cfg.Ops = *ops
+			cfg.Threads = *threads
+			res, err := kvstore.Stress(store, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %d ops (%d errors): mean %v, p99 %v, %d reads / %d writes\n",
+				res.Ops, res.Errors, res.MeanOp, res.P99, res.ReadCount, res.WriteCount)
+			return nil
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pinbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,328 @@
+// Command pinctl is the operational side of the paper: inspect and set CPU
+// affinity of processes (taskset-style), pin Docker containers via the
+// Engine API (--cpuset-cpus / --cpus), generate libvirt <cputune> pinning
+// XML for VMs, and print a pin plan for this machine's topology.
+//
+// Usage:
+//
+//	pinctl show <pid>                     # print a process's affinity
+//	pinctl set <pid> <cpulist>            # bind a process to CPUs
+//	pinctl plan -cores 4 [-near 0]        # IRQ-adjacent pin plan for this host
+//	pinctl docker list                    # containers and their CPU config
+//	pinctl docker pin <id> <cpulist>      # pin a container
+//	pinctl docker quota <id> <cores>      # vanilla-mode quota
+//	pinctl docker run <name> <image> <cpulist>  # create+start born-pinned
+//	pinctl kvm -name vm0 -vcpus 4         # emit <cputune> pinning XML
+//	pinctl grub -cores 16                 # BM instance provisioning (maxcpus=)
+//	pinctl grub -isolate 8 [-near 0]      # isolcpus/nohz_full/rcu_nocbs recipe
+//	pinctl alloc -name db -cores 8        # static-policy exclusive allocation
+//	pinctl alloc -release db              # return an allocation to the pool
+//	pinctl topo                           # discovered host topology
+//
+// alloc persists its ledger in a kubelet-style state file (-state, default
+// ./cpu_manager_state.json) so allocations survive across invocations.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/affinity"
+	"repro/internal/cpumanager"
+	"repro/internal/dockerctl"
+	"repro/internal/grubconf"
+	"repro/internal/kvmconf"
+	"repro/internal/topology"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "set":
+		err = cmdSet(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "docker":
+		err = cmdDocker(os.Args[2:])
+	case "kvm":
+		err = cmdKVM(os.Args[2:])
+	case "grub":
+		err = cmdGrub(os.Args[2:])
+	case "alloc":
+		err = cmdAlloc(os.Args[2:])
+	case "topo":
+		err = cmdTopo()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pinctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pinctl {show|set|plan|docker|kvm|grub|alloc|topo} ...")
+	os.Exit(2)
+}
+
+func cmdAlloc(args []string) error {
+	fs := flag.NewFlagSet("alloc", flag.ExitOnError)
+	name := fs.String("name", "", "assignment name (container/pod)")
+	cores := fs.Int("cores", 0, "exclusive CPUs to allocate")
+	near := fs.Int("near", -1, "IRQ home CPU to pack the allocation around")
+	reserved := fs.String("reserved", "", "system-reserved cpu list (fresh state only)")
+	release := fs.String("release", "", "release this assignment instead of allocating")
+	state := fs.String("state", "cpu_manager_state.json", "kubelet-style state file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topo, err := affinity.Discover().Topology()
+	if err != nil {
+		return err
+	}
+	var mgr *cpumanager.Manager
+	if f, err := os.Open(*state); err == nil {
+		mgr, err = cpumanager.Restore(topo, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("state file %s: %w", *state, err)
+		}
+	} else {
+		res, err := topology.ParseList(*reserved)
+		if err != nil {
+			return fmt.Errorf("bad -reserved: %w", err)
+		}
+		if mgr, err = cpumanager.New(topo, res); err != nil {
+			return err
+		}
+	}
+	switch {
+	case *release != "":
+		if err := mgr.Release(*release); err != nil {
+			return err
+		}
+		fmt.Printf("released %s\n", *release)
+	case *name != "" && *cores > 0:
+		set, err := mgr.Allocate(cpumanager.Request{Name: *name, CPUs: *cores, NearCPU: *near})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: --cpuset-cpus=%s (%d CPUs, %d socket(s))\n",
+			*name, set, set.Count(), topo.SocketsSpanned(set))
+	default:
+		fmt.Println(mgr)
+		for n, s := range mgr.Assignments() {
+			fmt.Printf("  %-16s %s\n", n, s)
+		}
+		fmt.Printf("  %-16s %s\n", "(shared pool)", mgr.SharedPool())
+		return nil
+	}
+	f, err := os.Create(*state)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return mgr.WriteCheckpoint(f)
+}
+
+func cmdGrub(args []string) error {
+	fs := flag.NewFlagSet("grub", flag.ExitOnError)
+	cores := fs.Int("cores", 0, "provision the host as an instance of this many CPUs (maxcpus=)")
+	isolate := fs.Int("isolate", 0, "isolate this many CPUs for pinned workloads")
+	near := fs.Int("near", 0, "IRQ home CPU the isolated set should pack around")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topo, err := affinity.Discover().Topology()
+	if err != nil {
+		return err
+	}
+	var cfg grubconf.Config
+	switch {
+	case *cores > 0:
+		cfg, err = grubconf.ForInstance(topo, *cores)
+	case *isolate > 0:
+		cfg, err = grubconf.IsolateFor(topo, topo.PinPlan(*isolate, *near))
+	default:
+		return fmt.Errorf("grub needs -cores N or -isolate N")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("host: %s\nkernel args: %s\n%s\n", topo, cfg.CmdLine(), cfg.GrubLine())
+	fmt.Println("# apply: edit /etc/default/grub, run update-grub, reboot")
+	return nil
+}
+
+func cmdShow(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("show needs a pid")
+	}
+	pid, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("bad pid %q: %v", args[0], err)
+	}
+	set, err := affinity.Get(pid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pid %d: cpus %s (%d)\n", pid, set, set.Count())
+	return nil
+}
+
+func cmdSet(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("set needs a pid and a cpu list")
+	}
+	pid, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("bad pid %q: %v", args[0], err)
+	}
+	set, err := topology.ParseList(args[1])
+	if err != nil {
+		return err
+	}
+	if err := affinity.Set(pid, set); err != nil {
+		return err
+	}
+	fmt.Printf("pid %d pinned to %s\n", pid, set)
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	cores := fs.Int("cores", 2, "container/VM size in CPUs")
+	near := fs.Int("near", 0, "IRQ home CPU to pin near (bias socket)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topo, err := affinity.Discover().Topology()
+	if err != nil {
+		return err
+	}
+	set := topo.PinPlan(*cores, *near)
+	fmt.Printf("host: %s\nplan: --cpuset-cpus=%s\n", topo, set)
+	return nil
+}
+
+func cmdDocker(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("docker needs a subcommand: list|pin|quota|run")
+	}
+	ctx := context.Background()
+	cli := dockerctl.New(os.Getenv("DOCKER_SOCKET"))
+	switch args[0] {
+	case "list":
+		cs, err := cli.ContainerList(ctx, true)
+		if err != nil {
+			return err
+		}
+		for _, c := range cs {
+			d, err := cli.ContainerInspect(ctx, c.ID)
+			if err != nil {
+				return err
+			}
+			name := c.ID[:min(12, len(c.ID))]
+			if len(c.Names) > 0 {
+				name = c.Names[0]
+			}
+			fmt.Printf("%-24s state=%-8s cpuset=%-12q cpus=%.2f\n",
+				name, c.State, d.HostConfig.CpusetCpus, float64(d.HostConfig.NanoCpus)/1e9)
+		}
+		return nil
+	case "pin":
+		if len(args) != 3 {
+			return fmt.Errorf("docker pin needs <id> <cpulist>")
+		}
+		set, err := topology.ParseList(args[2])
+		if err != nil {
+			return err
+		}
+		warnings, err := cli.Pin(ctx, args[1], set)
+		if err != nil {
+			return err
+		}
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+		fmt.Printf("container %s pinned to %s\n", args[1], set)
+		return nil
+	case "run":
+		if len(args) != 4 {
+			return fmt.Errorf("docker run needs <name> <image> <cpulist>")
+		}
+		set, err := topology.ParseList(args[3])
+		if err != nil {
+			return err
+		}
+		id, err := cli.RunPinned(ctx, args[1], args[2], nil, set)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("container %s (%s) started pinned to %s\n", args[1], id, set)
+		return nil
+	case "quota":
+		if len(args) != 3 {
+			return fmt.Errorf("docker quota needs <id> <cores>")
+		}
+		cores, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad cores %q: %v", args[2], err)
+		}
+		warnings, err := cli.SetQuota(ctx, args[1], cores)
+		if err != nil {
+			return err
+		}
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+		fmt.Printf("container %s quota set to %.2f cores\n", args[1], cores)
+		return nil
+	}
+	return fmt.Errorf("unknown docker subcommand %q", args[0])
+}
+
+func cmdKVM(args []string) error {
+	fs := flag.NewFlagSet("kvm", flag.ExitOnError)
+	name := fs.String("name", "vm0", "domain name")
+	vcpus := fs.Int("vcpus", 2, "vCPU count")
+	near := fs.Int("near", 0, "IRQ home CPU to pin near")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topo, err := affinity.Discover().Topology()
+	if err != nil {
+		return err
+	}
+	d, err := kvmconf.Plan(*name, *vcpus, topo, *near)
+	if err != nil {
+		return err
+	}
+	xml, err := kvmconf.Marshal(d)
+	if err != nil {
+		return err
+	}
+	fmt.Print(xml)
+	return nil
+}
+
+func cmdTopo() error {
+	info := affinity.Discover()
+	topo, err := info.Topology()
+	if err != nil {
+		return err
+	}
+	fmt.Println(topo)
+	fmt.Printf("online: %s\n", info.Online)
+	fmt.Printf("affinity syscalls supported: %v\n", affinity.Supported())
+	return nil
+}

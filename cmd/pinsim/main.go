@@ -1,0 +1,162 @@
+// Command pinsim regenerates the paper's tables and figures from the
+// simulator.
+//
+// Usage:
+//
+//	pinsim -fig 3          # print Figure 3 as a text table
+//	pinsim -fig all        # print every figure
+//	pinsim -table 2        # print Table II
+//	pinsim -chr            # print the §IV-A CHR band analysis
+//	pinsim -decompose 3    # print the §IV PTO/PSO split of Figure 3
+//	pinsim -fig 5 -csv     # CSV output
+//	pinsim -fig 3 -breakdown  # include the overhead attribution
+//	pinsim -reps 5 -seed 7 -quick
+//
+// Profiling (the paper's §III-A BCC methodology — cpudist/offcputime):
+//
+//	pinsim -profile -app cassandra -platform cn -mode vanilla -size xLarge
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/irqsim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to regenerate: 3..8 or 'all'")
+		table     = flag.Int("table", 0, "table to print: 1..3")
+		chr       = flag.Bool("chr", false, "run the §IV-A CHR band analysis")
+		decompose = flag.Int("decompose", 0, "PTO/PSO decomposition of a figure (3..6)")
+		reps      = flag.Int("reps", 0, "override repetitions per cell (0 = paper defaults)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		quick     = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a text table")
+		breakdown = flag.Bool("breakdown", false, "also emit the overhead attribution")
+		fitmodel  = flag.Bool("model", false, "fit and print the §VI analytic overhead model (from figs 3-6)")
+		profile   = flag.Bool("profile", false, "profile one deployment with the BCC-analog instruments")
+		app       = flag.String("app", "ffmpeg", "profiled app: ffmpeg, mpi, wordpress, cassandra")
+		plat      = flag.String("platform", "cn", "profiled platform: bm, vm, cn, vmcn")
+		mode      = flag.String("mode", "vanilla", "profiled mode: vanilla, pinned")
+		size      = flag.String("size", "xLarge", "profiled instance type (Table II name)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick}
+	out := os.Stdout
+	did := false
+
+	if *table != 0 {
+		did = true
+		switch *table {
+		case 1:
+			experiments.RenderTable1(out)
+		case 2:
+			experiments.RenderTable2(out)
+		case 3:
+			experiments.RenderTable3(out)
+		default:
+			fatalf("no table %d (have 1..3)", *table)
+		}
+	}
+
+	if *fig != "" {
+		did = true
+		render := func(f experiments.Figure) {
+			if *csv {
+				f.RenderCSV(out)
+			} else {
+				f.RenderText(out)
+			}
+			if *breakdown {
+				f.RenderBreakdown(out)
+			}
+		}
+		var figs []int
+		switch *fig {
+		case "all":
+			figs = []int{3, 4, 5, 6, 7, 8}
+		case "net":
+			f, err := experiments.RunFigNet(cfg)
+			if err != nil {
+				fatalf("figure net: %v", err)
+			}
+			render(f)
+		default:
+			n, err := strconv.Atoi(*fig)
+			if err != nil {
+				fatalf("bad -fig %q: %v", *fig, err)
+			}
+			figs = []int{n}
+		}
+		for _, n := range figs {
+			f, err := experiments.RunFigure(n, cfg)
+			if err != nil {
+				fatalf("figure %d: %v", n, err)
+			}
+			render(f)
+		}
+	}
+
+	if *chr {
+		did = true
+		bands, err := experiments.RunCHRSweep(cfg)
+		if err != nil {
+			fatalf("chr sweep: %v", err)
+		}
+		experiments.RenderCHR(out, bands)
+	}
+
+	if *decompose != 0 {
+		did = true
+		f, err := experiments.RunFigure(*decompose, cfg)
+		if err != nil {
+			fatalf("figure %d: %v", *decompose, err)
+		}
+		experiments.RenderDecomposition(out, f, experiments.Decompose(f))
+	}
+
+	if *fitmodel {
+		did = true
+		m, err := experiments.FitModel([]int{3, 4, 5, 6}, cfg)
+		if err != nil {
+			fatalf("model: %v", err)
+		}
+		host := cfg.Host
+		if host == nil {
+			host = topology.PaperHost()
+		}
+		m.Render(out, host.NumCPUs())
+	}
+
+	if *profile {
+		did = true
+		res, err := experiments.RunProfile(experiments.ProfileSpec{
+			App: *app, Platform: *plat, Mode: *mode, Size: *size,
+		}, cfg)
+		if err != nil {
+			fatalf("profile: %v", err)
+		}
+		fmt.Fprintf(out, "profile: %s on %s/%s %s — metric %.3fs, %d trace events\n\n",
+			*app, *plat, *mode, *size, res.MetricSecs, res.Collector.Events())
+		res.Collector.Report(out)
+		fmt.Fprintf(out, "\n== iostat (completion affinity per device) ==\n")
+		irqsim.RenderIOStat(out, res.Channels)
+	}
+
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pinsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// CHR advisor: the paper's §VI best practices as a library. Given
+// application profiles (a transcoder, an MPI solver, a web tier, a NoSQL
+// store) and a host, print the recommended platform, provisioning mode and
+// container sizing (CHR band).
+//
+//	go run ./examples/chr_advisor
+package main
+
+import (
+	"fmt"
+
+	pinning "repro"
+)
+
+func main() {
+	host := pinning.PaperHost()
+	fmt.Println("host:", host)
+	fmt.Println()
+
+	profiles := []pinning.Profile{
+		{Name: "video-transcoder", CPUUtilization: 0.98, IOPerSecond: 5, Threads: 16},
+		{Name: "cfd-solver", CPUUtilization: 0.7, MessagesPerSecond: 5000, Threads: 64},
+		{Name: "storefront-web", CPUUtilization: 0.35, IOPerSecond: 900, Multiprocess: true},
+		{Name: "metrics-nosql", CPUUtilization: 0.4, IOPerSecond: 12000, Threads: 100},
+	}
+	for _, p := range profiles {
+		rec := pinning.Advise(p, host)
+		fmt.Printf("%s\n", p.Name)
+		fmt.Printf("  class:     %v\n", rec.Class)
+		fmt.Printf("  deploy as: %v %v, ≥%d cores (CHR %v on this host)\n",
+			rec.Mode, rec.Platform, rec.MinCores, rec.CHRTarget)
+		for _, r := range rec.Rationale {
+			fmt.Printf("  - %s\n", r)
+		}
+		fmt.Println()
+	}
+}

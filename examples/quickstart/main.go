@@ -1,0 +1,46 @@
+// Quickstart: simulate the paper's CPU-bound workload (FFmpeg) on a small
+// container, vanilla vs pinned, on the paper's 112-CPU host — the minimal
+// end-to-end use of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hypervisor"
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	host := topology.PaperHost()
+	fmt.Println("host:", host)
+
+	w := workload.DefaultTranscode()
+	fmt.Printf("workload: %s (%.0f core-seconds, %d threads)\n\n",
+		w.Name(), (w.TotalWork + w.PerProcessOverhead).Seconds(), w.Threads)
+
+	baseline := run(host, platform.Spec{Kind: platform.BM, Mode: platform.Vanilla, Cores: 2}, w)
+	fmt.Printf("%-14s %8.2fs\n", "bare metal", baseline)
+
+	for _, mode := range []platform.Mode{platform.Vanilla, platform.Pinned} {
+		spec := platform.Spec{Kind: platform.CN, Mode: mode, Cores: 2}
+		secs := run(host, spec, w)
+		fmt.Printf("%-14s %8.2fs   overhead ratio %.2fx\n", spec.Label(), secs, secs/baseline)
+	}
+	fmt.Println("\nFinding (paper §VI, best practice 2): pinning removes the small")
+	fmt.Println("container's scheduling + cgroup overhead for CPU-bound work.")
+}
+
+func run(host *topology.Topology, spec platform.Spec, w workload.Workload) float64 {
+	d, err := platform.Deploy(spec, machine.HostDefaults(host, 42), hypervisor.DefaultParams(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := w.Spawn(workload.EnvFor(d.M, d.Group, d.Affinity, spec.Cores))
+	return inst.Metric(d.M.Run(0))
+}

@@ -1,0 +1,65 @@
+// Realpin: the real-machine counterpart of the simulator. Runs the actual
+// CPU-bound DCT transcoding kernel twice — unpinned, then pinned to a
+// compact CPU set chosen by the same PinPlan the simulated operator uses —
+// and reports both wall times. On multi-core Linux hosts the pinned run
+// demonstrates the mechanics (and often the benefit) of affinity; on a
+// single-CPU machine it simply shows the tooling working end to end.
+//
+//	go run ./examples/realpin
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/affinity"
+	"repro/internal/transcode"
+)
+
+func main() {
+	info := affinity.Discover()
+	topo, err := info.Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("host:", topo)
+	fmt.Println("affinity syscalls:", affinity.Supported())
+
+	job := transcode.DefaultJob()
+	job.Workers = runtime.NumCPU()
+	if job.Workers > transcode.MaxWorkers {
+		job.Workers = transcode.MaxWorkers
+	}
+
+	t0 := time.Now()
+	res, err := transcode.Run(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unpinned := time.Since(t0)
+	fmt.Printf("unpinned: %8.3fs  (%d blocks, PSNR %.1f dB)\n", unpinned.Seconds(), res.Blocks, res.PSNR)
+
+	if !affinity.Supported() {
+		fmt.Println("pinning unsupported here; stopping after the unpinned run")
+		return
+	}
+	// Pin to a compact set of half the CPUs (at least one), IRQ-adjacent.
+	n := topo.NumCPUs() / 2
+	if n < 1 {
+		n = 1
+	}
+	set := topo.PinPlan(n, 0)
+	err = affinity.PinnedRun(set, func() error {
+		t0 = time.Now()
+		res, err = transcode.Run(job)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinned %s: %8.3fs\n", set, time.Since(t0).Seconds())
+	fmt.Println("\n(On the paper's 112-CPU host, pinning a CPU-bound container cut its")
+	fmt.Println("overhead to nearly bare-metal — Fig 3 and best practice 2.)")
+}

@@ -1,0 +1,24 @@
+//go:build !linux
+
+package affinity
+
+import (
+	"errors"
+
+	"repro/internal/topology"
+)
+
+// ErrUnsupported is returned on platforms without sched_setaffinity.
+var ErrUnsupported = errors.New("affinity: CPU affinity is only supported on Linux")
+
+// Set is unsupported on this platform.
+func Set(pid int, s topology.CPUSet) error { return ErrUnsupported }
+
+// Get is unsupported on this platform.
+func Get(pid int) (topology.CPUSet, error) { return topology.CPUSet{}, ErrUnsupported }
+
+// PinnedRun runs fn without pinning on this platform.
+func PinnedRun(s topology.CPUSet, fn func() error) error { return fn() }
+
+// Supported reports whether real affinity syscalls work here.
+func Supported() bool { return false }

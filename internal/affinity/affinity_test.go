@@ -1,0 +1,155 @@
+package affinity
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestGetSelf(t *testing.T) {
+	if !Supported() {
+		t.Skip("affinity syscalls unsupported here")
+	}
+	set, err := Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.IsEmpty() {
+		t.Fatal("calling thread must be allowed somewhere")
+	}
+}
+
+func TestSetAndRestoreSelf(t *testing.T) {
+	if !Supported() {
+		t.Skip("affinity syscalls unsupported here")
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	orig, err := Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := Set(0, orig); err != nil {
+			t.Fatalf("restoring affinity: %v", err)
+		}
+	}()
+	one := topology.NewCPUSet(orig.First())
+	if err := Set(0, one); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(one) {
+		t.Fatalf("got %v, want %v", got, one)
+	}
+}
+
+func TestSetEmptyRejected(t *testing.T) {
+	if err := Set(0, topology.CPUSet{}); err == nil {
+		t.Fatal("empty set must be rejected before the syscall")
+	}
+}
+
+func TestSetBadPID(t *testing.T) {
+	if !Supported() {
+		t.Skip("affinity syscalls unsupported here")
+	}
+	// PID 1 denies us (EPERM) or a wild pid gives ESRCH; either way: error.
+	if err := Set(1<<22+12345, topology.NewCPUSet(0)); err == nil {
+		t.Fatal("bogus pid must fail")
+	}
+}
+
+func TestPinnedRunRestores(t *testing.T) {
+	if !Supported() {
+		t.Skip("affinity syscalls unsupported here")
+	}
+	orig, _ := Get(0)
+	ran := false
+	err := PinnedRun(topology.NewCPUSet(orig.First()), func() error {
+		ran = true
+		cur, err := Get(0)
+		if err != nil {
+			return err
+		}
+		if cur.Count() != 1 {
+			t.Errorf("not pinned inside PinnedRun: %v", cur)
+		}
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("PinnedRun: %v ran=%v", err, ran)
+	}
+}
+
+func TestDiscoverFallback(t *testing.T) {
+	info := discoverFrom(filepath.Join(t.TempDir(), "missing"))
+	if info.CPUs != runtime.NumCPU() {
+		t.Fatalf("fallback cpus %d", info.CPUs)
+	}
+	if info.Online.Count() == 0 {
+		t.Fatal("fallback online set empty")
+	}
+	topo, err := info.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCPUs() < info.CPUs {
+		t.Fatalf("topology %v smaller than discovered %d", topo, info.CPUs)
+	}
+}
+
+// fakeSysfs builds a sysfs-like tree: 2 sockets × 2 cores × 2 threads.
+func fakeSysfs(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	cpu := 0
+	for pkg := 0; pkg < 2; pkg++ {
+		for core := 0; core < 2; core++ {
+			for th := 0; th < 2; th++ {
+				dir := filepath.Join(root, "cpu"+strconv.Itoa(cpu), "topology")
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				os.WriteFile(filepath.Join(dir, "physical_package_id"), []byte(strconv.Itoa(pkg)), 0o644)
+				os.WriteFile(filepath.Join(dir, "core_id"), []byte(strconv.Itoa(core)), 0o644)
+				cpu++
+			}
+		}
+	}
+	// Distractors that must be ignored.
+	os.MkdirAll(filepath.Join(root, "cpufreq"), 0o755)
+	os.MkdirAll(filepath.Join(root, "cpuidle"), 0o755)
+	return root
+}
+
+func TestDiscoverFromSysfs(t *testing.T) {
+	info := discoverFrom(fakeSysfs(t))
+	if info.CPUs != 8 || info.Sockets != 2 || info.CoresPerSocket != 2 || info.ThreadsPerCore != 2 {
+		t.Fatalf("discovered %+v", info)
+	}
+	topo, err := info.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCPUs() != 8 || topo.Sockets != 2 {
+		t.Fatalf("topology %v", topo)
+	}
+}
+
+func TestDiscoverIgnoresPartialEntries(t *testing.T) {
+	root := fakeSysfs(t)
+	// cpu without topology info: skipped, not fatal.
+	os.MkdirAll(filepath.Join(root, "cpu99"), 0o755)
+	info := discoverFrom(root)
+	if info.CPUs != 8 {
+		t.Fatalf("partial cpu entry corrupted discovery: %+v", info)
+	}
+}

@@ -1,0 +1,123 @@
+package affinity
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// HostInfo describes the discovered topology of the current machine.
+type HostInfo struct {
+	CPUs    int
+	Sockets int
+	// CoresPerSocket counts physical cores (0 when undiscoverable).
+	CoresPerSocket int
+	ThreadsPerCore int
+	// Online is the set of online logical CPUs.
+	Online topology.CPUSet
+}
+
+// Topology converts the discovery into a simulator topology, defaulting
+// missing dimensions to a flat layout.
+func (h HostInfo) Topology() (*topology.Topology, error) {
+	sockets := h.Sockets
+	if sockets <= 0 {
+		sockets = 1
+	}
+	threads := h.ThreadsPerCore
+	if threads <= 0 {
+		threads = 1
+	}
+	cores := h.CoresPerSocket
+	if cores <= 0 {
+		cores = h.CPUs / (sockets * threads)
+	}
+	if cores <= 0 {
+		cores = 1
+	}
+	return topology.New(hostName(), sockets, cores, threads)
+}
+
+func hostName() string {
+	if n, err := os.Hostname(); err == nil && n != "" {
+		return n
+	}
+	return "localhost"
+}
+
+// Discover inspects /sys/devices/system/cpu (Linux) or falls back to
+// runtime.NumCPU on other platforms or restricted environments.
+func Discover() HostInfo {
+	return discoverFrom("/sys/devices/system/cpu")
+}
+
+// discoverFrom is Discover against an alternate sysfs root (for tests).
+func discoverFrom(root string) HostInfo {
+	info := HostInfo{CPUs: runtime.NumCPU(), Sockets: 1, ThreadsPerCore: 1}
+	for c := 0; c < info.CPUs && c < topology.MaxCPUs; c++ {
+		info.Online.Add(c)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return info
+	}
+	type coreID struct{ socket, core int }
+	sockets := map[int]bool{}
+	cores := map[coreID]int{}
+	var online topology.CPUSet
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cpu") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(name, "cpu"))
+		if err != nil || id >= topology.MaxCPUs {
+			continue
+		}
+		topo := filepath.Join(root, name, "topology")
+		pkg, err1 := readInt(filepath.Join(topo, "physical_package_id"))
+		core, err2 := readInt(filepath.Join(topo, "core_id"))
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		n++
+		online.Add(id)
+		sockets[pkg] = true
+		cores[coreID{pkg, core}]++
+	}
+	if n == 0 {
+		return info
+	}
+	info.CPUs = n
+	info.Online = online
+	info.Sockets = len(sockets)
+	if len(cores) > 0 {
+		info.CoresPerSocket = len(cores) / len(sockets)
+		threadCounts := make([]int, 0, len(cores))
+		for _, c := range cores {
+			threadCounts = append(threadCounts, c)
+		}
+		sort.Ints(threadCounts)
+		info.ThreadsPerCore = threadCounts[len(threadCounts)/2]
+	}
+	return info
+}
+
+func readInt(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0, fmt.Errorf("affinity: parsing %s: %w", path, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,122 @@
+// Package cache models the performance cost of losing CPU cache and NUMA
+// locality. It is deliberately not a line-accurate cache simulator: the paper
+// attributes migration overhead to "redundant memory access due to cache
+// miss" and "reloading L1 and L2 caches" (§III-A, §IV-C), so the model
+// charges a reload penalty whenever a task resumes with cold state, scaled by
+// how far it moved and how large its working set is.
+package cache
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Params are the calibration constants of the penalty model.
+type Params struct {
+	// Reload penalties for a working-set factor of 1.0 by migration distance.
+	SMTSiblingPenalty  sim.Time // L1 refill only; L2 shared
+	SameSocketPenalty  sim.Time // L1+L2 refill; LLC still warm
+	CrossSocketPenalty sim.Time // full refill + remote-memory pull
+
+	// DecayTime is how long a task can stay off-CPU before its state on the
+	// old CPU is considered evicted; resuming even on the same CPU after a
+	// longer gap pays ColdRestartFraction of the same-socket penalty.
+	DecayTime           sim.Time
+	ColdRestartFraction float64
+
+	// NUMAPenaltyPerRemoteSocketFraction is the slowdown of memory-bound work
+	// when memory is interleaved across sockets: effective compute slowdown =
+	// memBound × (1 - 1/sockets) × this. It models default first-touch /
+	// interleave placement on a populated multi-socket host, and is why the
+	// same 16-core container is slower on a 112-core 4-socket host than on a
+	// 16-core 1-socket host (Fig 7) regardless of pinning.
+	NUMAPenaltyPerRemoteSocketFraction float64
+}
+
+// DefaultParams returns the calibrated defaults used by all experiments.
+func DefaultParams() Params {
+	return Params{
+		SMTSiblingPenalty:                  5 * sim.Microsecond,
+		SameSocketPenalty:                  40 * sim.Microsecond,
+		CrossSocketPenalty:                 240 * sim.Microsecond,
+		DecayTime:                          20 * sim.Millisecond,
+		ColdRestartFraction:                0.5,
+		NUMAPenaltyPerRemoteSocketFraction: 0.5,
+	}
+}
+
+// Model computes penalties against one topology.
+type Model struct {
+	P    Params
+	Topo *topology.Topology
+}
+
+// New returns a model over topo with params p.
+func New(topo *topology.Topology, p Params) *Model {
+	return &Model{P: p, Topo: topo}
+}
+
+// MigrationPenalty returns the stall charged when a task with the given
+// working-set factor (1.0 = nominal, e.g. FFmpeg's ~50 MB footprint) resumes
+// on cpu `to` having last run on cpu `from` at time lastRan (now = current
+// time). from < 0 means the task never ran (first dispatch: half cold start).
+func (m *Model) MigrationPenalty(from, to int, workingSet float64, lastRan, now sim.Time) sim.Time {
+	if workingSet <= 0 {
+		return 0
+	}
+	if from < 0 {
+		return sim.Time(float64(m.P.SameSocketPenalty) * m.P.ColdRestartFraction * workingSet)
+	}
+	d := m.Topo.DistanceBetween(from, to)
+	var base sim.Time
+	switch d {
+	case topology.SameCPU:
+		// Same CPU: only pay if the gap was long enough for eviction.
+		if now-lastRan > m.P.DecayTime {
+			return sim.Time(float64(m.P.SameSocketPenalty) * m.P.ColdRestartFraction * workingSet)
+		}
+		return 0
+	case topology.SMTSibling:
+		base = m.P.SMTSiblingPenalty
+	case topology.SameSocket:
+		base = m.P.SameSocketPenalty
+	case topology.CrossSocket:
+		base = m.P.CrossSocketPenalty
+	}
+	return sim.Time(float64(base) * workingSet)
+}
+
+// LineTransferCost returns the cost of pulling a hot cache line (e.g. an MPI
+// message buffer) from cpu `from` to cpu `to`: the hardware component of
+// inter-core communication.
+func (m *Model) LineTransferCost(from, to int) sim.Time {
+	switch m.Topo.DistanceBetween(from, to) {
+	case topology.SameCPU, topology.SMTSibling:
+		return 0
+	case topology.SameSocket:
+		return 500 * sim.Nanosecond
+	default:
+		return 2 * sim.Microsecond
+	}
+}
+
+// NUMAFactor returns the machine-wide compute-slowdown multiplier for a task
+// whose memory-bound fraction is memBound, on a host with the model's socket
+// count. Memory is assumed interleaved across all populated sockets (default
+// kernel placement for spread multi-threaded initialization), so the factor
+// depends on the host, not on any cpuset — matching Fig 7, where pinning does
+// not remove the big-host penalty.
+func (m *Model) NUMAFactor(memBound float64) float64 {
+	return m.NUMAFactorForSockets(memBound, m.Topo.Sockets)
+}
+
+// NUMAFactorForSockets is NUMAFactor with an explicit socket count; guest
+// machines pass their *host's* socket count because guest memory is backed by
+// host pages spread across the host's nodes.
+func (m *Model) NUMAFactorForSockets(memBound float64, sockets int) float64 {
+	if sockets <= 1 || memBound <= 0 {
+		return 1
+	}
+	remote := 1 - 1/float64(sockets)
+	return 1 + memBound*remote*m.P.NUMAPenaltyPerRemoteSocketFraction
+}

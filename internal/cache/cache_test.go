@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func model() *Model {
+	return New(topology.PaperHost(), DefaultParams())
+}
+
+func TestMigrationPenaltyByDistance(t *testing.T) {
+	m := model()
+	now := sim.Time(100 * sim.Millisecond)
+	recent := now - sim.Millisecond
+	same := m.MigrationPenalty(0, 0, 1.0, recent, now)
+	sib := m.MigrationPenalty(0, 1, 1.0, recent, now)
+	sock := m.MigrationPenalty(0, 2, 1.0, recent, now)
+	cross := m.MigrationPenalty(0, 28, 1.0, recent, now)
+	if same != 0 {
+		t.Fatalf("recent same-CPU resume should be free, got %v", same)
+	}
+	if !(sib < sock && sock < cross) {
+		t.Fatalf("penalties not monotone in distance: %v %v %v", sib, sock, cross)
+	}
+}
+
+func TestMigrationPenaltyScalesWithWorkingSet(t *testing.T) {
+	m := model()
+	now := sim.Time(sim.Second)
+	small := m.MigrationPenalty(0, 28, 0.5, now-sim.Millisecond, now)
+	big := m.MigrationPenalty(0, 28, 2.0, now-sim.Millisecond, now)
+	if big != 4*small {
+		t.Fatalf("working-set scaling: %v vs %v", small, big)
+	}
+	if m.MigrationPenalty(0, 28, 0, now-sim.Millisecond, now) != 0 {
+		t.Fatal("zero working set must be free")
+	}
+}
+
+func TestColdRestartAfterDecay(t *testing.T) {
+	m := model()
+	now := sim.Time(sim.Second)
+	longAgo := now - 2*m.P.DecayTime
+	cold := m.MigrationPenalty(5, 5, 1.0, longAgo, now)
+	if cold == 0 {
+		t.Fatal("same-CPU resume after decay should pay a cold restart")
+	}
+	want := sim.Time(float64(m.P.SameSocketPenalty) * m.P.ColdRestartFraction)
+	if cold != want {
+		t.Fatalf("cold restart %v, want %v", cold, want)
+	}
+}
+
+func TestFirstDispatchHalfCold(t *testing.T) {
+	m := model()
+	p := m.MigrationPenalty(-1, 3, 1.0, 0, 0)
+	if p == 0 {
+		t.Fatal("first dispatch should pay a partial cold start")
+	}
+}
+
+func TestLineTransferCost(t *testing.T) {
+	m := model()
+	if m.LineTransferCost(0, 0) != 0 || m.LineTransferCost(0, 1) != 0 {
+		t.Fatal("same core transfers should be free")
+	}
+	if !(m.LineTransferCost(0, 2) < m.LineTransferCost(0, 28)) {
+		t.Fatal("cross-socket transfer should cost more")
+	}
+}
+
+func TestNUMAFactor(t *testing.T) {
+	m := model()
+	if got := m.NUMAFactor(0); got != 1 {
+		t.Fatalf("cpu-only work should be NUMA-free, got %v", got)
+	}
+	f := m.NUMAFactor(1.0)
+	want := 1 + 0.75*m.P.NUMAPenaltyPerRemoteSocketFraction
+	if f != want {
+		t.Fatalf("NUMA factor %v, want %v", f, want)
+	}
+	single := New(topology.SmallHost16(), DefaultParams())
+	if single.NUMAFactor(1.0) != 1 {
+		t.Fatal("single-socket host must have no NUMA penalty")
+	}
+	if m.NUMAFactorForSockets(1.0, 1) != 1 {
+		t.Fatal("explicit 1-socket must be free")
+	}
+	if m.NUMAFactorForSockets(0.5, 4) >= m.NUMAFactorForSockets(1.0, 4) {
+		t.Fatal("factor must grow with memory-boundedness")
+	}
+}
+
+// Property: penalties are never negative and monotone in working set.
+func TestPenaltyProperties(t *testing.T) {
+	m := model()
+	now := sim.Time(10 * sim.Second)
+	f := func(fromRaw, toRaw uint8, ws float64) bool {
+		if ws < 0 {
+			ws = -ws
+		}
+		if ws > 100 {
+			ws = 100
+		}
+		from := int(fromRaw) % 112
+		to := int(toRaw) % 112
+		p1 := m.MigrationPenalty(from, to, ws, now-sim.Millisecond, now)
+		p2 := m.MigrationPenalty(from, to, ws*2, now-sim.Millisecond, now)
+		return p1 >= 0 && p2 >= p1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

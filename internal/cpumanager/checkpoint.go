@@ -1,0 +1,87 @@
+package cpumanager
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// Checkpoint is the serialized ledger, mirroring kubelet's
+// cpu_manager_state file: the policy name, the reserved set and one
+// cpu-list entry per live assignment. A manager restored from a checkpoint
+// continues exactly where the previous one stopped — pinned containers keep
+// their CPUs across a node-agent restart.
+type Checkpoint struct {
+	PolicyName string            `json:"policyName"`
+	Reserved   string            `json:"reservedCPUs"`
+	Entries    map[string]string `json:"entries"`
+}
+
+// policyName identifies this package's (only) policy in checkpoints.
+const policyName = "static"
+
+// Checkpoint captures the manager's current state.
+func (m *Manager) Checkpoint() Checkpoint {
+	c := Checkpoint{
+		PolicyName: policyName,
+		Reserved:   m.reserved.String(),
+		Entries:    make(map[string]string, len(m.assignments)),
+	}
+	for name, set := range m.assignments {
+		c.Entries[name] = set.String()
+	}
+	return c
+}
+
+// WriteCheckpoint serializes the ledger as JSON.
+func (m *Manager) WriteCheckpoint(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Checkpoint())
+}
+
+// Restore rebuilds a manager for topo from a checkpoint, validating that
+// the recorded sets still fit the host: every entry within the host's
+// CPUs, pairwise disjoint, and disjoint from the reserved set.
+func Restore(topo *topology.Topology, r io.Reader) (*Manager, error) {
+	var c Checkpoint
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("cpumanager: corrupt checkpoint: %w", err)
+	}
+	if c.PolicyName != policyName {
+		return nil, fmt.Errorf("cpumanager: checkpoint written by policy %q, want %q", c.PolicyName, policyName)
+	}
+	reserved, err := topology.ParseList(c.Reserved)
+	if err != nil {
+		return nil, fmt.Errorf("cpumanager: reserved set: %w", err)
+	}
+	m, err := New(topo, reserved)
+	if err != nil {
+		return nil, err
+	}
+	var union topology.CPUSet
+	for name, list := range c.Entries {
+		set, err := topology.ParseList(list)
+		if err != nil {
+			return nil, fmt.Errorf("cpumanager: entry %q: %w", name, err)
+		}
+		if set.IsEmpty() {
+			return nil, fmt.Errorf("cpumanager: entry %q is empty", name)
+		}
+		if !set.IsSubsetOf(topo.AllCPUs()) {
+			return nil, fmt.Errorf("cpumanager: entry %q (%v) outside host CPUs — topology changed?", name, set)
+		}
+		if !set.Intersect(reserved).IsEmpty() {
+			return nil, fmt.Errorf("cpumanager: entry %q overlaps the reserved set", name)
+		}
+		if !set.Intersect(union).IsEmpty() {
+			return nil, fmt.Errorf("cpumanager: entry %q overlaps another assignment", name)
+		}
+		union = union.Union(set)
+		m.assignments[name] = set
+	}
+	m.free = m.free.Difference(union)
+	return m, nil
+}

@@ -1,0 +1,126 @@
+package cpumanager
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	topo := topology.PaperHost()
+	m, _ := New(topo, topology.NewCPUSet(0))
+	a, _ := m.Allocate(Request{Name: "cassandra", CPUs: 32, NearCPU: 2})
+	b, _ := m.Allocate(Request{Name: "web", CPUs: 16, NearCPU: -1})
+
+	var buf bytes.Buffer
+	if err := m.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Restore(topo, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]topology.CPUSet{"cassandra": a, "web": b} {
+		got, ok := back.Assignment(name)
+		if !ok || !got.Equal(want) {
+			t.Fatalf("%s: %v, want %v", name, got, want)
+		}
+	}
+	if !back.SharedPool().Equal(m.SharedPool()) {
+		t.Fatal("shared pool not restored")
+	}
+	if !back.Reserved().Equal(m.Reserved()) {
+		t.Fatal("reserved set not restored")
+	}
+	// The restored manager keeps allocating without overlap.
+	c, err := back.Allocate(Request{Name: "extra", CPUs: 8, NearCPU: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Intersect(a.Union(b)).IsEmpty() {
+		t.Fatal("post-restore allocation overlaps checkpointed entries")
+	}
+}
+
+func TestRestoreRejectsBadCheckpoints(t *testing.T) {
+	topo := topology.SmallHost16()
+	cases := map[string]string{
+		"corrupt json":      `{"policyName": "static"`,
+		"wrong policy":      `{"policyName": "none", "reservedCPUs": "", "entries": {}}`,
+		"bad reserved":      `{"policyName": "static", "reservedCPUs": "zz", "entries": {}}`,
+		"bad entry":         `{"policyName": "static", "reservedCPUs": "", "entries": {"a": "5-2"}}`,
+		"empty entry":       `{"policyName": "static", "reservedCPUs": "", "entries": {"a": ""}}`,
+		"outside host":      `{"policyName": "static", "reservedCPUs": "", "entries": {"a": "900"}}`,
+		"overlaps reserved": `{"policyName": "static", "reservedCPUs": "0-1", "entries": {"a": "1-2"}}`,
+		"overlapping":       `{"policyName": "static", "reservedCPUs": "", "entries": {"a": "1-4", "b": "4-6"}}`,
+		"reserves all":      `{"policyName": "static", "reservedCPUs": "0-15", "entries": {}}`,
+	}
+	for name, payload := range cases {
+		if _, err := Restore(topo, strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: Restore accepted %s", name, payload)
+		}
+	}
+}
+
+func TestRestoreOnSmallerTopologyFails(t *testing.T) {
+	big := topology.PaperHost()
+	m, _ := New(big, topology.CPUSet{})
+	if _, err := m.Allocate(Request{Name: "wide", CPUs: 64, NearCPU: -1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(topology.SmallHost16(), &buf); err == nil {
+		t.Fatal("restoring a 64-CPU assignment onto a 16-CPU host must fail")
+	}
+}
+
+// Property: checkpoint→restore is the identity on the ledger for any
+// sequence of allocations.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	topo, err := topology.New("t", 2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ops []uint8) bool {
+		m, err := New(topo, topology.NewCPUSet(0))
+		if err != nil {
+			return false
+		}
+		names := []string{"a", "b", "c", "d"}
+		for _, op := range ops {
+			name := names[int(op>>4)%len(names)]
+			if op%2 == 0 {
+				m.Allocate(Request{Name: name, CPUs: int(op>>1)%5 + 1, NearCPU: -1})
+			} else {
+				m.Release(name)
+			}
+		}
+		var buf bytes.Buffer
+		if err := m.WriteCheckpoint(&buf); err != nil {
+			return false
+		}
+		back, err := Restore(topo, &buf)
+		if err != nil {
+			return false
+		}
+		want, got := m.Assignments(), back.Assignments()
+		if len(want) != len(got) {
+			return false
+		}
+		for k, v := range want {
+			if !got[k].Equal(v) {
+				return false
+			}
+		}
+		return back.SharedPool().Equal(m.SharedPool())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package cpumanager automates the paper's manual pinning workflow: it
+// implements a Kubernetes-kubelet-style *static CPU manager policy* over a
+// host topology, handing out exclusive, topology-aligned cpusets to
+// containers the way a cloud operator would hand-pick them (§II-D, §VI best
+// practices), extended with the paper's IO-affinity finding: an allocation
+// can name a preferred CPU (e.g. the disk IRQ home), and the manager packs
+// the assignment onto that socket first (§III-B3: pin "based on IO
+// affinity").
+//
+// Allocation follows kubelet's takeByTopology order: whole sockets first,
+// then whole physical cores, then leftover SMT threads — preferring threads
+// whose siblings the assignment already owns, so torn cores are minimized.
+// Everything not exclusively assigned (minus the system-reserved set) is the
+// shared pool where unpinned (vanilla) workloads float.
+package cpumanager
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Request asks for an exclusive cpuset.
+type Request struct {
+	// Name identifies the assignment (container/pod name). Must be unique
+	// among live assignments.
+	Name string
+	// CPUs is the number of exclusive logical CPUs (kubelet grants exclusive
+	// CPUs only to integer requests; fractional requests belong in the
+	// shared pool).
+	CPUs int
+	// NearCPU, when >= 0, biases the allocation toward the socket containing
+	// this CPU — typically an IO channel's IRQ home, per the paper's
+	// IO-affinity pinning practice. -1 means no preference.
+	NearCPU int
+}
+
+// Manager owns the exclusive-CPU ledger of one host.
+type Manager struct {
+	topo        *topology.Topology
+	reserved    topology.CPUSet
+	free        topology.CPUSet
+	assignments map[string]topology.CPUSet
+}
+
+// New returns a manager for topo. reserved CPUs (the kubelet's
+// --reserved-cpus analog: system daemons, IRQ handling) are never assigned
+// and not part of the shared pool.
+func New(topo *topology.Topology, reserved topology.CPUSet) (*Manager, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("cpumanager: nil topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	all := topo.AllCPUs()
+	if !reserved.IsSubsetOf(all) {
+		return nil, fmt.Errorf("cpumanager: reserved set %v not within host CPUs", reserved)
+	}
+	free := all.Difference(reserved)
+	if free.IsEmpty() {
+		return nil, fmt.Errorf("cpumanager: reservation leaves no allocatable CPUs")
+	}
+	return &Manager{
+		topo:        topo,
+		reserved:    reserved,
+		free:        free,
+		assignments: make(map[string]topology.CPUSet),
+	}, nil
+}
+
+// Topology returns the manager's host topology.
+func (m *Manager) Topology() *topology.Topology { return m.topo }
+
+// Reserved returns the system-reserved set.
+func (m *Manager) Reserved() topology.CPUSet { return m.reserved }
+
+// SharedPool returns the CPUs not exclusively assigned and not reserved:
+// where vanilla (quota-provisioned) workloads float.
+func (m *Manager) SharedPool() topology.CPUSet { return m.free }
+
+// Assignment returns the cpuset held by name.
+func (m *Manager) Assignment(name string) (topology.CPUSet, bool) {
+	s, ok := m.assignments[name]
+	return s, ok
+}
+
+// Assignments returns a copy of the ledger.
+func (m *Manager) Assignments() map[string]topology.CPUSet {
+	out := make(map[string]topology.CPUSet, len(m.assignments))
+	for k, v := range m.assignments {
+		out[k] = v
+	}
+	return out
+}
+
+// Allocate grants an exclusive, topology-aligned cpuset for req.
+func (m *Manager) Allocate(req Request) (topology.CPUSet, error) {
+	if req.Name == "" {
+		return topology.CPUSet{}, fmt.Errorf("cpumanager: empty assignment name")
+	}
+	if _, dup := m.assignments[req.Name]; dup {
+		return topology.CPUSet{}, fmt.Errorf("cpumanager: %q already holds an assignment", req.Name)
+	}
+	if req.CPUs <= 0 {
+		return topology.CPUSet{}, fmt.Errorf("cpumanager: request for %d CPUs; fractional/zero requests belong in the shared pool", req.CPUs)
+	}
+	if req.CPUs > m.free.Count() {
+		return topology.CPUSet{}, fmt.Errorf("cpumanager: want %d exclusive CPUs, only %d free", req.CPUs, m.free.Count())
+	}
+	got := m.take(req.CPUs, req.NearCPU)
+	if got.Count() != req.CPUs {
+		// take() only draws from free and free.Count() >= req.CPUs.
+		panic(fmt.Sprintf("cpumanager: allocation drew %d of %d CPUs", got.Count(), req.CPUs))
+	}
+	m.free = m.free.Difference(got)
+	m.assignments[req.Name] = got
+	return got, nil
+}
+
+// Release returns name's CPUs to the shared pool.
+func (m *Manager) Release(name string) error {
+	s, ok := m.assignments[name]
+	if !ok {
+		return fmt.Errorf("cpumanager: no assignment %q", name)
+	}
+	delete(m.assignments, name)
+	m.free = m.free.Union(s)
+	return nil
+}
+
+// socketOrder ranks sockets for an allocation: the near socket first, then
+// the rest in ascending index.
+func (m *Manager) socketOrder(near int) []int {
+	order := make([]int, m.topo.Sockets)
+	for i := range order {
+		order[i] = i
+	}
+	if near >= 0 && near < m.topo.NumCPUs() {
+		ns := m.topo.Socket(near)
+		sort.SliceStable(order, func(i, j int) bool {
+			di, dj := socketDist(order[i], ns), socketDist(order[j], ns)
+			return di < dj
+		})
+	}
+	return order
+}
+
+// socketDist is the allocation preference distance between sockets (the
+// simulated hosts have symmetric interconnects, so index distance stands in
+// for NUMA hops).
+func socketDist(s, near int) int {
+	d := s - near
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// take implements the takeByTopology descent over free CPUs.
+func (m *Manager) take(n, near int) topology.CPUSet {
+	var got topology.CPUSet
+	remaining := n
+	order := m.socketOrder(near)
+	tpc := m.topo.ThreadsPerCore
+	perSocket := m.topo.CoresPerSocket * tpc
+
+	// Phase 1: whole sockets.
+	for _, s := range order {
+		if remaining < perSocket {
+			break
+		}
+		scpus := m.topo.SocketCPUs(s)
+		if scpus.IsSubsetOf(m.free) && got.Intersect(scpus).IsEmpty() {
+			got = got.Union(scpus)
+			remaining -= perSocket
+		}
+	}
+
+	// Phase 2: whole physical cores, near sockets first.
+	if remaining >= tpc {
+		for _, s := range order {
+			if remaining < tpc {
+				break
+			}
+			base := s * m.topo.CoresPerSocket
+			for core := 0; core < m.topo.CoresPerSocket && remaining >= tpc; core++ {
+				sibs := m.coreCPUs(base + core)
+				if !got.Intersect(sibs).IsEmpty() {
+					continue // already taken via phase 1
+				}
+				if sibs.IsSubsetOf(m.free) {
+					got = got.Union(sibs)
+					remaining -= tpc
+				}
+			}
+		}
+	}
+
+	// Phase 3: leftover threads. Prefer (a) siblings of CPUs already in this
+	// assignment, (b) threads on cores some other assignment already tore
+	// (don't break fresh cores), (c) any free CPU — all in near-socket order.
+	if remaining > 0 {
+		cands := m.threadCandidates(got, order)
+		for _, c := range cands {
+			if remaining == 0 {
+				break
+			}
+			if got.Contains(c) {
+				continue
+			}
+			got.Add(c)
+			remaining--
+		}
+	}
+	return got
+}
+
+// coreCPUs returns the logical CPUs of a global physical-core index.
+func (m *Manager) coreCPUs(core int) topology.CPUSet {
+	lo := core * m.topo.ThreadsPerCore
+	return topology.Range(lo, lo+m.topo.ThreadsPerCore-1)
+}
+
+// threadCandidates orders the free CPUs for phase-3 single-thread draws.
+func (m *Manager) threadCandidates(got topology.CPUSet, order []int) []int {
+	rank := func(cpu int) (int, int, int) {
+		sibs := m.topo.SiblingsOf(cpu)
+		class := 2
+		switch {
+		case !sibs.Intersect(got).IsEmpty():
+			class = 0 // completes a core this assignment already touches
+		case !sibs.IsSubsetOf(m.free):
+			class = 1 // core already torn by someone else
+		}
+		socketRank := 0
+		for i, s := range order {
+			if s == m.topo.Socket(cpu) {
+				socketRank = i
+				break
+			}
+		}
+		return class, socketRank, cpu
+	}
+	var cands []int
+	m.free.ForEach(func(c int) bool {
+		cands = append(cands, c)
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		ci, si, ii := rank(cands[i])
+		cj, sj, ij := rank(cands[j])
+		if ci != cj {
+			return ci < cj
+		}
+		if si != sj {
+			return si < sj
+		}
+		return ii < ij
+	})
+	return cands
+}
+
+// String summarizes the ledger.
+func (m *Manager) String() string {
+	return fmt.Sprintf("cpumanager: %d/%d CPUs free, %d assignments, reserved %v",
+		m.free.Count(), m.topo.NumCPUs(), len(m.assignments), m.reserved)
+}

@@ -1,0 +1,301 @@
+package cpumanager
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func mustTopo(t *testing.T, sockets, cores, threads int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New("t", sockets, cores, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, topology.CPUSet{}); err == nil {
+		t.Fatal("nil topology must error")
+	}
+	topo := mustTopo(t, 1, 2, 1)
+	if _, err := New(topo, topology.NewCPUSet(99)); err == nil {
+		t.Fatal("out-of-range reservation must error")
+	}
+	if _, err := New(topo, topology.NewCPUSet(0, 1)); err == nil {
+		t.Fatal("reserving everything must error")
+	}
+	m, err := New(topo, topology.NewCPUSet(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedPool().Contains(0) {
+		t.Fatal("reserved CPU leaked into the shared pool")
+	}
+}
+
+func TestAllocateWholeSocket(t *testing.T) {
+	topo := mustTopo(t, 4, 14, 2) // the paper host
+	m, err := New(topo, topology.CPUSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Allocate(Request{Name: "db", CPUs: 28, NearCPU: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(topo.SocketCPUs(0)) {
+		t.Fatalf("28-CPU request on an empty 28-CPU-socket host must take socket 0, got %v", got)
+	}
+}
+
+func TestAllocateNearIRQSocket(t *testing.T) {
+	topo := mustTopo(t, 4, 14, 2)
+	m, _ := New(topo, topology.CPUSet{})
+	// Prefer the socket holding CPU 60 (socket 2).
+	got, err := m.Allocate(Request{Name: "cassandra", CPUs: 8, NearCPU: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := topo.SocketsSpanned(got); s != 1 {
+		t.Fatalf("8 CPUs must fit one socket, spanned %d", s)
+	}
+	if topo.Socket(got.First()) != 2 {
+		t.Fatalf("allocation should sit on the IRQ socket 2, got socket %d", topo.Socket(got.First()))
+	}
+}
+
+func TestAllocateFullCoresBeforeSiblings(t *testing.T) {
+	topo := mustTopo(t, 2, 4, 2) // 16 CPUs
+	m, _ := New(topo, topology.CPUSet{})
+	got, err := m.Allocate(Request{Name: "enc", CPUs: 4, NearCPU: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 CPUs = 2 whole cores: no torn cores.
+	cores := map[int]int{}
+	got.ForEach(func(c int) bool {
+		cores[topo.PhysicalCore(c)]++
+		return true
+	})
+	if len(cores) != 2 {
+		t.Fatalf("want 2 whole cores, got spread over %d: %v", len(cores), got)
+	}
+	for core, n := range cores {
+		if n != topo.ThreadsPerCore {
+			t.Fatalf("core %d torn: %d of %d threads", core, n, topo.ThreadsPerCore)
+		}
+	}
+}
+
+func TestAllocateOddRequestPrefersTornCores(t *testing.T) {
+	topo := mustTopo(t, 1, 4, 2) // 8 CPUs
+	m, _ := New(topo, topology.CPUSet{})
+	a, err := m.Allocate(Request{Name: "a", CPUs: 3, NearCPU: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 CPUs = one whole core + one thread; the extra thread tears one core.
+	b, err := m.Allocate(Request{Name: "b", CPUs: 1, NearCPU: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b's single CPU should complete the torn core rather than tear a new one.
+	bSibs := topo.SiblingsOf(b.First())
+	if bSibs.Intersect(a).IsEmpty() {
+		t.Fatalf("b=%v should reuse a's torn core (a=%v)", b, a)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	topo := mustTopo(t, 1, 2, 2)
+	m, _ := New(topo, topology.CPUSet{})
+	if _, err := m.Allocate(Request{Name: "", CPUs: 1}); err == nil {
+		t.Fatal("empty name")
+	}
+	if _, err := m.Allocate(Request{Name: "x", CPUs: 0}); err == nil {
+		t.Fatal("zero request")
+	}
+	if _, err := m.Allocate(Request{Name: "x", CPUs: 5}); err == nil {
+		t.Fatal("oversized request")
+	}
+	if _, err := m.Allocate(Request{Name: "x", CPUs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocate(Request{Name: "x", CPUs: 1}); err == nil {
+		t.Fatal("duplicate name")
+	}
+}
+
+func TestReleaseRestoresPool(t *testing.T) {
+	topo := mustTopo(t, 2, 2, 2)
+	reserved := topology.NewCPUSet(0)
+	m, _ := New(topo, reserved)
+	before := m.SharedPool()
+	got, err := m.Allocate(Request{Name: "job", CPUs: 4, NearCPU: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedPool().Count() != before.Count()-4 {
+		t.Fatal("pool not debited")
+	}
+	if !m.SharedPool().Intersect(got).IsEmpty() {
+		t.Fatal("allocated CPUs still in pool")
+	}
+	if err := m.Release("job"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.SharedPool().Equal(before) {
+		t.Fatalf("pool not restored: %v vs %v", m.SharedPool(), before)
+	}
+	if err := m.Release("job"); err == nil {
+		t.Fatal("double release must error")
+	}
+}
+
+func TestAssignmentsLedger(t *testing.T) {
+	topo := mustTopo(t, 1, 4, 1)
+	m, _ := New(topo, topology.CPUSet{})
+	a, _ := m.Allocate(Request{Name: "a", CPUs: 1, NearCPU: -1})
+	b, _ := m.Allocate(Request{Name: "b", CPUs: 2, NearCPU: -1})
+	if got, ok := m.Assignment("a"); !ok || !got.Equal(a) {
+		t.Fatal("ledger lookup a")
+	}
+	all := m.Assignments()
+	if len(all) != 2 || !all["b"].Equal(b) {
+		t.Fatal("ledger copy")
+	}
+	// Mutating the copy must not affect the manager.
+	delete(all, "a")
+	if _, ok := m.Assignment("a"); !ok {
+		t.Fatal("ledger aliased internal state")
+	}
+	if !strings.Contains(m.String(), "2 assignments") {
+		t.Fatalf("string: %s", m)
+	}
+	if m.Topology() != topo || !m.Reserved().IsEmpty() {
+		t.Fatal("accessors")
+	}
+}
+
+// Property: across random allocate/release sequences, assignments stay
+// pairwise disjoint, never touch the reserved set, sizes match requests, and
+// free + assigned + reserved partition the host.
+func TestLedgerInvariantsProperty(t *testing.T) {
+	topo := mustTopo(t, 2, 4, 2) // 16 CPUs
+	f := func(ops []uint8) bool {
+		m, err := New(topo, topology.NewCPUSet(0, 1))
+		if err != nil {
+			return false
+		}
+		names := []string{"a", "b", "c", "d", "e"}
+		sizes := map[string]int{}
+		for i, op := range ops {
+			name := names[int(op>>4)%len(names)]
+			if op%2 == 0 {
+				n := int(op>>1)%6 + 1
+				near := -1
+				if op%3 == 0 {
+					near = int(op) % topo.NumCPUs()
+				}
+				if got, err := m.Allocate(Request{Name: name, CPUs: n, NearCPU: near}); err == nil {
+					if got.Count() != n {
+						t.Logf("op %d: size mismatch", i)
+						return false
+					}
+					sizes[name] = n
+				}
+			} else if err := m.Release(name); err == nil {
+				delete(sizes, name)
+			}
+			// Invariants.
+			var union topology.CPUSet
+			total := 0
+			for n, s := range m.Assignments() {
+				if s.Count() != sizes[n] {
+					return false
+				}
+				if !union.Intersect(s).IsEmpty() {
+					return false // overlap between assignments
+				}
+				union = union.Union(s)
+				total += s.Count()
+			}
+			if !union.Intersect(m.Reserved()).IsEmpty() {
+				return false // exclusive CPUs from the reserved set
+			}
+			if !union.Intersect(m.SharedPool()).IsEmpty() {
+				return false // assigned CPUs still in pool
+			}
+			if total+m.SharedPool().Count()+m.Reserved().Count() != topo.NumCPUs() {
+				return false // partition broken
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: whenever a request is a multiple of the SMT width and enough
+// whole cores are free, the allocation contains no torn cores.
+func TestWholeCoreAlignmentProperty(t *testing.T) {
+	topo := mustTopo(t, 2, 4, 2)
+	f := func(coresReq uint8) bool {
+		m, err := New(topo, topology.CPUSet{})
+		if err != nil {
+			return false
+		}
+		n := (int(coresReq)%8 + 1) * topo.ThreadsPerCore // 2..16 CPUs, SMT-aligned
+		got, err := m.Allocate(Request{Name: "x", CPUs: n, NearCPU: -1})
+		if err != nil {
+			return n > topo.NumCPUs()
+		}
+		perCore := map[int]int{}
+		got.ForEach(func(c int) bool {
+			perCore[topo.PhysicalCore(c)]++
+			return true
+		})
+		for _, cnt := range perCore {
+			if cnt != topo.ThreadsPerCore {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperHostScenario(t *testing.T) {
+	// Place the paper's four applications on the R830 with the best-practice
+	// sizes: all allocations must be disjoint and socket-compact where they
+	// fit one socket.
+	topo := topology.PaperHost()
+	m, _ := New(topo, topology.NewCPUSet(0)) // CPU0 reserved for the system
+	reqs := []Request{
+		{Name: "ffmpeg", CPUs: 16, NearCPU: -1},
+		{Name: "cassandra", CPUs: 32, NearCPU: 1}, // near disk IRQ home
+		{Name: "wordpress", CPUs: 16, NearCPU: 1},
+		{Name: "mpi", CPUs: 16, NearCPU: -1},
+	}
+	var all topology.CPUSet
+	for _, r := range reqs {
+		got, err := m.Allocate(r)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if !all.Intersect(got).IsEmpty() {
+			t.Fatalf("%s overlaps earlier allocations", r.Name)
+		}
+		all = all.Union(got)
+	}
+	if m.SharedPool().Count() != 112-1-80 {
+		t.Fatalf("shared pool %d", m.SharedPool().Count())
+	}
+}

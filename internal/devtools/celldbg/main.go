@@ -1,0 +1,56 @@
+// Command celldbg reproduces a single experiment cell for calibration
+// debugging; flags select platform/mode/cores/seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "VMCN", "BM|VM|CN|VMCN")
+	mode := flag.String("mode", "vanilla", "vanilla|pinned")
+	cores := flag.Int("cores", 4, "instance size")
+	seed := flag.Uint64("seed", 0, "seed")
+	limit := flag.Float64("limit", 120, "sim seconds cap")
+	flag.Parse()
+
+	spec := platform.Spec{Cores: *cores}
+	switch *kind {
+	case "BM":
+		spec.Kind = platform.BM
+	case "VM":
+		spec.Kind = platform.VM
+	case "CN":
+		spec.Kind = platform.CN
+	default:
+		spec.Kind = platform.VMCN
+	}
+	if *mode == "pinned" {
+		spec.Mode = platform.Pinned
+	}
+	host := topology.PaperHost()
+	d, err := platform.Deploy(spec, machine.HostDefaults(host, *seed), hypervisor.DefaultParams(), *seed)
+	if err != nil {
+		panic(err)
+	}
+	w := workload.DefaultNoSQL()
+	env := workload.EnvFor(d.M, d.Group, d.Affinity, *cores)
+	inst := w.Spawn(env)
+	res := d.M.Run(sim.FromSeconds(*limit))
+	b := res.Breakdown
+	fmt.Printf("seed=%d metric=%.2f timedout=%v events=%d\n", *seed, inst.Metric(res), res.TimedOut, res.Events)
+	fmt.Printf("useful=%.2f acct=%.2f churn=%.2f nested=%.2f wander=%.2f irq=%.2f virtio=%.2f mig=%.2f throttles=%d\n",
+		b.UsefulWork.Seconds(), b.AcctTime.Seconds(), b.ChurnTime.Seconds(), b.NestedTime.Seconds(),
+		b.WanderTime.Seconds(), b.IRQTime.Seconds(), b.VirtioTime.Seconds(), b.MigrationTime.Seconds(), b.Throttles)
+	if d.Group != nil {
+		fmt.Printf("group: %+v\n", d.Group.Stats)
+	}
+}

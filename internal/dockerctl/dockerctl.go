@@ -1,0 +1,249 @@
+// Package dockerctl is a minimal Docker Engine API client over the local
+// unix socket — the operational interface for the paper's two container
+// CPU-provisioning modes (§II-D):
+//
+//   - vanilla: update NanoCpus (the --cpus quota)
+//   - pinned:  update CpusetCpus (the --cpuset-cpus static set)
+//
+// Only the endpoints needed for pinning workflows are implemented: Ping,
+// ContainerList, ContainerInspect and ContainerUpdate. The client speaks
+// plain HTTP over a configurable dialer, so tests run it against an
+// in-process fake daemon.
+package dockerctl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// DefaultSocket is the standard Docker daemon socket.
+const DefaultSocket = "/var/run/docker.sock"
+
+// apiVersion is the minimum engine API version the calls need.
+const apiVersion = "v1.40"
+
+// Client talks to one Docker daemon.
+type Client struct {
+	http *http.Client
+	host string
+}
+
+// New returns a client for the unix socket at path (DefaultSocket if empty).
+func New(path string) *Client {
+	if path == "" {
+		path = DefaultSocket
+	}
+	return &Client{
+		host: "http://docker",
+		http: &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "unix", path)
+				},
+			},
+		},
+	}
+}
+
+// NewWithTransport returns a client over a custom round-tripper (tests).
+func NewWithTransport(rt http.RoundTripper) *Client {
+	return &Client{host: "http://docker", http: &http.Client{Transport: rt, Timeout: 10 * time.Second}}
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dockerctl: daemon returned %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("dockerctl: encoding request: %w", err)
+		}
+		rdr = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.host+"/"+apiVersion+path, rdr)
+	if err != nil {
+		return fmt.Errorf("dockerctl: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("dockerctl: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("dockerctl: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg := parseErrorMessage(data)
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("dockerctl: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+func parseErrorMessage(data []byte) string {
+	var e struct {
+		Message string `json:"message"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Message != "" {
+		return e.Message
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// Ping checks daemon liveness.
+func (c *Client) Ping(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/_ping", nil, nil)
+}
+
+// Container is a list entry.
+type Container struct {
+	ID    string   `json:"Id"`
+	Names []string `json:"Names"`
+	Image string   `json:"Image"`
+	State string   `json:"State"`
+}
+
+// ContainerList returns running containers (all=true includes stopped).
+func (c *Client) ContainerList(ctx context.Context, all bool) ([]Container, error) {
+	path := "/containers/json"
+	if all {
+		path += "?all=true"
+	}
+	var out []Container
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HostConfig is the subset of container host configuration the pinning
+// workflows read and write.
+type HostConfig struct {
+	NanoCpus   int64  `json:"NanoCpus,omitempty"`
+	CpusetCpus string `json:"CpusetCpus,omitempty"`
+}
+
+// ContainerDetail is the inspect subset.
+type ContainerDetail struct {
+	ID         string     `json:"Id"`
+	Name       string     `json:"Name"`
+	HostConfig HostConfig `json:"HostConfig"`
+}
+
+// ContainerInspect fetches one container's configuration.
+func (c *Client) ContainerInspect(ctx context.Context, id string) (ContainerDetail, error) {
+	var out ContainerDetail
+	err := c.do(ctx, http.MethodGet, "/containers/"+id+"/json", nil, &out)
+	return out, err
+}
+
+// updateResponse is the daemon's update reply.
+type updateResponse struct {
+	Warnings []string `json:"Warnings"`
+}
+
+// ContainerUpdate applies a host-config change.
+func (c *Client) ContainerUpdate(ctx context.Context, id string, hc HostConfig) ([]string, error) {
+	var out updateResponse
+	err := c.do(ctx, http.MethodPost, "/containers/"+id+"/update", hc, &out)
+	return out.Warnings, err
+}
+
+// CreateConfig is the container-creation subset the pinning workflows use:
+// image, command, and the CPU provisioning knobs set at birth (the way the
+// paper's CN platform deploys — docker run --cpus / --cpuset-cpus).
+type CreateConfig struct {
+	Image      string     `json:"Image"`
+	Cmd        []string   `json:"Cmd,omitempty"`
+	HostConfig HostConfig `json:"HostConfig"`
+}
+
+// createResponse is the daemon's create reply.
+type createResponse struct {
+	ID       string   `json:"Id"`
+	Warnings []string `json:"Warnings"`
+}
+
+// ContainerCreate creates (but does not start) a container. name may be
+// empty for a daemon-generated one.
+func (c *Client) ContainerCreate(ctx context.Context, name string, cfg CreateConfig) (string, []string, error) {
+	if cfg.Image == "" {
+		return "", nil, fmt.Errorf("dockerctl: create needs an image")
+	}
+	path := "/containers/create"
+	if name != "" {
+		path += "?name=" + name
+	}
+	var out createResponse
+	if err := c.do(ctx, http.MethodPost, path, cfg, &out); err != nil {
+		return "", nil, err
+	}
+	return out.ID, out.Warnings, nil
+}
+
+// ContainerStart starts a created container.
+func (c *Client) ContainerStart(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/containers/"+id+"/start", nil, nil)
+}
+
+// RunPinned creates and starts a container born pinned to a cpuset — the
+// paper's pinned CN platform in one call.
+func (c *Client) RunPinned(ctx context.Context, name, image string, cmd []string, cpus topology.CPUSet) (string, error) {
+	if cpus.IsEmpty() {
+		return "", fmt.Errorf("dockerctl: refusing to create %s with an empty cpuset", name)
+	}
+	id, _, err := c.ContainerCreate(ctx, name, CreateConfig{
+		Image:      image,
+		Cmd:        cmd,
+		HostConfig: HostConfig{CpusetCpus: cpus.String()},
+	})
+	if err != nil {
+		return "", err
+	}
+	return id, c.ContainerStart(ctx, id)
+}
+
+// Pin statically binds a container to a CPU set (the paper's pinned mode).
+// The quota is cleared: cpuset and quota together over-constrain.
+func (c *Client) Pin(ctx context.Context, id string, cpus topology.CPUSet) ([]string, error) {
+	if cpus.IsEmpty() {
+		return nil, fmt.Errorf("dockerctl: refusing to pin %s to an empty cpuset", id)
+	}
+	return c.ContainerUpdate(ctx, id, HostConfig{CpusetCpus: cpus.String()})
+}
+
+// SetQuota gives a container a floating CPU quota in cores (the paper's
+// vanilla mode, --cpus).
+func (c *Client) SetQuota(ctx context.Context, id string, cores float64) ([]string, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("dockerctl: quota must be positive, got %v cores", cores)
+	}
+	return c.ContainerUpdate(ctx, id, HostConfig{NanoCpus: int64(cores * 1e9)})
+}

@@ -1,0 +1,289 @@
+package dockerctl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// fakeDaemon is an in-process Docker Engine API subset.
+type fakeDaemon struct {
+	mu         sync.Mutex
+	containers map[string]*ContainerDetail
+	started    []string
+	fail       int // if non-zero, respond with this status
+}
+
+func newFakeDaemon() *fakeDaemon {
+	return &fakeDaemon{containers: map[string]*ContainerDetail{
+		"abc123": {ID: "abc123", Name: "/web"},
+		"def456": {ID: "def456", Name: "/db", HostConfig: HostConfig{CpusetCpus: "0-1"}},
+	}}
+}
+
+func (f *fakeDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != 0 {
+		w.WriteHeader(f.fail)
+		json.NewEncoder(w).Encode(map[string]string{"message": "injected failure"})
+		return
+	}
+	path := strings.TrimPrefix(r.URL.Path, "/"+apiVersion)
+	switch {
+	case path == "/_ping":
+		w.WriteHeader(http.StatusOK)
+	case path == "/containers/json":
+		var list []Container
+		for _, c := range f.containers {
+			list = append(list, Container{ID: c.ID, Names: []string{c.Name}, State: "running"})
+		}
+		json.NewEncoder(w).Encode(list)
+	case strings.HasSuffix(path, "/json"):
+		id := strings.TrimSuffix(strings.TrimPrefix(path, "/containers/"), "/json")
+		c, ok := f.containers[id]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"message": "no such container"})
+			return
+		}
+		json.NewEncoder(w).Encode(c)
+	case path == "/containers/create":
+		var cfg CreateConfig
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil || cfg.Image == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"message": "bad config"})
+			return
+		}
+		id := "new" + cfg.Image
+		name := r.URL.Query().Get("name")
+		f.containers[id] = &ContainerDetail{ID: id, Name: "/" + name, HostConfig: cfg.HostConfig}
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"Id": id, "Warnings": []string{}})
+	case strings.HasSuffix(path, "/start"):
+		id := strings.TrimSuffix(strings.TrimPrefix(path, "/containers/"), "/start")
+		if _, ok := f.containers[id]; !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"message": "no such container"})
+			return
+		}
+		f.started = append(f.started, id)
+		w.WriteHeader(http.StatusNoContent)
+	case strings.HasSuffix(path, "/update"):
+		id := strings.TrimSuffix(strings.TrimPrefix(path, "/containers/"), "/update")
+		c, ok := f.containers[id]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"message": "no such container"})
+			return
+		}
+		var hc HostConfig
+		if err := json.NewDecoder(r.Body).Decode(&hc); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if hc.CpusetCpus != "" {
+			c.HostConfig.CpusetCpus = hc.CpusetCpus
+			c.HostConfig.NanoCpus = 0
+		}
+		if hc.NanoCpus != 0 {
+			c.HostConfig.NanoCpus = hc.NanoCpus
+		}
+		json.NewEncoder(w).Encode(map[string]any{"Warnings": []string{}})
+	default:
+		w.WriteHeader(http.StatusNotFound)
+	}
+}
+
+func client(t *testing.T) (*Client, *fakeDaemon) {
+	t.Helper()
+	daemon := newFakeDaemon()
+	srv := httptest.NewServer(daemon)
+	t.Cleanup(srv.Close)
+	rt := rewriteTransport{base: srv.URL}
+	return NewWithTransport(rt), daemon
+}
+
+// rewriteTransport redirects the client's fixed host to the test server.
+type rewriteTransport struct{ base string }
+
+func (r rewriteTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	nreq := req.Clone(req.Context())
+	rewritten := r.base + req.URL.Path
+	if req.URL.RawQuery != "" {
+		rewritten += "?" + req.URL.RawQuery
+	}
+	u, err := nreq.URL.Parse(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	nreq.URL = u
+	nreq.Host = u.Host
+	return http.DefaultTransport.RoundTrip(nreq)
+}
+
+func TestPing(t *testing.T) {
+	c, _ := client(t)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainerList(t *testing.T) {
+	c, _ := client(t)
+	list, err := c.ContainerList(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("containers: %v", list)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	c, _ := client(t)
+	d, err := c.ContainerInspect(context.Background(), "def456")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HostConfig.CpusetCpus != "0-1" {
+		t.Fatalf("inspect: %+v", d)
+	}
+	if _, err := c.ContainerInspect(context.Background(), "nope"); err == nil {
+		t.Fatal("missing container must 404")
+	}
+}
+
+func TestPinUpdatesCpusetAndClearsQuota(t *testing.T) {
+	c, daemon := client(t)
+	set := topology.MustParseList("4-7")
+	if _, err := c.Pin(context.Background(), "abc123", set); err != nil {
+		t.Fatal(err)
+	}
+	daemon.mu.Lock()
+	defer daemon.mu.Unlock()
+	hc := daemon.containers["abc123"].HostConfig
+	if hc.CpusetCpus != "4-7" {
+		t.Fatalf("cpuset not applied: %+v", hc)
+	}
+	if hc.NanoCpus != 0 {
+		t.Fatal("pinning must clear the quota")
+	}
+}
+
+func TestPinEmptySetRejected(t *testing.T) {
+	c, _ := client(t)
+	if _, err := c.Pin(context.Background(), "abc123", topology.CPUSet{}); err == nil {
+		t.Fatal("empty cpuset must be rejected locally")
+	}
+}
+
+func TestSetQuota(t *testing.T) {
+	c, daemon := client(t)
+	if _, err := c.SetQuota(context.Background(), "abc123", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	daemon.mu.Lock()
+	defer daemon.mu.Unlock()
+	if got := daemon.containers["abc123"].HostConfig.NanoCpus; got != 2_500_000_000 {
+		t.Fatalf("nanocpus %d", got)
+	}
+	if _, err := c.SetQuota(context.Background(), "abc123", -1); err == nil {
+		t.Fatal("negative quota must be rejected")
+	}
+}
+
+func TestContainerCreateAndStart(t *testing.T) {
+	c, daemon := client(t)
+	id, warnings, err := c.ContainerCreate(context.Background(), "pinned-web", CreateConfig{
+		Image:      "nginx",
+		Cmd:        []string{"nginx", "-g", "daemon off;"},
+		HostConfig: HostConfig{CpusetCpus: "0-3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 || id == "" {
+		t.Fatalf("create: id=%q warnings=%v", id, warnings)
+	}
+	if err := c.ContainerStart(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	daemon.mu.Lock()
+	defer daemon.mu.Unlock()
+	cd := daemon.containers[id]
+	if cd == nil || cd.HostConfig.CpusetCpus != "0-3" || cd.Name != "/pinned-web" {
+		t.Fatalf("daemon state: %+v", cd)
+	}
+	if len(daemon.started) != 1 || daemon.started[0] != id {
+		t.Fatalf("started: %v", daemon.started)
+	}
+}
+
+func TestContainerCreateValidation(t *testing.T) {
+	c, _ := client(t)
+	if _, _, err := c.ContainerCreate(context.Background(), "x", CreateConfig{}); err == nil {
+		t.Fatal("missing image must be rejected locally")
+	}
+	if err := c.ContainerStart(context.Background(), "ghost"); err == nil {
+		t.Fatal("starting a missing container must 404")
+	}
+}
+
+func TestRunPinned(t *testing.T) {
+	c, daemon := client(t)
+	set := topology.MustParseList("8-11")
+	id, err := c.RunPinned(context.Background(), "enc", "ffmpeg", []string{"ffmpeg"}, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.mu.Lock()
+	defer daemon.mu.Unlock()
+	if daemon.containers[id].HostConfig.CpusetCpus != "8-11" {
+		t.Fatalf("born-pinned cpuset missing: %+v", daemon.containers[id].HostConfig)
+	}
+	if len(daemon.started) != 1 {
+		t.Fatal("container not started")
+	}
+	if _, err := c.RunPinned(context.Background(), "enc2", "ffmpeg", nil, topology.CPUSet{}); err == nil {
+		t.Fatal("empty cpuset must be rejected")
+	}
+}
+
+func TestDaemonErrorSurfaced(t *testing.T) {
+	c, daemon := client(t)
+	daemon.fail = http.StatusInternalServerError
+	err := c.Ping(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if apiErr.StatusCode != 500 || !strings.Contains(apiErr.Error(), "injected failure") {
+		t.Fatalf("error detail lost: %v", apiErr)
+	}
+}
+
+func TestGarbageResponseHandled(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("not json at all"))
+	}))
+	defer srv.Close()
+	c := NewWithTransport(rewriteTransport{base: srv.URL})
+	if _, err := c.ContainerList(context.Background(), false); err == nil {
+		t.Fatal("garbage body must produce a decode error")
+	}
+}
+
+func TestUnreachableDaemon(t *testing.T) {
+	c := New("/nonexistent/docker.sock")
+	if err := c.Ping(context.Background()); err == nil {
+		t.Fatal("unreachable socket must fail")
+	}
+}

@@ -1,0 +1,296 @@
+// Package experiments reproduces the paper's evaluation: every figure
+// (Figs 3–8) and table (Tables I–III), the §IV-A CHR analysis and the §IV
+// PTO/PSO overhead decomposition. Each runner returns a Figure value that
+// renders as text or CSV and that the benchmark harness and tests consume.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// InstanceType is a row of Table II.
+type InstanceType struct {
+	Name  string
+	Cores int
+	MemGB int
+}
+
+// InstanceTypes is Table II: the instance sizes used for evaluation.
+var InstanceTypes = []InstanceType{
+	{"Large", 2, 8},
+	{"xLarge", 4, 16},
+	{"2xLarge", 8, 32},
+	{"4xLarge", 16, 64},
+	{"8xLarge", 32, 128},
+	{"16xLarge", 64, 256},
+}
+
+// InstanceByName returns the Table II row with the given name.
+func InstanceByName(name string) (InstanceType, bool) {
+	for _, it := range InstanceTypes {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return InstanceType{}, false
+}
+
+// Instances returns the Table II rows from first to last inclusive.
+func Instances(first, last string) []InstanceType {
+	var out []InstanceType
+	in := false
+	for _, it := range InstanceTypes {
+		if it.Name == first {
+			in = true
+		}
+		if in {
+			out = append(out, it)
+		}
+		if it.Name == last {
+			break
+		}
+	}
+	return out
+}
+
+// PlatformRow is a row of Table III.
+type PlatformRow struct {
+	Abbr, Platform, Specifications string
+}
+
+// PlatformTable is Table III.
+var PlatformTable = []PlatformRow{
+	{"BM", "Bare-Metal", "Ubuntu 18.04.3, Kernel 5.4.5"},
+	{"VM", "Virtual Machine", "Qemu 2.11.1, Libvirt 4, Ubuntu 18.04.3"},
+	{"CN", "Container on Bare-Metal", "Docker 19.03.6, Ubuntu 18.04 image"},
+	{"VMCN", "Container on VM", "As above"},
+}
+
+// AppRow is a row of Table I.
+type AppRow struct {
+	Type, Version, Characteristic string
+}
+
+// AppTable is Table I.
+var AppTable = []AppRow{
+	{"FFmpeg", "3.4.6", "CPU-bound workload"},
+	{"Open MPI", "2.1.1", "HPC workload"},
+	{"WordPress", "5.3.2", "IO-bound web-based workload"},
+	{"Cassandra", "2.2", "Big Data (NoSQL) workload"},
+}
+
+// Config controls an experiment run.
+type Config struct {
+	// Reps overrides the per-figure repetition count (paper: 20, except 6
+	// for WordPress). 0 keeps the per-figure default.
+	Reps int
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed uint64
+	// Host is the physical host topology (default: the paper's 112-CPU
+	// R830).
+	Host *topology.Topology
+	// HV is the hypervisor calibration.
+	HV *hypervisor.Params
+	// Quick shrinks workloads and reps for fast CI runs; shapes are
+	// preserved, absolute values are not.
+	Quick bool
+	// TimeLimit caps each simulated run (0 = 30 simulated minutes).
+	TimeLimit sim.Time
+	// OutOfRangeFactor flags a whole column as out of range when its
+	// bare-metal mean exceeds this multiple of the bare-metal row's median
+	// (the Cassandra Large thrash case, excluded from the paper's chart).
+	OutOfRangeFactor float64
+	// MutateHost, when set, edits the host machine configuration before
+	// each deployment — the hook the ablation benchmarks use to switch off
+	// individual overhead mechanisms (DESIGN.md §7).
+	MutateHost func(*machine.Config)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Host == nil {
+		c.Host = topology.PaperHost()
+	}
+	if c.HV == nil {
+		hv := hypervisor.DefaultParams()
+		c.HV = &hv
+	}
+	if c.TimeLimit <= 0 {
+		c.TimeLimit = 30 * 60 * sim.Second
+	}
+	if c.OutOfRangeFactor <= 0 {
+		c.OutOfRangeFactor = 4
+	}
+	return c
+}
+
+func (c Config) reps(figureDefault int) int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	if c.Quick {
+		return 2
+	}
+	return figureDefault
+}
+
+// Cell is one (series, instance) aggregate.
+type Cell struct {
+	Summary stats.Summary
+	// Ratio is the paper's overhead ratio vs. the BM column mean.
+	Ratio float64
+	// OutOfRange marks thrashed cells (excluded from the paper's charts).
+	OutOfRange bool
+	// Breakdown is the overhead meter of the last repetition.
+	Breakdown sched.Breakdown
+}
+
+// SeriesResult is one legend entry across the x-axis.
+type SeriesResult struct {
+	Label string
+	Spec  platform.Spec
+	Cells []Cell
+}
+
+// Figure is a rendered experiment: series × x-labels of Cells.
+type Figure struct {
+	ID      string
+	Title   string
+	Metric  string
+	XTitle  string
+	XLabels []string
+	Series  []SeriesResult
+	// BaselineIdx is the index of the Vanilla BM series ratios are computed
+	// against (-1 when no baseline applies).
+	BaselineIdx int
+}
+
+// seedFor decorrelates repetitions and cells deterministically.
+func seedFor(base uint64, parts ...uint64) uint64 {
+	h := base*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return h
+}
+
+// runOne deploys spec on host, spawns w and runs to completion, returning
+// the workload metric in seconds and the machine's overhead breakdown.
+func runOne(cfg Config, host *topology.Topology, spec platform.Spec, w workload.Workload, memGB int, seed uint64) (float64, sched.Breakdown, error) {
+	hostCfg := machine.HostDefaults(host, seed)
+	if cfg.MutateHost != nil {
+		cfg.MutateHost(&hostCfg)
+	}
+	d, err := platform.Deploy(spec, hostCfg, *cfg.HV, seed)
+	if err != nil {
+		return 0, sched.Breakdown{}, err
+	}
+	env := workload.EnvFor(d.M, d.Group, d.Affinity, spec.Cores)
+	if memGB > 0 {
+		env.MemGB = memGB
+	}
+	inst := w.Spawn(env)
+	res := d.M.Run(cfg.TimeLimit)
+	if res.TimedOut {
+		return cfg.TimeLimit.Seconds(), res.Breakdown, nil
+	}
+	return inst.Metric(res), res.Breakdown, nil
+}
+
+// runMatrix runs the standard seven series over the given instances.
+func runMatrix(cfg Config, id, title, metric string, instances []InstanceType,
+	mkWorkload func(it InstanceType) workload.Workload, reps int) (Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := Figure{
+		ID:          id,
+		Title:       title,
+		Metric:      metric,
+		XTitle:      "Instance Types",
+		BaselineIdx: -1,
+	}
+	for _, it := range instances {
+		fig.XLabels = append(fig.XLabels, it.Name)
+	}
+	series := platform.StandardSeries()
+	for si, sk := range series {
+		spec := platform.Spec{Kind: sk.Kind, Mode: sk.Mode}
+		sr := SeriesResult{Label: spec.Label(), Spec: spec}
+		if sk.Kind == platform.BM {
+			fig.BaselineIdx = si
+		}
+		for ii, it := range instances {
+			var vals []float64
+			var bd sched.Breakdown
+			for rep := 0; rep < reps; rep++ {
+				seed := seedFor(cfg.Seed, uint64(si), uint64(ii), uint64(rep))
+				spec.Cores = it.Cores
+				v, b, err := runOne(cfg, cfg.Host, spec, mkWorkload(it), it.MemGB, seed)
+				if err != nil {
+					return Figure{}, fmt.Errorf("%s %s %s: %w", id, spec.Label(), it.Name, err)
+				}
+				vals = append(vals, v)
+				bd = b
+			}
+			sr.Cells = append(sr.Cells, Cell{Summary: stats.Summarize(vals), Breakdown: bd})
+		}
+		fig.Series = append(fig.Series, sr)
+	}
+	fig.computeRatios(cfg)
+	return fig, nil
+}
+
+// computeRatios fills per-cell overhead ratios against the BM series and
+// flags thrashed columns out-of-range.
+func (f *Figure) computeRatios(cfg Config) {
+	if f.BaselineIdx < 0 || f.BaselineIdx >= len(f.Series) {
+		return
+	}
+	base := f.Series[f.BaselineIdx]
+	// A column is out of range (overloaded/thrashed, like Cassandra's Large
+	// instance) when its baseline mean jumps discontinuously relative to
+	// the next larger instance.
+	oor := make([]bool, len(base.Cells))
+	for ci := 0; ci+1 < len(base.Cells); ci++ {
+		next := base.Cells[ci+1].Summary.Mean
+		if next > 0 && base.Cells[ci].Summary.Mean > cfg.OutOfRangeFactor*next {
+			oor[ci] = true
+		}
+	}
+	for si := range f.Series {
+		for ci := range f.Series[si].Cells {
+			cell := &f.Series[si].Cells[ci]
+			if ci < len(base.Cells) {
+				cell.Ratio = stats.Ratio(cell.Summary.Mean, base.Cells[ci].Summary.Mean)
+				cell.OutOfRange = oor[ci]
+			}
+		}
+	}
+}
+
+// Cell returns the cell for a series label and x-label.
+func (f *Figure) Cell(label, x string) (Cell, bool) {
+	xi := -1
+	for i, xl := range f.XLabels {
+		if xl == x {
+			xi = i
+			break
+		}
+	}
+	if xi < 0 {
+		return Cell{}, false
+	}
+	for _, s := range f.Series {
+		if s.Label == label && xi < len(s.Cells) {
+			return s.Cells[xi], true
+		}
+	}
+	return Cell{}, false
+}

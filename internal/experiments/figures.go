@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// transcodeFor scales the FFmpeg workload for quick runs.
+func transcodeFor(cfg Config, segments int) workload.Transcode {
+	w := workload.DefaultTranscode()
+	w.Segments = segments
+	if cfg.Quick {
+		w.TotalWork /= 8
+		w.PerProcessOverhead /= 8
+	}
+	return w
+}
+
+// RunFig3 reproduces Fig 3: FFmpeg execution time across execution platforms
+// and instance types Large..4×Large (FFmpeg uses at most 16 cores).
+func RunFig3(cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	return runMatrix(cfg, "fig3",
+		"FFmpeg execution time on different execution platforms",
+		"Average Execution Time (s)",
+		Instances("Large", "4xLarge"),
+		func(InstanceType) workload.Workload { return transcodeFor(cfg, 1) },
+		cfg.reps(20))
+}
+
+// RunFig4 reproduces Fig 4: MPI Search execution time, ×Large..16×Large.
+func RunFig4(cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	mk := func(InstanceType) workload.Workload {
+		w := workload.DefaultMPISearch()
+		if cfg.Quick {
+			w.Rounds /= 8
+			w.TotalCompute /= 8
+			w.ScatterBytes /= 8
+		}
+		return w
+	}
+	return runMatrix(cfg, "fig4",
+		"MPI Search execution time on different execution platforms",
+		"Average Execution Time (s)",
+		Instances("xLarge", "16xLarge"), mk, cfg.reps(20))
+}
+
+// RunFig5 reproduces Fig 5: mean response time of 1,000 WordPress requests,
+// ×Large..16×Large, 6 repetitions.
+func RunFig5(cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	mk := func(InstanceType) workload.Workload {
+		w := workload.DefaultWeb()
+		if cfg.Quick {
+			w.Requests /= 4
+		}
+		return w
+	}
+	return runMatrix(cfg, "fig5",
+		"Mean response time of 1,000 web processes (WordPress)",
+		"Average Execution Time (s)",
+		Instances("xLarge", "16xLarge"), mk, cfg.reps(6))
+}
+
+// RunFig6 reproduces Fig 6: mean response time of 1,000 Cassandra
+// operations, ×Large..16×Large (Large thrashes and is charted out-of-range).
+// Quick mode keeps the full operation count: shrinking it would lighten the
+// overload regime that defines the figure, and the run is cheap anyway.
+func RunFig6(cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	mk := func(InstanceType) workload.Workload {
+		return workload.DefaultNoSQL()
+	}
+	return runMatrix(cfg, "fig6",
+		"Mean execution time of Cassandra workload",
+		"Average Execution Time (s)",
+		Instances("xLarge", "16xLarge"), mk, cfg.reps(20))
+}
+
+// RunFig6Large runs the excluded Large instance of the Cassandra experiment
+// to demonstrate the thrash regime the paper reports as "out of range".
+func RunFig6Large(cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	mk := func(InstanceType) workload.Workload {
+		return workload.DefaultNoSQL()
+	}
+	return runMatrix(cfg, "fig6-large",
+		"Cassandra on the overloaded Large instance (thrash regime)",
+		"Average Execution Time (s)",
+		Instances("Large", "Large"), mk, cfg.reps(5))
+}
+
+// RunFig7 reproduces Fig 7: the CHR experiment — the same 16-core container
+// (4×Large) on a 16-core host (CHR=1) vs. the 112-core host (CHR=0.14),
+// plus the bare-metal reference on each host.
+func RunFig7(cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	reps := cfg.reps(20)
+	hosts := []struct {
+		label string
+		topo  *topology.Topology
+	}{
+		{"16 cores", topology.SmallHost16()},
+		{"112 cores", topology.PaperHost()},
+	}
+	series := []platform.Spec{
+		{Kind: platform.CN, Mode: platform.Vanilla, Cores: 16},
+		{Kind: platform.CN, Mode: platform.Pinned, Cores: 16},
+		{Kind: platform.BM, Mode: platform.Vanilla, Cores: 16},
+	}
+	fig := Figure{
+		ID:          "fig7",
+		Title:       "Impact of CHR: a 4xLarge container on 16- vs 112-core hosts",
+		Metric:      "Average Execution Time (s)",
+		XTitle:      "Hosts with Different Number of Cores",
+		BaselineIdx: 2,
+	}
+	for _, h := range hosts {
+		fig.XLabels = append(fig.XLabels, h.label)
+	}
+	w := transcodeFor(cfg, 1)
+	for si, spec := range series {
+		sr := SeriesResult{Label: spec.Label(), Spec: spec}
+		for hi, h := range hosts {
+			var vals []float64
+			var bd = Cell{}
+			for rep := 0; rep < reps; rep++ {
+				seed := seedFor(cfg.Seed, 7, uint64(si), uint64(hi), uint64(rep))
+				v, b, err := runOne(cfg, h.topo, spec, w, 64, seed)
+				if err != nil {
+					return Figure{}, fmt.Errorf("fig7 %s on %s: %w", spec.Label(), h.label, err)
+				}
+				vals = append(vals, v)
+				bd.Breakdown = b
+			}
+			bd.Summary = stats.Summarize(vals)
+			sr.Cells = append(sr.Cells, bd)
+		}
+		fig.Series = append(fig.Series, sr)
+	}
+	fig.computeRatios(cfg)
+	return fig, nil
+}
+
+// RunFig8 reproduces Fig 8: multitasking impact — transcoding one 30-second
+// video vs. 30 one-second videos in parallel on a 4×Large container.
+func RunFig8(cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	reps := cfg.reps(20)
+	cases := []struct {
+		label    string
+		segments int
+	}{
+		{"1 Large Task", 1},
+		{"30 Small Tasks", 30},
+	}
+	series := []platform.Spec{
+		{Kind: platform.CN, Mode: platform.Vanilla, Cores: 16},
+		{Kind: platform.CN, Mode: platform.Pinned, Cores: 16},
+	}
+	fig := Figure{
+		ID:          "fig8",
+		Title:       "Impact of the number of processes on a 4xLarge CN instance",
+		Metric:      "Average Execution Time (s)",
+		XTitle:      "Different number of processes running on CN platforms",
+		BaselineIdx: -1,
+	}
+	for _, c := range cases {
+		fig.XLabels = append(fig.XLabels, c.label)
+	}
+	for si, spec := range series {
+		sr := SeriesResult{Label: spec.Label(), Spec: spec}
+		for ci, c := range cases {
+			var vals []float64
+			var cell Cell
+			for rep := 0; rep < reps; rep++ {
+				seed := seedFor(cfg.Seed, 8, uint64(si), uint64(ci), uint64(rep))
+				w := transcodeFor(cfg, c.segments)
+				v, b, err := runOne(cfg, cfg.Host, spec, w, 64, seed)
+				if err != nil {
+					return Figure{}, fmt.Errorf("fig8 %s %s: %w", spec.Label(), c.label, err)
+				}
+				vals = append(vals, v)
+				cell.Breakdown = b
+			}
+			cell.Summary = stats.Summarize(vals)
+			sr.Cells = append(sr.Cells, cell)
+		}
+		fig.Series = append(fig.Series, sr)
+	}
+	return fig, nil
+}
+
+// RunFigure dispatches by figure number 3..8.
+func RunFigure(n int, cfg Config) (Figure, error) {
+	switch n {
+	case 3:
+		return RunFig3(cfg)
+	case 4:
+		return RunFig4(cfg)
+	case 5:
+		return RunFig5(cfg)
+	case 6:
+		return RunFig6(cfg)
+	case 7:
+		return RunFig7(cfg)
+	case 8:
+		return RunFig8(cfg)
+	}
+	return Figure{}, fmt.Errorf("experiments: no figure %d (have 3..8)", n)
+}
+
+// CHRBand is the §IV-A result for one application class: the CHR range in
+// which the container's PSO stops being significant.
+type CHRBand struct {
+	App       string
+	LowCHR    float64
+	HighCHR   float64
+	LowName   string
+	HighName  string
+	PaperLow  float64
+	PaperHigh float64
+}
+
+// RunCHRSweep reproduces the §IV-A analysis: sweep instance sizes, find the
+// first size where the vanilla container's overhead ratio over bare metal
+// (its PSO) drops below the per-class significance threshold, and report
+// the bracketing CHR band.
+func RunCHRSweep(cfg Config) ([]CHRBand, error) {
+	cfg = cfg.withDefaults()
+	reps := cfg.reps(5)
+	type app struct {
+		name      string
+		mk        func(it InstanceType) workload.Workload
+		last      string
+		threshold float64
+		pLow      float64
+		pHigh     float64
+	}
+	apps := []app{
+		{"FFmpeg", func(InstanceType) workload.Workload { return transcodeFor(cfg, 1) }, "4xLarge", 1.10, 0.07, 0.14},
+		{"WordPress", func(InstanceType) workload.Workload {
+			w := workload.DefaultWeb()
+			if cfg.Quick {
+				w.Requests /= 4
+			}
+			return w
+		}, "16xLarge", 1.25, 0.14, 0.28},
+		{"Cassandra", func(InstanceType) workload.Workload {
+			return workload.DefaultNoSQL()
+		}, "16xLarge", 1.25, 0.28, 0.57},
+	}
+	hostCPUs := float64(cfg.Host.NumCPUs())
+	var out []CHRBand
+	for ai, a := range apps {
+		first := "Large"
+		if a.name != "FFmpeg" {
+			first = "xLarge"
+		}
+		instances := Instances(first, a.last)
+		band := CHRBand{App: a.name, PaperLow: a.pLow, PaperHigh: a.pHigh}
+		prev := instances[0]
+		found := false
+		for ii, it := range instances {
+			means := map[platform.Kind]float64{}
+			for _, kind := range []platform.Kind{platform.CN, platform.BM} {
+				var vals []float64
+				for rep := 0; rep < reps; rep++ {
+					seed := seedFor(cfg.Seed, 40, uint64(ai), uint64(ii), uint64(kind), uint64(rep))
+					spec := platform.Spec{Kind: kind, Mode: platform.Vanilla, Cores: it.Cores}
+					v, _, err := runOne(cfg, cfg.Host, spec, a.mk(it), it.MemGB, seed)
+					if err != nil {
+						return nil, err
+					}
+					vals = append(vals, v)
+				}
+				means[kind] = stats.Summarize(vals).Mean
+			}
+			pso := means[platform.CN] / means[platform.BM]
+			if pso < a.threshold {
+				band.LowCHR = float64(prev.Cores) / hostCPUs
+				band.HighCHR = float64(it.Cores) / hostCPUs
+				band.LowName = prev.Name
+				band.HighName = it.Name
+				found = true
+				break
+			}
+			prev = it
+		}
+		if !found {
+			band.LowCHR = float64(prev.Cores) / hostCPUs
+			band.HighCHR = 1
+			band.LowName = prev.Name
+			band.HighName = "host"
+		}
+		out = append(out, band)
+	}
+	return out, nil
+}
+
+// Decomposition is the §IV PTO/PSO split for one series of a figure.
+type Decomposition struct {
+	Label string
+	// PTO is the platform-type overhead: the ratio that remains at the
+	// largest instance (size-invariant component).
+	PTO float64
+	// PSO per x-label: the size-dependent component (ratio - PTO).
+	PSO []float64
+}
+
+// Decompose splits each series' overhead ratios into PTO and PSO.
+func Decompose(fig Figure) []Decomposition {
+	var out []Decomposition
+	for si, s := range fig.Series {
+		if si == fig.BaselineIdx || len(s.Cells) == 0 {
+			continue
+		}
+		d := Decomposition{Label: s.Label, PTO: s.Cells[len(s.Cells)-1].Ratio}
+		for _, c := range s.Cells {
+			pso := c.Ratio - d.PTO
+			if pso < 0 {
+				pso = 0
+			}
+			d.PSO = append(d.PSO, pso)
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderText writes a figure as an aligned text table: one row per series,
+// one column per x-label, cells as "mean±ci (ratio)".
+func (f *Figure) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(w, "metric: %s; x: %s\n\n", f.Metric, f.XTitle)
+	cols := make([]int, len(f.XLabels)+1)
+	rows := make([][]string, 0, len(f.Series)+1)
+	head := append([]string{""}, f.XLabels...)
+	rows = append(rows, head)
+	for _, s := range f.Series {
+		row := []string{s.Label}
+		for _, c := range s.Cells {
+			cell := fmt.Sprintf("%.2f±%.2f", c.Summary.Mean, c.Summary.CI95)
+			if f.BaselineIdx >= 0 && s.Label != f.Series[f.BaselineIdx].Label {
+				cell += fmt.Sprintf(" (%.2fx)", c.Ratio)
+			}
+			if c.OutOfRange {
+				cell += " [OOR]"
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(cols) && len(cell) > cols[i] {
+				cols[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			pad := 0
+			if i < len(cols) {
+				pad = cols[i]
+			}
+			fmt.Fprintf(w, "%-*s", pad+2, cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes a figure as CSV: series,xlabel,mean,ci95,n,ratio,oor.
+func (f *Figure) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, "series,x,mean_s,ci95_s,n,ratio,out_of_range")
+	for _, s := range f.Series {
+		for i, c := range s.Cells {
+			x := ""
+			if i < len(f.XLabels) {
+				x = f.XLabels[i]
+			}
+			fmt.Fprintf(w, "%s,%s,%.6f,%.6f,%d,%.4f,%t\n",
+				s.Label, x, c.Summary.Mean, c.Summary.CI95, c.Summary.N, c.Ratio, c.OutOfRange)
+		}
+	}
+}
+
+// RenderBreakdown writes the overhead attribution of every cell's last
+// repetition: where simulated CPU time went, per series and instance.
+func (f *Figure) RenderBreakdown(w io.Writer) {
+	fmt.Fprintf(w, "%s — overhead breakdown (last repetition, seconds of CPU time)\n", strings.ToUpper(f.ID))
+	fmt.Fprintln(w, "series,x,useful,switch,migration,acct,churn,throttle,irq,virtio,msg,nested,migrations,throttles")
+	for _, s := range f.Series {
+		for i, c := range s.Cells {
+			x := ""
+			if i < len(f.XLabels) {
+				x = f.XLabels[i]
+			}
+			b := c.Breakdown
+			fmt.Fprintf(w, "%s,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d\n",
+				s.Label, x,
+				b.UsefulWork.Seconds(), b.SwitchTime.Seconds(), b.MigrationTime.Seconds(),
+				b.AcctTime.Seconds(), b.ChurnTime.Seconds(), b.ThrottleTime.Seconds(),
+				b.IRQTime.Seconds(), b.VirtioTime.Seconds(), b.MsgTime.Seconds(),
+				b.NestedTime.Seconds(), b.Migrations, b.Throttles)
+		}
+	}
+}
+
+// RenderTable1 writes Table I.
+func RenderTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table I: application types used for evaluation")
+	fmt.Fprintf(w, "%-12s %-10s %s\n", "Type", "Version", "Characteristic")
+	for _, r := range AppTable {
+		fmt.Fprintf(w, "%-12s %-10s %s\n", r.Type, r.Version, r.Characteristic)
+	}
+}
+
+// RenderTable2 writes Table II.
+func RenderTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table II: instance types used for evaluation")
+	fmt.Fprintf(w, "%-10s %-14s %s\n", "Instance", "No. of Cores", "Memory (GB)")
+	for _, it := range InstanceTypes {
+		fmt.Fprintf(w, "%-10s %-14d %d\n", it.Name, it.Cores, it.MemGB)
+	}
+}
+
+// RenderTable3 writes Table III.
+func RenderTable3(w io.Writer) {
+	fmt.Fprintln(w, "Table III: execution platforms")
+	fmt.Fprintf(w, "%-6s %-24s %s\n", "Abbr.", "Platform", "Specifications")
+	for _, r := range PlatformTable {
+		fmt.Fprintf(w, "%-6s %-24s %s\n", r.Abbr, r.Platform, r.Specifications)
+	}
+}
+
+// RenderCHR writes the §IV-A CHR bands against the paper's.
+func RenderCHR(w io.Writer, bands []CHRBand) {
+	fmt.Fprintln(w, "§IV-A: suitable CHR bands (where vanilla-container PSO vanishes)")
+	fmt.Fprintf(w, "%-12s %-22s %-22s %s\n", "App", "Measured CHR", "Instances", "Paper CHR")
+	for _, b := range bands {
+		fmt.Fprintf(w, "%-12s %.2f < CHR < %.2f      %-22s %.2f < CHR < %.2f\n",
+			b.App, b.LowCHR, b.HighCHR,
+			b.LowName+"–"+b.HighName, b.PaperLow, b.PaperHigh)
+	}
+}
+
+// RenderDecomposition writes the §IV PTO/PSO split of a figure.
+func RenderDecomposition(w io.Writer, fig Figure, ds []Decomposition) {
+	fmt.Fprintf(w, "%s — PTO/PSO decomposition (PTO = size-invariant ratio; PSO per instance)\n",
+		strings.ToUpper(fig.ID))
+	fmt.Fprintf(w, "%-14s %-6s", "series", "PTO")
+	for _, x := range fig.XLabels {
+		fmt.Fprintf(w, " PSO@%-9s", x)
+	}
+	fmt.Fprintln(w)
+	for _, d := range ds {
+		fmt.Fprintf(w, "%-14s %-6.2f", d.Label, d.PTO)
+		for _, p := range d.PSO {
+			fmt.Fprintf(w, " %-13.2f", p)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// FigureClass maps the paper's figures to their application class.
+func FigureClass(n int) (core.AppClass, error) {
+	switch n {
+	case 3, 7, 8:
+		return core.CPUBound, nil
+	case 4:
+		return core.Parallel, nil
+	case 5:
+		return core.IOBound, nil
+	case 6:
+		return core.UltraIOBound, nil
+	}
+	return 0, fmt.Errorf("experiments: no class for figure %d", n)
+}
+
+// FigureSamples converts one regenerated figure into overhead samples for
+// the analytic model (internal/model): each non-baseline, in-range cell
+// becomes a (platform, mode, class, CHR, ratio) point. hostCPUs is the
+// host's logical CPU count (the CHR denominator).
+func FigureSamples(f Figure, class core.AppClass, hostCPUs int) ([]model.Sample, error) {
+	if hostCPUs <= 0 {
+		return nil, fmt.Errorf("experiments: hostCPUs must be positive")
+	}
+	var out []model.Sample
+	for si, s := range f.Series {
+		if si == f.BaselineIdx {
+			continue
+		}
+		for ci, cell := range s.Cells {
+			if ci >= len(f.XLabels) || cell.OutOfRange || cell.Ratio <= 0 {
+				continue
+			}
+			it, ok := InstanceByName(f.XLabels[ci])
+			if !ok {
+				continue // non-instance x-axis (Fig 7/8)
+			}
+			out = append(out, model.Sample{
+				Platform: s.Spec.Kind,
+				Mode:     s.Spec.Mode,
+				Class:    class,
+				CHR:      float64(it.Cores) / float64(hostCPUs),
+				Ratio:    cell.Ratio,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: figure %s produced no samples", f.ID)
+	}
+	return out, nil
+}
+
+// FitModel regenerates the given figures and fits the analytic overhead
+// model on their cells — the executable form of the paper's future-work
+// item (§VI): overhead as a function of platform isolation level and CHR.
+func FitModel(figs []int, cfg Config) (*model.Model, error) {
+	cfg = cfg.withDefaults()
+	var samples []model.Sample
+	for _, n := range figs {
+		class, err := FigureClass(n)
+		if err != nil {
+			return nil, err
+		}
+		f, err := RunFigure(n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ss, err := FigureSamples(f, class, cfg.Host.NumCPUs())
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, ss...)
+	}
+	return model.Fit(samples)
+}

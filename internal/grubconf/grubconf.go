@@ -1,0 +1,235 @@
+// Package grubconf generates and parses the Linux kernel command-line
+// parameters the paper uses to provision bare metal (§III-A): "For BM, we
+// modelled pinning via limiting the number of available CPU cores on the
+// host using GRUB configuration". It covers the two standard techniques:
+//
+//   - capacity limiting: maxcpus= / nr_cpus= — boot with only N CPUs online,
+//     turning the whole host into a Table II "instance";
+//   - CPU isolation: isolcpus= / nohz_full= / rcu_nocbs= — exclude a cpuset
+//     from the scheduler so pinned workloads own it exclusively.
+//
+// Render produces the kernel argument string and a GRUB_CMDLINE_LINUX line
+// for /etc/default/grub; Parse reads either back (round-trip safe).
+package grubconf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// IsolFlag is an isolcpus= modifier flag (kernel ≥ 4.17 syntax:
+// isolcpus=domain,managed_irq,1-7).
+type IsolFlag string
+
+const (
+	// IsolDomain removes the CPUs from the scheduler domains (classic
+	// isolcpus behaviour).
+	IsolDomain IsolFlag = "domain"
+	// IsolManagedIRQ keeps managed device IRQs off the isolated CPUs.
+	IsolManagedIRQ IsolFlag = "managed_irq"
+	// IsolNohz stops the scheduler tick on the isolated CPUs.
+	IsolNohz IsolFlag = "nohz"
+)
+
+// Config is one bare-metal CPU provisioning plan.
+type Config struct {
+	// MaxCPUs caps the number of CPUs brought online at boot (maxcpus=).
+	// 0 means unlimited.
+	MaxCPUs int
+	// NrCPUs caps the number of possible CPUs (nr_cpus=); unlike MaxCPUs the
+	// excess CPUs cannot be onlined later. 0 means unlimited.
+	NrCPUs int
+	// Isolated is the isolcpus= set (empty = none).
+	Isolated topology.CPUSet
+	// IsolFlags are the isolcpus= modifiers (ignored when Isolated is empty).
+	IsolFlags []IsolFlag
+	// NohzFull is the nohz_full= set: tickless operation.
+	NohzFull topology.CPUSet
+	// RCUNoCBs is the rcu_nocbs= set: offloaded RCU callbacks.
+	RCUNoCBs topology.CPUSet
+	// Extra preserves unrelated parameters found by Parse, in order.
+	Extra []string
+}
+
+// Validate checks internal consistency against an optional topology (nil
+// skips the range checks).
+func (c Config) Validate(topo *topology.Topology) error {
+	if c.MaxCPUs < 0 || c.NrCPUs < 0 {
+		return fmt.Errorf("grubconf: negative CPU cap")
+	}
+	if c.MaxCPUs > 0 && c.NrCPUs > 0 && c.MaxCPUs > c.NrCPUs {
+		return fmt.Errorf("grubconf: maxcpus=%d exceeds nr_cpus=%d", c.MaxCPUs, c.NrCPUs)
+	}
+	if !c.NohzFull.IsSubsetOf(c.Isolated) && !c.NohzFull.IsEmpty() && !c.Isolated.IsEmpty() {
+		return fmt.Errorf("grubconf: nohz_full=%s must be within isolcpus=%s", c.NohzFull, c.Isolated)
+	}
+	for _, f := range c.IsolFlags {
+		switch f {
+		case IsolDomain, IsolManagedIRQ, IsolNohz:
+		default:
+			return fmt.Errorf("grubconf: unknown isolcpus flag %q", f)
+		}
+	}
+	if topo != nil {
+		n := topo.NumCPUs()
+		if c.MaxCPUs > n {
+			return fmt.Errorf("grubconf: maxcpus=%d exceeds host's %d CPUs", c.MaxCPUs, n)
+		}
+		if c.NrCPUs > n {
+			return fmt.Errorf("grubconf: nr_cpus=%d exceeds host's %d CPUs", c.NrCPUs, n)
+		}
+		all := topo.AllCPUs()
+		for _, s := range []struct {
+			name string
+			set  topology.CPUSet
+		}{{"isolcpus", c.Isolated}, {"nohz_full", c.NohzFull}, {"rcu_nocbs", c.RCUNoCBs}} {
+			if !s.set.IsSubsetOf(all) {
+				return fmt.Errorf("grubconf: %s=%s outside host CPUs", s.name, s.set)
+			}
+		}
+		if !c.Isolated.IsEmpty() && c.Isolated.Equal(all) {
+			return fmt.Errorf("grubconf: isolating every CPU leaves none for the scheduler")
+		}
+	}
+	return nil
+}
+
+// Args renders the kernel command-line arguments in canonical order.
+func (c Config) Args() []string {
+	var args []string
+	if c.MaxCPUs > 0 {
+		args = append(args, "maxcpus="+strconv.Itoa(c.MaxCPUs))
+	}
+	if c.NrCPUs > 0 {
+		args = append(args, "nr_cpus="+strconv.Itoa(c.NrCPUs))
+	}
+	if !c.Isolated.IsEmpty() {
+		v := "isolcpus="
+		if len(c.IsolFlags) > 0 {
+			flags := make([]string, len(c.IsolFlags))
+			for i, f := range c.IsolFlags {
+				flags[i] = string(f)
+			}
+			sort.Strings(flags)
+			v += strings.Join(flags, ",") + ","
+		}
+		v += c.Isolated.String()
+		args = append(args, v)
+	}
+	if !c.NohzFull.IsEmpty() {
+		args = append(args, "nohz_full="+c.NohzFull.String())
+	}
+	if !c.RCUNoCBs.IsEmpty() {
+		args = append(args, "rcu_nocbs="+c.RCUNoCBs.String())
+	}
+	args = append(args, c.Extra...)
+	return args
+}
+
+// CmdLine renders the full kernel command line.
+func (c Config) CmdLine() string { return strings.Join(c.Args(), " ") }
+
+// GrubLine renders the /etc/default/grub assignment.
+func (c Config) GrubLine() string {
+	return `GRUB_CMDLINE_LINUX="` + c.CmdLine() + `"`
+}
+
+// Parse reads a kernel command line (or a GRUB_CMDLINE_LINUX=... line) back
+// into a Config. Unrecognized parameters are preserved in Extra.
+func Parse(line string) (Config, error) {
+	line = strings.TrimSpace(line)
+	if rest, ok := strings.CutPrefix(line, "GRUB_CMDLINE_LINUX="); ok {
+		line = strings.Trim(rest, `"`)
+	}
+	var c Config
+	for _, tok := range strings.Fields(line) {
+		key, val, hasVal := strings.Cut(tok, "=")
+		if !hasVal {
+			c.Extra = append(c.Extra, tok)
+			continue
+		}
+		var err error
+		switch key {
+		case "maxcpus":
+			c.MaxCPUs, err = strconv.Atoi(val)
+		case "nr_cpus":
+			c.NrCPUs, err = strconv.Atoi(val)
+		case "isolcpus":
+			c.IsolFlags, c.Isolated, err = parseIsol(val)
+		case "nohz_full":
+			c.NohzFull, err = topology.ParseList(val)
+		case "rcu_nocbs":
+			c.RCUNoCBs, err = topology.ParseList(val)
+		default:
+			c.Extra = append(c.Extra, tok)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("grubconf: %s: %w", tok, err)
+		}
+	}
+	if c.MaxCPUs < 0 || c.NrCPUs < 0 {
+		return Config{}, fmt.Errorf("grubconf: negative CPU cap in %q", line)
+	}
+	return c, nil
+}
+
+// parseIsol splits isolcpus= flags from the cpu list. Flags come first,
+// comma-separated; the first token that parses as a cpu-list element starts
+// the list.
+func parseIsol(val string) ([]IsolFlag, topology.CPUSet, error) {
+	parts := strings.Split(val, ",")
+	var flags []IsolFlag
+	i := 0
+	for ; i < len(parts); i++ {
+		switch IsolFlag(parts[i]) {
+		case IsolDomain, IsolManagedIRQ, IsolNohz:
+			flags = append(flags, IsolFlag(parts[i]))
+		default:
+			goto list
+		}
+	}
+list:
+	if i >= len(parts) {
+		return nil, topology.CPUSet{}, fmt.Errorf("isolcpus has flags but no cpu list")
+	}
+	set, err := topology.ParseList(strings.Join(parts[i:], ","))
+	if err != nil {
+		return nil, topology.CPUSet{}, err
+	}
+	return flags, set, nil
+}
+
+// ForInstance returns the paper's BM provisioning for an instance size:
+// boot the host with exactly `cores` CPUs (maxcpus=), as §III-A does.
+func ForInstance(topo *topology.Topology, cores int) (Config, error) {
+	if topo == nil {
+		return Config{}, fmt.Errorf("grubconf: nil topology")
+	}
+	if cores <= 0 || cores > topo.NumCPUs() {
+		return Config{}, fmt.Errorf("grubconf: %d cores out of host range 1..%d", cores, topo.NumCPUs())
+	}
+	return Config{MaxCPUs: cores}, nil
+}
+
+// IsolateFor returns the full isolation recipe for a pinned workload's
+// cpuset: isolcpus (domain,managed_irq) + nohz_full + rcu_nocbs on the same
+// set — the standard trio for exclusive low-jitter CPU ownership.
+func IsolateFor(topo *topology.Topology, set topology.CPUSet) (Config, error) {
+	c := Config{
+		Isolated:  set,
+		IsolFlags: []IsolFlag{IsolDomain, IsolManagedIRQ},
+		NohzFull:  set,
+		RCUNoCBs:  set,
+	}
+	if err := c.Validate(topo); err != nil {
+		return Config{}, err
+	}
+	if set.IsEmpty() {
+		return Config{}, fmt.Errorf("grubconf: empty isolation set")
+	}
+	return c, nil
+}

@@ -1,0 +1,207 @@
+package grubconf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestArgsCanonicalOrder(t *testing.T) {
+	c := Config{
+		MaxCPUs:   8,
+		Isolated:  topology.MustParseList("2-5"),
+		IsolFlags: []IsolFlag{IsolManagedIRQ, IsolDomain},
+		NohzFull:  topology.MustParseList("2-5"),
+		RCUNoCBs:  topology.MustParseList("2-5"),
+		Extra:     []string{"quiet", "splash"},
+	}
+	got := c.CmdLine()
+	want := "maxcpus=8 isolcpus=domain,managed_irq,2-5 nohz_full=2-5 rcu_nocbs=2-5 quiet splash"
+	if got != want {
+		t.Fatalf("cmdline:\n got %q\nwant %q", got, want)
+	}
+	if !strings.HasPrefix(c.GrubLine(), `GRUB_CMDLINE_LINUX="`) || !strings.HasSuffix(c.GrubLine(), `"`) {
+		t.Fatalf("grub line: %s", c.GrubLine())
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	c, err := Parse("maxcpus=16 nr_cpus=32 isolcpus=domain,8-15 nohz_full=8-15 rcu_nocbs=8-15 quiet ro root=/dev/sda1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxCPUs != 16 || c.NrCPUs != 32 {
+		t.Fatalf("caps: %+v", c)
+	}
+	if c.Isolated.Count() != 8 || len(c.IsolFlags) != 1 || c.IsolFlags[0] != IsolDomain {
+		t.Fatalf("isol: %+v", c)
+	}
+	if len(c.Extra) != 3 || c.Extra[2] != "root=/dev/sda1" {
+		t.Fatalf("extra: %v", c.Extra)
+	}
+}
+
+func TestParseGrubLine(t *testing.T) {
+	c, err := Parse(`GRUB_CMDLINE_LINUX="maxcpus=4 quiet"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxCPUs != 4 || len(c.Extra) != 1 {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"maxcpus=abc",
+		"isolcpus=domain", // flags but no list
+		"isolcpus=5-2",    // inverted range
+		"nohz_full=zz",    // bad list
+		"rcu_nocbs=1-",    // dangling range
+		"maxcpus=-3",      // negative
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseIsolNoFlags(t *testing.T) {
+	c, err := Parse("isolcpus=0,2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.IsolFlags) != 0 || c.Isolated.Count() != 3 {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	topo := topology.PaperHost()
+	cases := []struct {
+		c  Config
+		ok bool
+	}{
+		{Config{}, true},
+		{Config{MaxCPUs: 112}, true},
+		{Config{MaxCPUs: 113}, false},
+		{Config{NrCPUs: 200}, false},
+		{Config{MaxCPUs: 8, NrCPUs: 4}, false},
+		{Config{Isolated: topology.MustParseList("0-111")}, false}, // nothing left
+		{Config{Isolated: topology.MustParseList("200")}, false},
+		{Config{Isolated: topology.MustParseList("1-4"), IsolFlags: []IsolFlag{"bogus"}}, false},
+		{Config{Isolated: topology.MustParseList("1-4"), NohzFull: topology.MustParseList("1-8")}, false},
+		{Config{Isolated: topology.MustParseList("1-8"), NohzFull: topology.MustParseList("1-4")}, true},
+	}
+	for i, tc := range cases {
+		err := tc.c.Validate(topo)
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d: err=%v ok=%v", i, err, tc.ok)
+		}
+	}
+	// nil topology skips range checks but not consistency checks.
+	if err := (Config{MaxCPUs: 9999}).Validate(nil); err != nil {
+		t.Error("nil-topology range check should pass")
+	}
+	if err := (Config{MaxCPUs: 8, NrCPUs: 4}).Validate(nil); err == nil {
+		t.Error("cap consistency must hold without topology too")
+	}
+}
+
+func TestForInstance(t *testing.T) {
+	topo := topology.PaperHost()
+	c, err := ForInstance(topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CmdLine() != "maxcpus=16" {
+		t.Fatalf("cmdline %q", c.CmdLine())
+	}
+	if _, err := ForInstance(topo, 0); err == nil {
+		t.Fatal("zero cores")
+	}
+	if _, err := ForInstance(topo, 113); err == nil {
+		t.Fatal("too many cores")
+	}
+	if _, err := ForInstance(nil, 4); err == nil {
+		t.Fatal("nil topology")
+	}
+}
+
+func TestIsolateFor(t *testing.T) {
+	topo := topology.PaperHost()
+	set := topo.PinPlan(8, 0)
+	c, err := IsolateFor(topo, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Isolated.Equal(set) || !c.NohzFull.Equal(set) || !c.RCUNoCBs.Equal(set) {
+		t.Fatalf("sets: %+v", c)
+	}
+	if _, err := IsolateFor(topo, topology.CPUSet{}); err == nil {
+		t.Fatal("empty set")
+	}
+	if _, err := IsolateFor(topo, topo.AllCPUs()); err == nil {
+		t.Fatal("isolating everything")
+	}
+}
+
+// Property: Parse(c.CmdLine()) == c for arbitrary valid configs (the Extra
+// ordering is preserved; flag order canonicalizes).
+func TestRoundTripProperty(t *testing.T) {
+	topo := topology.PaperHost()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c Config
+		if rng.Intn(2) == 0 {
+			c.MaxCPUs = rng.Intn(112) + 1
+		}
+		if rng.Intn(2) == 0 {
+			c.NrCPUs = c.MaxCPUs + rng.Intn(112-c.MaxCPUs+1)
+			if c.NrCPUs == 0 {
+				c.NrCPUs = 1
+			}
+		}
+		if rng.Intn(2) == 0 {
+			var set topology.CPUSet
+			for i := 0; i < 1+rng.Intn(16); i++ {
+				set.Add(1 + rng.Intn(110))
+			}
+			c.Isolated = set
+			if rng.Intn(2) == 0 {
+				c.IsolFlags = []IsolFlag{IsolDomain}
+			}
+			if rng.Intn(2) == 0 {
+				c.NohzFull = set
+			}
+			if rng.Intn(2) == 0 {
+				c.RCUNoCBs = set
+			}
+		}
+		if rng.Intn(2) == 0 {
+			c.Extra = []string{"quiet", "ro"}
+		}
+		if c.Validate(topo) != nil {
+			return true // not a valid config; nothing to round-trip
+		}
+		back, err := Parse(c.CmdLine())
+		if err != nil {
+			return false
+		}
+		if back.MaxCPUs != c.MaxCPUs || back.NrCPUs != c.NrCPUs ||
+			!back.Isolated.Equal(c.Isolated) || !back.NohzFull.Equal(c.NohzFull) ||
+			!back.RCUNoCBs.Equal(c.RCUNoCBs) || len(back.Extra) != len(c.Extra) ||
+			len(back.IsolFlags) != len(c.IsolFlags) {
+			return false
+		}
+		// Second round-trip is exact (canonical form is a fixed point).
+		again, err := Parse(back.CmdLine())
+		return err == nil && again.CmdLine() == back.CmdLine()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

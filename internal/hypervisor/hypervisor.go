@@ -1,0 +1,179 @@
+// Package hypervisor models the KVM/QEMU layer (paper §II-B): it builds VM
+// guest machines whose cores are vCPUs, applying the virtualization overlay
+// the paper measures — a compute tax from the abstraction layers, a virtio
+// per-IO cost, the hypervisor's inter-vCPU communication fast path (which is
+// why VMs beat containers for MPI, Fig 4), and, for vanilla (unpinned) VMs,
+// the cost of vCPUs wandering across host CPUs at the whim of the host
+// scheduler.
+//
+// Because the paper evaluates each workload in isolation ("there is no other
+// coexisting workload in the system", §III-A), vCPUs always receive full host
+// cores; host-level effects are therefore applied as per-event overlays
+// rather than by nesting two schedulers. DESIGN.md §3 documents this
+// host-idle assumption.
+package hypervisor
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Params calibrate the virtualization overlay.
+type Params struct {
+	// CPUTax multiplies guest compute for tasks with VMTaxWeight 1 (the
+	// paper measures ≈2× for FFmpeg on their Qemu 2.11 / kernel 5.4 stack).
+	CPUTax float64
+	// IOScale stretches device latency/service seen from the guest
+	// (paravirtual queueing).
+	IOScale float64
+	// WanderIOScale multiplies IOScale for vanilla (unpinned) VMs: while
+	// vCPUs float, virtio completion vectors keep landing on stale CPUs and
+	// the IO path runs longer. Pinning the vCPUs (vcpupin) removes it —
+	// the reason pinned VMs consistently beat vanilla VMs for IO-bound
+	// applications (Fig 5).
+	WanderIOScale float64
+	// VirtioExtra is the per-IO completion cost (descriptor ring + VM exit).
+	VirtioExtra sim.Time
+	// VirtioMiss / VirtioMissProb charge completions landing on stale CPUs
+	// while vanilla vCPUs wander; pinning sets the probability to zero.
+	VirtioMiss     sim.Time
+	VirtioMissProb float64
+	// GuestMsgSyncCost is the per-message cost on the hypervisor's shared
+	// memory fast path (vs. the host kernel futex path).
+	GuestMsgSyncCost sim.Time
+	// GuestMsgCopyScale scales copy costs inside the guest.
+	GuestMsgCopyScale float64
+	// GuestNSCopyScale is the copy multiplier of the container bridge path
+	// inside the guest (vhost-assisted: cheaper than the host bridge path).
+	GuestNSCopyScale float64
+	// GuestCNIOScale scales IO latency for containerized guests (VMCN):
+	// the overlay filesystem's extra page-cache layer inside the guest
+	// absorbs part of the IO traffic, which is why VMCN slightly beats VM
+	// for IO-bound applications (Fig 5 discussion).
+	GuestCNIOScale float64
+	// GuestLineScale inflates line-transfer costs inside the guest: the
+	// flat vCPU topology hides that vCPUs sit on different host sockets.
+	GuestLineScale float64
+	// GuestCacheScale inflates guest-internal migration penalties for the
+	// same reason: a "same-socket" move between vCPUs is usually a
+	// cross-socket move between the host cores backing them.
+	GuestCacheScale float64
+	// GuestWakeExtra is the per-wakeup virtual-IPI / VM-exit cost.
+	GuestWakeExtra sim.Time
+	// WanderStallRate/WanderStallCost are the floating-vCPU stall process
+	// of vanilla VMs: host load balancing moves vCPU threads, stalling the
+	// guest while per-vCPU cache/TLB state refills.
+	WanderStallRate float64
+	WanderStallCost sim.Time
+	// NestedSwitchCost is the per-context-switch cost base of running a
+	// cgroup *inside* the guest (VMCN): thread-group usage counters contend
+	// under virtualized timekeeping. The scheduler scales it by how far the
+	// thread group's runnable threads oversubscribe the vCPUs, which is
+	// exactly when the paper sees VMCN's extra overhead (Fig 3, small
+	// instances), and why single-threaded web processes don't pay it
+	// (Fig 5, where VMCN beats VM).
+	NestedSwitchCost sim.Time
+	// NestedSwitchMax caps one nested-switch charge.
+	NestedSwitchMax sim.Time
+}
+
+// DefaultParams returns the calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		CPUTax:            2.0,
+		IOScale:           1.1,
+		WanderIOScale:     1.18,
+		VirtioExtra:       30 * sim.Microsecond,
+		VirtioMiss:        60 * sim.Microsecond,
+		VirtioMissProb:    0.35,
+		GuestMsgSyncCost:  10 * sim.Microsecond,
+		GuestMsgCopyScale: 1.0,
+		GuestNSCopyScale:  2.2,
+		GuestCNIOScale:    0.95,
+		GuestLineScale:    4.0,
+		GuestCacheScale:   4.75,
+		GuestWakeExtra:    4 * sim.Microsecond,
+		WanderStallRate:   4,
+		WanderStallCost:   1500 * sim.Microsecond,
+		NestedSwitchCost:  900 * sim.Microsecond,
+		NestedSwitchMax:   3 * sim.Millisecond,
+	}
+}
+
+// VMSpec describes one VM.
+type VMSpec struct {
+	Name  string
+	VCPUs int
+	// Pinned statically binds vCPUs to host CPUs (libvirt <vcpupin>),
+	// eliminating vCPU wander.
+	Pinned bool
+	// Containerized prepares the guest for a container inside it (VMCN):
+	// enables nested switch accounting.
+	Containerized bool
+}
+
+// GuestTopology returns the flat topology a guest sees: one virtual socket of
+// single-thread vCPUs (QEMU default without explicit -smp topology).
+func GuestTopology(spec VMSpec) (*topology.Topology, error) {
+	if spec.VCPUs <= 0 {
+		return nil, fmt.Errorf("hypervisor: VM %q needs at least one vCPU", spec.Name)
+	}
+	return topology.New("guest-"+spec.Name, 1, spec.VCPUs, 1)
+}
+
+// NewGuest builds the guest machine for spec on the given host. The guest
+// inherits the host's calibration (scheduler/cache/cgroup/IRQ params and
+// channels) with the virtualization overlay applied.
+func NewGuest(host machine.Config, spec VMSpec, p Params, seed uint64) (*machine.Machine, error) {
+	gtopo, err := GuestTopology(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := host // copy calibration
+	cfg.Name = "vm-" + spec.Name
+	cfg.Topo = gtopo
+	cfg.Seed = seed
+	cfg.ComputeTax = p.CPUTax
+	// Guest memory is backed by host pages spread across the host's NUMA
+	// nodes; the interleave penalty follows the *host* socket count.
+	cfg.NUMASockets = host.Topo.Sockets
+	cfg.IOScale = host.IOScale * p.IOScale
+	cfg.VirtioExtra = p.VirtioExtra
+	cfg.VirtioMiss = p.VirtioMiss
+	if spec.Pinned {
+		cfg.VirtioMissProb = 0
+		cfg.WanderStallRate = 0
+		cfg.WanderStallCost = 0
+	} else {
+		cfg.VirtioMissProb = p.VirtioMissProb
+		if p.WanderIOScale > 0 {
+			cfg.IOScale *= p.WanderIOScale
+		}
+		cfg.WanderStallRate = p.WanderStallRate
+		cfg.WanderStallCost = p.WanderStallCost
+	}
+	cfg.MsgSyncCost = p.GuestMsgSyncCost
+	cfg.MsgCopyPerKB = sim.Time(float64(host.MsgCopyPerKB) * p.GuestMsgCopyScale)
+	if p.GuestLineScale > 0 {
+		cfg.MsgLineScale = host.MsgLineScale * p.GuestLineScale
+	}
+	if p.GuestCacheScale > 0 {
+		cfg.Cache.SMTSiblingPenalty = sim.Time(float64(cfg.Cache.SMTSiblingPenalty) * p.GuestCacheScale)
+		cfg.Cache.SameSocketPenalty = sim.Time(float64(cfg.Cache.SameSocketPenalty) * p.GuestCacheScale)
+	}
+	cfg.WakeExtra = host.WakeExtra + p.GuestWakeExtra
+	if spec.Containerized {
+		cfg.NestedSwitchCost = p.NestedSwitchCost
+		cfg.NestedSwitchMax = p.NestedSwitchMax
+		cfg.MsgNSCopyScale = p.GuestNSCopyScale
+		if p.GuestCNIOScale > 0 {
+			cfg.IOScale *= p.GuestCNIOScale
+		}
+	} else {
+		cfg.NestedSwitchCost = 0
+	}
+	return machine.New(cfg)
+}

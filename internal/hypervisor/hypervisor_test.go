@@ -1,0 +1,90 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func hostCfg() machine.Config {
+	return machine.HostDefaults(topology.PaperHost(), 1)
+}
+
+func TestGuestTopologyFlat(t *testing.T) {
+	topo, err := GuestTopology(VMSpec{Name: "v", VCPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCPUs() != 8 || topo.Sockets != 1 || topo.ThreadsPerCore != 1 {
+		t.Fatalf("guest topo: %v", topo)
+	}
+	if _, err := GuestTopology(VMSpec{Name: "bad"}); err == nil {
+		t.Fatal("zero vCPUs must fail")
+	}
+}
+
+func TestGuestInheritsHostNUMA(t *testing.T) {
+	g, err := NewGuest(hostCfg(), VMSpec{Name: "v", VCPUs: 4}, DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cfg.NUMASockets != 4 {
+		t.Fatalf("guest NUMA sockets %d, want the host's 4", g.Cfg.NUMASockets)
+	}
+	if g.Cfg.ComputeTax != DefaultParams().CPUTax {
+		t.Fatal("tax not applied")
+	}
+}
+
+func TestPinnedVsVanillaOverlay(t *testing.T) {
+	p := DefaultParams()
+	pinned, err := NewGuest(hostCfg(), VMSpec{Name: "p", VCPUs: 4, Pinned: true}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla, err := NewGuest(hostCfg(), VMSpec{Name: "v", VCPUs: 4}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Cfg.VirtioMissProb != 0 || pinned.Cfg.WanderStallRate != 0 {
+		t.Fatal("pinned VM must not wander")
+	}
+	if vanilla.Cfg.VirtioMissProb == 0 || vanilla.Cfg.WanderStallRate == 0 {
+		t.Fatal("vanilla VM must wander")
+	}
+	if vanilla.Cfg.IOScale <= pinned.Cfg.IOScale {
+		t.Fatal("vanilla IO path should be slower (completion-vector misses)")
+	}
+}
+
+func TestContainerizedGuestOverlay(t *testing.T) {
+	p := DefaultParams()
+	plain, _ := NewGuest(hostCfg(), VMSpec{Name: "vm", VCPUs: 2}, p, 1)
+	vmcn, _ := NewGuest(hostCfg(), VMSpec{Name: "vmcn", VCPUs: 2, Containerized: true}, p, 1)
+	if plain.Cfg.NestedSwitchCost != 0 {
+		t.Fatal("plain VM must not pay nested accounting")
+	}
+	if vmcn.Cfg.NestedSwitchCost == 0 {
+		t.Fatal("VMCN guest must pay nested accounting")
+	}
+	if vmcn.Cfg.IOScale >= plain.Cfg.IOScale {
+		t.Fatal("overlay page cache should make VMCN IO slightly cheaper")
+	}
+}
+
+func TestGuestRunsWorkload(t *testing.T) {
+	g, err := NewGuest(hostCfg(), VMSpec{Name: "w", VCPUs: 2, Pinned: true}, DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Spawn(sched.TaskSpec{Name: "guest-task", VMTaxWeight: 1,
+		Program: sched.Sequence(sched.Compute(50 * sim.Millisecond))}, 0)
+	res := g.Run(0)
+	// tax 2.0 × NUMA(memBound 0 ⇒ 1.0) ⇒ ≈100ms.
+	if res.Makespan < 95*sim.Millisecond {
+		t.Fatalf("virtualization tax missing: %v", res.Makespan)
+	}
+}

@@ -1,0 +1,160 @@
+package irqsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func controller() *Controller {
+	return NewController(topology.PaperHost(), DefaultParams(), DefaultChannels())
+}
+
+func TestChannelHomesOnSocketZero(t *testing.T) {
+	c := controller()
+	for _, ch := range c.Channels() {
+		if topology.PaperHost().Socket(ch.Home) != 0 {
+			t.Fatalf("channel %s homed on socket %d", ch.Spec.Name, topology.PaperHost().Socket(ch.Home))
+		}
+	}
+	if c.Channel(ChanNIC) == c.Channel(ChanDisk) {
+		t.Fatal("nic and disk must be distinct channels")
+	}
+	if c.Channel(99) == nil || c.Channel(-1) == nil {
+		t.Fatal("channel indexing must be safe")
+	}
+}
+
+func TestCompletionCostByDistance(t *testing.T) {
+	c := controller()
+	disk := c.Channel(ChanDisk)
+	home := disk.Home
+	same := c.CompletionCost(disk, home)
+	local := c.CompletionCost(disk, home+2) // same socket, other core
+	remote := c.CompletionCost(disk, 28*2)  // another socket
+	if !(same < local && local < remote) {
+		t.Fatalf("costs not monotone: %v %v %v", same, local, remote)
+	}
+	if c.CompletionCost(nil, 5) != c.P.HandleCost {
+		t.Fatal("nil channel must cost the base handle only")
+	}
+}
+
+func TestCostScaleWeighsChannels(t *testing.T) {
+	c := controller()
+	nic := c.Channel(ChanNIC)
+	disk := c.Channel(ChanDisk)
+	// Far CPU for both; NIC completions are lighter.
+	far := 80
+	if c.CompletionCost(nic, far) >= c.CompletionCost(disk, far) {
+		t.Fatal("NIC completion should be cheaper than a disk completion")
+	}
+}
+
+func TestQueuedDeviceSerializes(t *testing.T) {
+	c := controller()
+	disk := c.Channel(ChanDisk)
+	service := disk.Spec.ServiceTime
+	d1 := c.CompletionDelay(disk, 0, 0, 1)
+	d2 := c.CompletionDelay(disk, 0, 0, 1)
+	d3 := c.CompletionDelay(disk, 0, 0, 1)
+	if d1 != service || d2 != 2*service || d3 != 3*service {
+		t.Fatalf("queueing broken: %v %v %v", d1, d2, d3)
+	}
+	if disk.Served != 3 || disk.QueuedFor != 3*service {
+		t.Fatalf("stats: served=%d queued=%v", disk.Served, disk.QueuedFor)
+	}
+}
+
+func TestQueuedDeviceIdleGap(t *testing.T) {
+	c := controller()
+	disk := c.Channel(ChanDisk)
+	c.CompletionDelay(disk, 0, 0, 1)
+	// Next request arrives long after the device drained: no queueing.
+	late := sim.Time(10 * sim.Second)
+	if d := c.CompletionDelay(disk, late, 0, 1); d != disk.Spec.ServiceTime {
+		t.Fatalf("idle device should serve immediately, got %v", d)
+	}
+}
+
+func TestServiceScale(t *testing.T) {
+	c := controller()
+	disk := c.Channel(ChanDisk)
+	d := c.CompletionDelay(disk, 0, 0, 2.0)
+	if d != 2*disk.Spec.ServiceTime {
+		t.Fatalf("service scale: %v", d)
+	}
+}
+
+func TestLatencyOnlyChannel(t *testing.T) {
+	c := controller()
+	nic := c.Channel(ChanNIC)
+	lat := 300 * sim.Microsecond
+	if d := c.CompletionDelay(nic, 0, lat, 1); d != lat {
+		t.Fatalf("latency-only channel: %v", d)
+	}
+	// Unlimited parallelism: repeated IOs don't queue.
+	if d := c.CompletionDelay(nic, 0, lat, 1); d != lat {
+		t.Fatal("NIC must not serialize")
+	}
+	if nic.Served != 2 {
+		t.Fatal("NIC served count")
+	}
+}
+
+func TestDefaultChannelsWhenEmpty(t *testing.T) {
+	c := NewController(topology.SmallHost16(), DefaultParams(), nil)
+	if len(c.Channels()) != 2 {
+		t.Fatalf("default channels: %d", len(c.Channels()))
+	}
+}
+
+func TestCompletionAffinityCounters(t *testing.T) {
+	topo := topology.PaperHost()
+	c := NewController(topo, DefaultParams(), DefaultChannels())
+	ch := c.Channel(ChanDisk)
+	home := ch.Home
+	c.CompletionCost(ch, home)                     // warm
+	c.CompletionCost(ch, home+topo.ThreadsPerCore) // same socket
+	c.CompletionCost(ch, topo.NumCPUs()-1)         // cross socket
+	if ch.WarmHits != 1 || ch.SocketHits != 1 || ch.RemoteHits != 1 {
+		t.Fatalf("counters: warm=%d llc=%d remote=%d", ch.WarmHits, ch.SocketHits, ch.RemoteHits)
+	}
+	if ch.CostTime <= 0 {
+		t.Fatal("completion CPU time not accumulated")
+	}
+	// A remote completion must cost more than a warm one.
+	warm := NewController(topo, DefaultParams(), DefaultChannels()).Channel(ChanDisk)
+	remote := NewController(topo, DefaultParams(), DefaultChannels()).Channel(ChanDisk)
+	cw := NewController(topo, DefaultParams(), DefaultChannels())
+	cr := NewController(topo, DefaultParams(), DefaultChannels())
+	if cw.CompletionCost(warm, warm.Home) >= cr.CompletionCost(remote, topo.NumCPUs()-1) {
+		t.Fatal("remote completion must cost more than warm")
+	}
+}
+
+func TestRenderIOStat(t *testing.T) {
+	topo := topology.PaperHost()
+	c := NewController(topo, DefaultParams(), DefaultChannels())
+	ch := c.Channel(ChanDisk)
+	c.CompletionDelay(ch, 0, sim.Millisecond, 1)
+	c.CompletionDelay(ch, 0, sim.Millisecond, 1) // queues behind the first
+	c.CompletionCost(ch, ch.Home)
+	c.CompletionCost(ch, topo.NumCPUs()-1)
+	var buf bytes.Buffer
+	RenderIOStat(&buf, c.Channels())
+	out := buf.String()
+	for _, want := range []string{"device", "blk0", "nic0", "warm%", "remote%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("iostat missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "50.0%") {
+		t.Fatalf("expected a 50/50 warm/remote split:\n%s", out)
+	}
+	// A nil channel in the slice is skipped, not a panic.
+	RenderIOStat(&buf, []*Channel{nil})
+}

@@ -1,0 +1,173 @@
+package kvmconf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestPlanPinsOneToOne(t *testing.T) {
+	host := topology.PaperHost()
+	d, err := Plan("vm0", 4, host, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.VCPU.Count != 4 || d.VCPU.Placement != "static" {
+		t.Fatalf("vcpu element: %+v", d.VCPU)
+	}
+	if len(d.CPUTune.Pins) != 4 {
+		t.Fatalf("pins: %d", len(d.CPUTune.Pins))
+	}
+	seen := map[string]bool{}
+	for i, p := range d.CPUTune.Pins {
+		if p.VCPU != i {
+			t.Fatalf("pin order: %+v", p)
+		}
+		if seen[p.CPUSet] {
+			t.Fatalf("cpu %s pinned twice", p.CPUSet)
+		}
+		seen[p.CPUSet] = true
+	}
+	if err := Validate(d, host); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	host := topology.PaperHost()
+	if _, err := Plan("x", 0, host, 0); err == nil {
+		t.Fatal("zero vcpus must fail")
+	}
+	if _, err := Plan("x", 4, nil, 0); err == nil {
+		t.Fatal("nil host must fail")
+	}
+	if _, err := Plan("x", 500, host, 0); err == nil {
+		t.Fatal("oversubscribed plan must fail")
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	host := topology.PaperHost()
+	d, err := Plan("roundtrip", 6, host, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xml, "<cputune>") || !strings.Contains(xml, `vcpu="5"`) {
+		t.Fatalf("xml missing pieces:\n%s", xml)
+	}
+	back, err := Parse(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "roundtrip" || back.VCPU.Count != 6 || len(back.CPUTune.Pins) != 6 {
+		t.Fatalf("parse lost data: %+v", back)
+	}
+	s1, err := PinnedSet(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := PinnedSet(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatalf("pinned sets differ: %v vs %v", s1, s2)
+	}
+}
+
+func TestParseToleratesFullDomains(t *testing.T) {
+	full := `<domain type='kvm'>
+	  <name>prod-vm</name>
+	  <memory unit='KiB'>4194304</memory>
+	  <vcpu placement='static'>2</vcpu>
+	  <cputune>
+	    <vcpupin vcpu='0' cpuset='0'/>
+	    <vcpupin vcpu='1' cpuset='2-3'/>
+	    <shares>1024</shares>
+	  </cputune>
+	  <os><type arch='x86_64'>hvm</type></os>
+	</domain>`
+	d, err := Parse(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "prod-vm" || d.VCPU.Count != 2 {
+		t.Fatalf("%+v", d)
+	}
+	set, err := PinnedSet(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(topology.MustParseList("0,2-3")) {
+		t.Fatalf("pinned set %v", set)
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := Parse("<domain"); err == nil {
+		t.Fatal("truncated xml must fail")
+	}
+}
+
+func TestValidateCatchesOperatorMistakes(t *testing.T) {
+	host := topology.SmallHost16()
+	cases := []struct {
+		name string
+		d    *Domain
+		want string
+	}{
+		{"no-vcpus", &Domain{Name: "a"}, "no vCPUs"},
+		{"missing-pin", &Domain{Name: "b", VCPU: VCPU{Count: 2},
+			CPUTune: &CPUTune{Pins: []VCPUPin{{VCPU: 0, CPUSet: "0"}}}}, "no pin"},
+		{"dup-pin", &Domain{Name: "c", VCPU: VCPU{Count: 1},
+			CPUTune: &CPUTune{Pins: []VCPUPin{{VCPU: 0, CPUSet: "0"}, {VCPU: 0, CPUSet: "1"}}}}, "duplicate"},
+		{"ghost-vcpu", &Domain{Name: "d", VCPU: VCPU{Count: 1},
+			CPUTune: &CPUTune{Pins: []VCPUPin{{VCPU: 0, CPUSet: "0"}, {VCPU: 5, CPUSet: "1"}}}}, "nonexistent"},
+		{"off-host", &Domain{Name: "e", VCPU: VCPU{Count: 1},
+			CPUTune: &CPUTune{Pins: []VCPUPin{{VCPU: 0, CPUSet: "200"}}}}, "outside host"},
+		{"bad-list", &Domain{Name: "f", VCPU: VCPU{Count: 1},
+			CPUTune: &CPUTune{Pins: []VCPUPin{{VCPU: 0, CPUSet: "x"}}}}, "bad cpu"},
+	}
+	for _, c := range cases {
+		err := Validate(c.d, host)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	// Unpinned domain is legitimate vanilla mode.
+	if err := Validate(&Domain{Name: "vanilla", VCPU: VCPU{Count: 2}}, host); err != nil {
+		t.Fatal(err)
+	}
+	// Empty cputune set.
+	if s, err := PinnedSet(&Domain{Name: "vanilla", VCPU: VCPU{Count: 2}}); err != nil || !s.IsEmpty() {
+		t.Fatal("unpinned domain must have empty pinned set")
+	}
+}
+
+// Property: planned domains always validate and pin min(v, cpus) distinct
+// CPUs.
+func TestPlanAlwaysValid(t *testing.T) {
+	host := topology.PaperHost()
+	f := func(vRaw uint8, nearRaw uint8) bool {
+		v := int(vRaw%112) + 1
+		near := int(nearRaw) % 112
+		d, err := Plan("p", v, host, near)
+		if err != nil {
+			return false
+		}
+		if Validate(d, host) != nil {
+			return false
+		}
+		set, err := PinnedSet(d)
+		return err == nil && set.Count() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

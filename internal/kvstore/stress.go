@@ -1,0 +1,135 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StressConfig mirrors cassandra-stress (§III-B4): Ops operations issued by
+// Threads concurrent workers, WriteFrac of them writes, over a keyspace of
+// Keys entries with ValueBytes payloads.
+type StressConfig struct {
+	Ops        int
+	Threads    int
+	WriteFrac  float64
+	Keys       int
+	ValueBytes int
+	Seed       uint64
+}
+
+// DefaultStress is the paper's mix: 1,000 ops, 100 threads, 25% writes.
+func DefaultStress() StressConfig {
+	return StressConfig{Ops: 1000, Threads: 100, WriteFrac: 0.25, Keys: 512, ValueBytes: 256, Seed: 1}
+}
+
+// StressResult aggregates latencies.
+type StressResult struct {
+	Ops        int
+	Errors     int
+	Elapsed    time.Duration
+	MeanOp     time.Duration
+	P99        time.Duration
+	ReadCount  int
+	WriteCount int
+}
+
+// Stress runs the workload against an open store.
+func Stress(s *Store, cfg StressConfig) (StressResult, error) {
+	if cfg.Ops <= 0 || cfg.Threads <= 0 {
+		return StressResult{}, fmt.Errorf("kvstore: stress needs positive ops/threads, got %d/%d", cfg.Ops, cfg.Threads)
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 512
+	}
+	if cfg.ValueBytes <= 0 {
+		cfg.ValueBytes = 128
+	}
+	// Preload the keyspace so reads have something to find.
+	val := make([]byte, cfg.ValueBytes)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for k := 0; k < cfg.Keys; k++ {
+		if err := s.Put(stressKey(k), val); err != nil {
+			return StressResult{}, err
+		}
+	}
+
+	type opOutcome struct {
+		lat   time.Duration
+		err   bool
+		write bool
+	}
+	outcomes := make([]opOutcome, cfg.Ops)
+	var next int
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= cfg.Ops {
+			return -1
+		}
+		next++
+		return next - 1
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			state := cfg.Seed + uint64(tid)*0x9e3779b97f4a7c15
+			rnd := func() uint64 {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				return state
+			}
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				key := stressKey(int(rnd() % uint64(cfg.Keys)))
+				write := float64(rnd()%1000)/1000 < cfg.WriteFrac
+				t0 := time.Now()
+				var err error
+				if write {
+					err = s.Put(key, val)
+				} else {
+					_, err = s.Get(key)
+				}
+				outcomes[i] = opOutcome{lat: time.Since(t0), err: err != nil, write: write}
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	res := StressResult{Ops: cfg.Ops, Elapsed: time.Since(start)}
+	lats := make([]time.Duration, 0, cfg.Ops)
+	var sum time.Duration
+	for _, o := range outcomes {
+		if o.err {
+			res.Errors++
+			continue
+		}
+		if o.write {
+			res.WriteCount++
+		} else {
+			res.ReadCount++
+		}
+		lats = append(lats, o.lat)
+		sum += o.lat
+	}
+	if len(lats) > 0 {
+		res.MeanOp = sum / time.Duration(len(lats))
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.P99 = lats[len(lats)*99/100]
+	}
+	return res, nil
+}
+
+func stressKey(k int) string { return fmt.Sprintf("key-%06d", k) }

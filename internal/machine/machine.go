@@ -1,0 +1,256 @@
+// Package machine assembles one simulated computer: topology + CFS scheduler
+// + cgroup controller + IRQ/device controller + cache/NUMA model, over a
+// private event engine. A Machine is either the physical host or a VM guest;
+// the hypervisor package builds guest machines with virtualization overlays.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cgroups"
+	"repro/internal/irqsim"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config describes a machine and its calibration. Zero-valued scaling fields
+// fall back to neutral values.
+type Config struct {
+	Name string
+	Topo *topology.Topology
+	Seed uint64
+
+	Sched sched.Params
+	Cache cache.Params
+	CG    cgroups.Params
+	IRQ   irqsim.Params
+	// Channels are the IO devices; defaults to one NIC + one queued disk.
+	Channels []irqsim.ChannelSpec
+
+	// ComputeTax is the virtualization multiplier on compute (1 = host,
+	// ~2 = guest per the paper's KVM measurements); each task weighs it by
+	// its VMTaxWeight.
+	ComputeTax float64
+	// NUMASockets overrides the socket count used for the NUMA interleave
+	// factor (guests pass the host's socket count). 0 = Topo.Sockets.
+	NUMASockets int
+	// IOScale multiplies device latencies and service times (paravirtual
+	// IO). 0 = 1.
+	IOScale float64
+	// VirtioExtra is the per-IO completion cost inside guests.
+	VirtioExtra sim.Time
+	// VirtioMiss and VirtioMissProb model the completion vector landing on a
+	// stale CPU while vanilla vCPUs wander; pinned VMs set prob 0.
+	VirtioMiss     sim.Time
+	VirtioMissProb float64
+	// MsgSyncCost is the per-message synchronization cost: the host-kernel
+	// futex/IPI path on hosts, the hypervisor shared-memory fast path in
+	// guests.
+	MsgSyncCost sim.Time
+	// MsgCopyPerKB is the per-KiB copy cost of message payloads.
+	MsgCopyPerKB sim.Time
+	// MsgNSPerCPU is the per-machine-CPU network-namespace cost added to
+	// each message sent by a containerized task (Docker bridge path).
+	MsgNSPerCPU sim.Time
+	// MsgNSCopyScale multiplies copy costs for containerized senders.
+	MsgNSCopyScale float64
+	// MsgLineScale multiplies receiver-side line-transfer costs (guests set
+	// it to reflect host-socket distances hidden by the flat vCPU topology).
+	MsgLineScale float64
+	// WakeExtra is the per-block-wakeup cost (guest vIPI/VM-exit path).
+	WakeExtra sim.Time
+	// WanderStallRate/WanderStallCost model floating-vCPU stalls (vanilla
+	// guests only).
+	WanderStallRate float64
+	WanderStallCost sim.Time
+	// NestedSwitchCost is the per-context-switch cost of guest-level cgroup
+	// accounting under virtualized timekeeping; nonzero only for VMCN
+	// guests. NestedSwitchMax caps one charge.
+	NestedSwitchCost sim.Time
+	NestedSwitchMax  sim.Time
+	// Trace, when non-nil, receives the machine's scheduler tracepoint
+	// stream (the BCC instrumentation analog; see internal/trace). Guests
+	// built from this config inherit it, so a VMCN profile includes the
+	// guest scheduler's events.
+	Trace sched.TraceFn
+}
+
+// HostDefaults returns the calibrated host configuration for a topology.
+func HostDefaults(topo *topology.Topology, seed uint64) Config {
+	return Config{
+		Name:           "host-" + topo.Name,
+		Topo:           topo,
+		Seed:           seed,
+		Sched:          sched.DefaultParams(),
+		Cache:          cache.DefaultParams(),
+		CG:             cgroups.DefaultParams(),
+		IRQ:            irqsim.DefaultParams(),
+		Channels:       irqsim.DefaultChannels(),
+		ComputeTax:     1,
+		IOScale:        1,
+		MsgSyncCost:    8 * sim.Microsecond,
+		MsgCopyPerKB:   250 * sim.Nanosecond,
+		MsgNSPerCPU:    250 * sim.Nanosecond,
+		MsgNSCopyScale: 6.0,
+		MsgLineScale:   1.0,
+	}
+}
+
+// Machine is one simulated computer.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Topo  *topology.Topology
+	Cache *cache.Model
+	CG    *cgroups.Controller
+	IRQ   *irqsim.Controller
+	Sched *sched.Scheduler
+	RNG   *sim.RNG
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("machine: nil topology")
+	}
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ComputeTax <= 0 {
+		cfg.ComputeTax = 1
+	}
+	if cfg.IOScale <= 0 {
+		cfg.IOScale = 1
+	}
+	if cfg.NUMASockets <= 0 {
+		cfg.NUMASockets = cfg.Topo.Sockets
+	}
+	if cfg.Sched == (sched.Params{}) {
+		cfg.Sched = sched.DefaultParams()
+	}
+	if cfg.Cache == (cache.Params{}) {
+		cfg.Cache = cache.DefaultParams()
+	}
+	if cfg.IRQ == (irqsim.Params{}) {
+		cfg.IRQ = irqsim.DefaultParams()
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	m := &Machine{
+		Cfg:   cfg,
+		Eng:   eng,
+		Topo:  cfg.Topo,
+		Cache: cache.New(cfg.Topo, cfg.Cache),
+		CG:    cgroups.NewController(eng, cfg.Topo, cfg.CG),
+		IRQ:   irqsim.NewController(cfg.Topo, cfg.IRQ, cfg.Channels),
+		RNG:   rng,
+	}
+	scfg := sched.Config{
+		Params:           cfg.Sched,
+		Topo:             cfg.Topo,
+		Cache:            m.Cache,
+		IRQ:              m.IRQ,
+		RNG:              rng,
+		Trace:            cfg.Trace,
+		IOScale:          cfg.IOScale,
+		MsgSyncCost:      cfg.MsgSyncCost,
+		MsgCopyPerKB:     cfg.MsgCopyPerKB,
+		MsgNSPerCPU:      cfg.MsgNSPerCPU,
+		MsgNSCopyScale:   cfg.MsgNSCopyScale,
+		MsgLineScale:     cfg.MsgLineScale,
+		WakeExtra:        cfg.WakeExtra,
+		NestedSwitchMax:  cfg.NestedSwitchMax,
+		WanderStallRate:  cfg.WanderStallRate,
+		WanderStallCost:  cfg.WanderStallCost,
+		NestedSwitchCost: cfg.NestedSwitchCost,
+		ComputeScale: func(t *sched.Task) float64 {
+			tax := 1 + (cfg.ComputeTax-1)*t.Spec.VMTaxWeight
+			numa := m.Cache.NUMAFactorForSockets(t.Spec.MemBound, cfg.NUMASockets)
+			return tax * numa
+		},
+	}
+	if cfg.VirtioExtra > 0 || cfg.VirtioMissProb > 0 {
+		scfg.PerIOExtra = func(*sched.Task) sim.Time {
+			extra := cfg.VirtioExtra
+			if cfg.VirtioMissProb > 0 && rng.Float64() < cfg.VirtioMissProb {
+				extra += cfg.VirtioMiss
+			}
+			return extra
+		}
+	}
+	m.Sched = sched.New(eng, scfg)
+	return m, nil
+}
+
+// MustNew is New that panics on error (tests, examples).
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewGroup creates a cgroup on this machine. quotaCores <= 0 means no
+// bandwidth quota; an empty cpuset means all CPUs.
+func (m *Machine) NewGroup(name string, quotaCores float64, cpus topology.CPUSet) *cgroups.Group {
+	return m.CG.NewGroup(name, quotaCores, cpus)
+}
+
+// Spawn schedules a task's arrival.
+func (m *Machine) Spawn(spec sched.TaskSpec, at sim.Time) *sched.Task {
+	return m.Sched.Spawn(spec, at)
+}
+
+// Result summarizes one run.
+type Result struct {
+	Makespan     sim.Time // last task completion time
+	MeanResponse sim.Time // mean of per-task (finish - spawn)
+	Responses    []sim.Time
+	Breakdown    sched.Breakdown
+	Events       uint64
+	TimedOut     bool
+}
+
+// Run executes the machine until all spawned tasks finish, or until limit of
+// simulated time elapses (0 = no limit). A limit hit marks the result
+// TimedOut rather than erroring: the Cassandra Large "thrash" case is a
+// legitimate outcome the experiments flag as out-of-range.
+func (m *Machine) Run(limit sim.Time) Result {
+	res := Result{}
+	for m.Sched.Live() > 0 {
+		if !m.Eng.Step() {
+			// No events but live tasks: a deadlock in the task graph.
+			panic(fmt.Sprintf("machine %s: %d tasks live with empty event queue",
+				m.Cfg.Name, m.Sched.Live()))
+		}
+		if limit > 0 && m.Eng.Now() > limit {
+			res.TimedOut = true
+			break
+		}
+	}
+	for _, g := range m.CG.Groups() {
+		g.Stop()
+	}
+	res.Breakdown = m.Sched.Breakdown()
+	res.Events = m.Eng.Processed()
+	for _, t := range m.Sched.Tasks() {
+		if !t.Finished() {
+			continue
+		}
+		if t.FinishedAt > res.Makespan {
+			res.Makespan = t.FinishedAt
+		}
+		res.Responses = append(res.Responses, t.ResponseTime())
+	}
+	if len(res.Responses) > 0 {
+		var sum sim.Time
+		for _, r := range res.Responses {
+			sum += r
+		}
+		res.MeanResponse = sum / sim.Time(len(res.Responses))
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+package minimpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// SearchResult is the outcome of the parallel integer search (the paper's
+// "MPI Search" application, §III-B2).
+type SearchResult struct {
+	Found bool
+	Index int64
+	Value int64
+}
+
+// Search runs the FSU search_mpi program shape: rank 0 scatters a synthetic
+// integer array; each rank scans its chunk for target; an Allreduce agrees
+// on the lowest matching global index.
+func Search(ranks int, n int64, target int64, timeout time.Duration) (SearchResult, error) {
+	if n <= 0 {
+		return SearchResult{}, fmt.Errorf("minimpi: search over non-positive array size %d", n)
+	}
+	per := n / int64(ranks)
+	if per == 0 {
+		per = 1
+	}
+	n = per * int64(ranks)
+	var res SearchResult
+	err := Run(ranks, timeout, func(c *Comm, rank int) error {
+		var chunk []int64
+		if rank == 0 {
+			// Synthetic data: a[i] = (i*2654435761) % (2n); deterministic.
+			data := make([]int64, n)
+			for i := int64(0); i < n; i++ {
+				data[i] = (i * 2654435761) % (2 * n)
+			}
+			var err error
+			chunk, err = c.Scatter(rank, 0, data)
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			chunk, err = c.Scatter(rank, 0, nil)
+			if err != nil {
+				return err
+			}
+		}
+		// Local scan for the lowest matching global index.
+		best := int64(-1)
+		base := int64(rank) * per
+		for i, v := range chunk {
+			if v == target {
+				best = base + int64(i)
+				break
+			}
+		}
+		enc := best
+		if enc < 0 {
+			enc = n + 1 // larger than any real index
+		}
+		min := func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		}
+		out, err := c.Allreduce(rank, []int64{enc}, min)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			if out[0] <= n {
+				res = SearchResult{Found: true, Index: out[0], Value: target}
+			}
+		}
+		return nil
+	})
+	return res, err
+}
+
+// Prime runs the FSU prime_mpi program shape: ranks strided over [2,hi]
+// count primes by trial division, then Reduce the counts at rank 0.
+func Prime(ranks int, hi int64, timeout time.Duration) (int64, error) {
+	if hi < 2 {
+		return 0, nil
+	}
+	var total int64
+	err := Run(ranks, timeout, func(c *Comm, rank int) error {
+		var count int64
+		for n := int64(2 + rank); n <= hi; n += int64(ranks) {
+			if isPrime(n) {
+				count++
+			}
+		}
+		out, err := c.Reduce(rank, 0, []int64{count}, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			total = out[0]
+		}
+		return nil
+	})
+	return total, err
+}
+
+func isPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,318 @@
+// Package model implements the paper's stated future work (§VI): "a
+// mathematical model to measure the overhead of a given virtualization
+// platform based on the isolation level it offers."
+//
+// The model formalizes the paper's §IV decomposition. The overhead ratio of
+// a deployment is
+//
+//	R(platform, mode, class, CHR) = PTO + PSO(CHR)
+//	                              = PTO + A·exp(−CHR/τ)
+//
+// where PTO (Platform-Type Overhead) is the size-invariant component caused
+// by the platform's abstraction layers — it grows with the isolation level
+// and pinning cannot remove it — and PSO (Platform-Size Overhead) is the
+// size-dependent component caused by host scheduling and cgroup accounting,
+// which decays as the Container-to-Host core Ratio grows and which pinning
+// suppresses. The exponential decay form follows the mechanism: the
+// throttle/accounting churn per bandwidth period is roughly constant
+// (bounded by the host's per-CPU structures) while the period's quota grows
+// linearly with CHR, so the overhead *fraction* decays smoothly toward zero.
+//
+// Fit estimates (PTO, A, τ) per (platform, mode, class) from measured
+// samples — simulator output or real testbed numbers — by asymptote
+// extraction plus least squares on the log-residuals. Predict then answers
+// the solution architect's question directly: what overhead should I expect
+// if I deploy class C on platform P at this CHR?
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// IsolationLevel ranks the paper's platforms by the isolation they provide
+// (§VI future work ties overhead to this level).
+type IsolationLevel int
+
+const (
+	// IsolationNone: bare metal — shared kernel, no resource isolation.
+	IsolationNone IsolationLevel = iota
+	// IsolationNamespace: containers — namespace + cgroup isolation on a
+	// shared kernel.
+	IsolationNamespace
+	// IsolationHardware: VMs — separate kernel on virtual hardware.
+	IsolationHardware
+	// IsolationNested: containers inside VMs — both layers.
+	IsolationNested
+)
+
+func (l IsolationLevel) String() string {
+	switch l {
+	case IsolationNone:
+		return "none (bare metal)"
+	case IsolationNamespace:
+		return "namespace (container)"
+	case IsolationHardware:
+		return "hardware (VM)"
+	case IsolationNested:
+		return "nested (container in VM)"
+	}
+	return fmt.Sprintf("IsolationLevel(%d)", int(l))
+}
+
+// Isolation returns the isolation level of a platform kind.
+func Isolation(k platform.Kind) IsolationLevel {
+	switch k {
+	case platform.BM:
+		return IsolationNone
+	case platform.CN:
+		return IsolationNamespace
+	case platform.VM:
+		return IsolationHardware
+	case platform.VMCN:
+		return IsolationNested
+	}
+	return IsolationNone
+}
+
+// Sample is one measured overhead point.
+type Sample struct {
+	Platform platform.Kind
+	Mode     platform.Mode
+	Class    core.AppClass
+	// CHR is the deployment's cores over the host's cores (0 < CHR <= 1).
+	CHR float64
+	// Ratio is the measured overhead ratio vs. bare metal (>= 0; ratios
+	// below 1 mean the platform beat bare metal, as pinned containers do
+	// under extreme IO).
+	Ratio float64
+}
+
+// Key identifies one fitted curve.
+type Key struct {
+	Platform platform.Kind
+	Mode     platform.Mode
+	Class    core.AppClass
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s %s / %s", k.Mode, k.Platform, k.Class)
+}
+
+// Curve is the fitted overhead law for one key.
+type Curve struct {
+	// PTO is the size-invariant overhead ratio (the large-CHR asymptote).
+	PTO float64
+	// A is the PSO magnitude at CHR→0.
+	A float64
+	// Tau is the PSO decay constant in CHR units.
+	Tau float64
+	// N is the number of samples the curve was fitted on.
+	N int
+	// RMSE is the root-mean-square error of the fit over its samples.
+	RMSE float64
+}
+
+// Predict evaluates the curve at a CHR.
+func (c Curve) Predict(chr float64) float64 {
+	if chr <= 0 {
+		chr = 1e-9
+	}
+	return c.PTO + c.PSO(chr)
+}
+
+// PSO returns the size-dependent component at a CHR.
+func (c Curve) PSO(chr float64) float64 {
+	if c.Tau <= 0 || c.A <= 0 {
+		return 0
+	}
+	return c.A * math.Exp(-chr/c.Tau)
+}
+
+// Model is a set of fitted curves.
+type Model struct {
+	curves map[Key]Curve
+}
+
+// Fit estimates one curve per (platform, mode, class) present in samples.
+// Keys with fewer than two distinct CHR values get a flat curve (PTO = mean
+// ratio, no PSO).
+func Fit(samples []Sample) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("model: no samples")
+	}
+	byKey := map[Key][]Sample{}
+	for _, s := range samples {
+		if s.CHR <= 0 || s.CHR > 1 {
+			return nil, fmt.Errorf("model: sample CHR %v out of (0,1]", s.CHR)
+		}
+		if s.Ratio < 0 || math.IsNaN(s.Ratio) || math.IsInf(s.Ratio, 0) {
+			return nil, fmt.Errorf("model: bad ratio %v", s.Ratio)
+		}
+		k := Key{s.Platform, s.Mode, s.Class}
+		byKey[k] = append(byKey[k], s)
+	}
+	m := &Model{curves: make(map[Key]Curve, len(byKey))}
+	for k, ss := range byKey {
+		m.curves[k] = fitOne(ss)
+	}
+	return m, nil
+}
+
+// fitOne fits PTO + A·exp(−chr/τ) to one key's samples.
+func fitOne(ss []Sample) Curve {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].CHR < ss[j].CHR })
+	distinct := 1
+	for i := 1; i < len(ss); i++ {
+		if ss[i].CHR != ss[i-1].CHR {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		mean := 0.0
+		for _, s := range ss {
+			mean += s.Ratio
+		}
+		mean /= float64(len(ss))
+		return Curve{PTO: mean, N: len(ss)}
+	}
+
+	// PTO: the mean ratio of the largest-CHR cohort (the asymptote the
+	// paper reads off the big instances).
+	maxCHR := ss[len(ss)-1].CHR
+	var ptoSum float64
+	var ptoN int
+	for _, s := range ss {
+		if s.CHR >= maxCHR*0.999 {
+			ptoSum += s.Ratio
+			ptoN++
+		}
+	}
+	pto := ptoSum / float64(ptoN)
+
+	// Least squares on ln(residual) vs CHR for the samples with positive
+	// residual: ln(R − PTO) = ln A − chr/τ.
+	const eps = 1e-3
+	var sx, sy, sxx, sxy float64
+	var n float64
+	for _, s := range ss {
+		r := s.Ratio - pto
+		if r <= eps {
+			continue
+		}
+		x, y := s.CHR, math.Log(r)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	cur := Curve{PTO: pto, N: len(ss)}
+	if n >= 2 {
+		den := n*sxx - sx*sx
+		if den > 0 {
+			slope := (n*sxy - sx*sy) / den
+			inter := (sy - slope*sx) / n
+			if slope < 0 {
+				cur.Tau = -1 / slope
+				cur.A = math.Exp(inter)
+			}
+		}
+	}
+	// Residual error over all samples.
+	var se float64
+	for _, s := range ss {
+		d := cur.Predict(s.CHR) - s.Ratio
+		se += d * d
+	}
+	cur.RMSE = math.Sqrt(se / float64(len(ss)))
+	return cur
+}
+
+// Curve returns the fitted curve for a key.
+func (m *Model) Curve(k Key) (Curve, bool) {
+	c, ok := m.curves[k]
+	return c, ok
+}
+
+// Keys returns the fitted keys, sorted for stable iteration.
+func (m *Model) Keys() []Key {
+	out := make([]Key, 0, len(m.curves))
+	for k := range m.curves {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Platform != b.Platform {
+			return a.Platform < b.Platform
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.Class < b.Class
+	})
+	return out
+}
+
+// Predict returns the expected overhead ratio for a deployment.
+func (m *Model) Predict(k platform.Kind, mode platform.Mode, class core.AppClass, chr float64) (float64, error) {
+	c, ok := m.curves[Key{k, mode, class}]
+	if !ok {
+		return 0, fmt.Errorf("model: no curve fitted for %v", Key{k, mode, class})
+	}
+	if chr <= 0 || chr > 1 {
+		return 0, fmt.Errorf("model: CHR %v out of (0,1]", chr)
+	}
+	return c.Predict(chr), nil
+}
+
+// MinCHRFor inverts the curve: the smallest CHR at which the predicted PSO
+// falls below psoBudget (e.g. 0.1 = "at most 10 points of size overhead").
+// Returns 1 if no CHR in (0,1] satisfies the budget.
+func (m *Model) MinCHRFor(k platform.Kind, mode platform.Mode, class core.AppClass, psoBudget float64) (float64, error) {
+	c, ok := m.curves[Key{k, mode, class}]
+	if !ok {
+		return 0, fmt.Errorf("model: no curve fitted for %v", Key{k, mode, class})
+	}
+	if psoBudget <= 0 {
+		return 0, fmt.Errorf("model: PSO budget must be positive")
+	}
+	if c.A <= 0 || c.Tau <= 0 || c.A <= psoBudget {
+		return 0, nil // no size overhead to begin with
+	}
+	chr := c.Tau * math.Log(c.A/psoBudget)
+	if chr > 1 {
+		return 1, nil
+	}
+	if chr < 0 {
+		return 0, nil
+	}
+	return chr, nil
+}
+
+// IsolationMonotone reports whether, for a class and mode at the given CHR,
+// the fitted overhead grows with isolation level (the paper's hypothesis for
+// CPU-bound applications). It returns the ordered per-level predictions; the
+// bool is false when any step decreases by more than tol.
+func (m *Model) IsolationMonotone(mode platform.Mode, class core.AppClass, chr, tol float64) ([]float64, bool) {
+	kinds := []platform.Kind{platform.CN, platform.VM, platform.VMCN}
+	var out []float64
+	ok := true
+	prev := 1.0 // bare metal ratio is 1 by definition
+	for _, k := range kinds {
+		v, err := m.Predict(k, mode, class, chr)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, v)
+		if v < prev-tol {
+			ok = false
+		}
+		prev = v
+	}
+	return out, ok
+}

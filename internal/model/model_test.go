@@ -1,0 +1,247 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// synthetic builds samples from a known curve with no noise.
+func synthetic(k Key, pto, a, tau float64, chrs []float64) []Sample {
+	var out []Sample
+	for _, chr := range chrs {
+		out = append(out, Sample{
+			Platform: k.Platform, Mode: k.Mode, Class: k.Class,
+			CHR:   chr,
+			Ratio: pto + a*math.Exp(-chr/tau),
+		})
+	}
+	return out
+}
+
+var stdCHRs = []float64{0.018, 0.036, 0.071, 0.143, 0.286, 0.571}
+
+func TestFitRecoversKnownCurve(t *testing.T) {
+	k := Key{platform.CN, platform.Vanilla, core.IOBound}
+	m, err := Fit(synthetic(k, 1.05, 2.0, 0.08, stdCHRs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := m.Curve(k)
+	if !ok {
+		t.Fatal("curve missing")
+	}
+	// PTO is read off the largest-CHR sample; the true curve still has a
+	// sliver of PSO there, so tolerate that bias.
+	if math.Abs(c.PTO-1.05) > 0.02 {
+		t.Errorf("PTO %v, want ≈1.05", c.PTO)
+	}
+	if c.Tau < 0.05 || c.Tau > 0.12 {
+		t.Errorf("tau %v, want ≈0.08", c.Tau)
+	}
+	if c.A < 1.2 || c.A > 3.0 {
+		t.Errorf("A %v, want ≈2.0", c.A)
+	}
+	if c.RMSE > 0.08 {
+		t.Errorf("fit RMSE %v too large", c.RMSE)
+	}
+	// Interpolation between sample points stays close to the truth.
+	for _, chr := range []float64{0.05, 0.1, 0.2} {
+		want := 1.05 + 2.0*math.Exp(-chr/0.08)
+		got, err := m.Predict(k.Platform, k.Mode, k.Class, chr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.15 {
+			t.Errorf("predict(%v) = %v, want ≈%v", chr, got, want)
+		}
+	}
+}
+
+func TestFitFlatCurve(t *testing.T) {
+	// A pure-PTO platform (pinned VM on CPU-bound work): flat ratios.
+	k := Key{platform.VM, platform.Pinned, core.CPUBound}
+	m, err := Fit(synthetic(k, 2.0, 0, 1, stdCHRs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.Curve(k)
+	if math.Abs(c.PTO-2.0) > 1e-9 {
+		t.Errorf("PTO %v", c.PTO)
+	}
+	if c.PSO(0.01) != 0 {
+		t.Error("flat curve must have zero PSO")
+	}
+}
+
+func TestFitSingleCHRCohort(t *testing.T) {
+	k := Key{platform.CN, platform.Vanilla, core.CPUBound}
+	samples := []Sample{
+		{k.Platform, k.Mode, k.Class, 0.1, 1.4},
+		{k.Platform, k.Mode, k.Class, 0.1, 1.6},
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.Curve(k)
+	if math.Abs(c.PTO-1.5) > 1e-9 || c.A != 0 {
+		t.Errorf("single-CHR cohort must fit flat mean: %+v", c)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty samples")
+	}
+	bad := []Sample{{platform.CN, platform.Vanilla, core.CPUBound, 0, 1}}
+	if _, err := Fit(bad); err == nil {
+		t.Fatal("zero CHR")
+	}
+	bad[0].CHR = 1.5
+	if _, err := Fit(bad); err == nil {
+		t.Fatal("CHR above 1")
+	}
+	bad[0].CHR = 0.5
+	bad[0].Ratio = math.NaN()
+	if _, err := Fit(bad); err == nil {
+		t.Fatal("NaN ratio")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	k := Key{platform.CN, platform.Vanilla, core.IOBound}
+	m, _ := Fit(synthetic(k, 1, 1, 0.1, stdCHRs))
+	if _, err := m.Predict(platform.VM, platform.Pinned, core.IOBound, 0.1); err == nil {
+		t.Fatal("unfitted key must error")
+	}
+	if _, err := m.Predict(k.Platform, k.Mode, k.Class, 0); err == nil {
+		t.Fatal("bad CHR must error")
+	}
+	if _, err := m.Predict(k.Platform, k.Mode, k.Class, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinCHRForInvertsCurve(t *testing.T) {
+	k := Key{platform.CN, platform.Vanilla, core.UltraIOBound}
+	m, _ := Fit(synthetic(k, 1.0, 2.5, 0.12, stdCHRs))
+	chr, err := m.MinCHRFor(k.Platform, k.Mode, k.Class, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chr <= 0 || chr > 1 {
+		t.Fatalf("chr %v", chr)
+	}
+	// At the returned CHR the PSO must be at (or below) the budget.
+	c, _ := m.Curve(k)
+	if pso := c.PSO(chr); pso > 0.1+1e-6 {
+		t.Fatalf("PSO at MinCHR = %v exceeds budget", pso)
+	}
+	// Slightly below it the budget must be exceeded (tightness).
+	if pso := c.PSO(chr * 0.8); pso <= 0.1 {
+		t.Fatalf("MinCHR not tight: PSO at 0.8·chr = %v", pso)
+	}
+	// A flat curve needs no minimum CHR.
+	kf := Key{platform.VM, platform.Pinned, core.CPUBound}
+	mf, _ := Fit(synthetic(kf, 2, 0, 1, stdCHRs))
+	if chr, err := mf.MinCHRFor(kf.Platform, kf.Mode, kf.Class, 0.1); err != nil || chr != 0 {
+		t.Fatalf("flat curve MinCHR = %v, %v", chr, err)
+	}
+	if _, err := m.MinCHRFor(k.Platform, k.Mode, k.Class, -1); err == nil {
+		t.Fatal("negative budget must error")
+	}
+}
+
+func TestIsolationLevels(t *testing.T) {
+	order := []platform.Kind{platform.BM, platform.CN, platform.VM, platform.VMCN}
+	prev := IsolationLevel(-1)
+	for _, k := range order {
+		l := Isolation(k)
+		if l <= prev {
+			t.Fatalf("isolation must increase along %v", order)
+		}
+		if l.String() == "" {
+			t.Fatal("level string")
+		}
+		prev = l
+	}
+}
+
+func TestIsolationMonotone(t *testing.T) {
+	// CPU-bound, pinned: CN ≈ 1.05, VM = 2.0, VMCN = 2.1 — monotone.
+	var samples []Sample
+	samples = append(samples, synthetic(Key{platform.CN, platform.Pinned, core.CPUBound}, 1.05, 0, 1, stdCHRs)...)
+	samples = append(samples, synthetic(Key{platform.VM, platform.Pinned, core.CPUBound}, 2.0, 0, 1, stdCHRs)...)
+	samples = append(samples, synthetic(Key{platform.VMCN, platform.Pinned, core.CPUBound}, 2.1, 0, 1, stdCHRs)...)
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, mono := m.IsolationMonotone(platform.Pinned, core.CPUBound, 0.14, 0.05)
+	if !mono {
+		t.Fatalf("CPU-bound overhead must grow with isolation: %v", vals)
+	}
+	if len(vals) != 3 || vals[0] >= vals[1] {
+		t.Fatalf("vals %v", vals)
+	}
+	// Missing curves → not monotone, nil values.
+	if vals, mono := m.IsolationMonotone(platform.Vanilla, core.CPUBound, 0.14, 0.05); mono || vals != nil {
+		t.Fatal("missing curves must report failure")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	var samples []Sample
+	for _, k := range []Key{
+		{platform.VMCN, platform.Pinned, core.IOBound},
+		{platform.CN, platform.Vanilla, core.CPUBound},
+		{platform.CN, platform.Pinned, core.CPUBound},
+	} {
+		samples = append(samples, synthetic(k, 1.2, 0, 1, stdCHRs)...)
+	}
+	m, _ := Fit(samples)
+	keys := m.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("keys %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		a, b := keys[i-1], keys[i]
+		if a.Platform > b.Platform || (a.Platform == b.Platform && a.Mode > b.Mode) {
+			t.Fatalf("keys unsorted: %v", keys)
+		}
+	}
+	if keys[0].String() == "" {
+		t.Fatal("key string")
+	}
+}
+
+// Property: predictions are monotonically non-increasing in CHR (more cores
+// never predict more size overhead) and never fall below the PTO.
+func TestPredictMonotoneProperty(t *testing.T) {
+	k := Key{platform.CN, platform.Vanilla, core.IOBound}
+	m, err := Fit(synthetic(k, 1.1, 1.8, 0.1, stdCHRs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.Curve(k)
+	f := func(a, b uint16) bool {
+		x := float64(a%1000+1) / 1001
+		y := float64(b%1000+1) / 1001
+		if x > y {
+			x, y = y, x
+		}
+		px, err1 := m.Predict(k.Platform, k.Mode, k.Class, x)
+		py, err2 := m.Predict(k.Platform, k.Mode, k.Class, y)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return px >= py-1e-12 && py >= c.PTO-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Constraints narrow a model-driven platform recommendation. The zero value
+// allows everything the model has a curve for.
+type Constraints struct {
+	// MinIsolation excludes platforms below this isolation level (e.g.
+	// IsolationHardware forces a VM boundary for untrusted tenants).
+	MinIsolation IsolationLevel
+	// AllowPinning permits pinned modes. The paper notes pinning costs
+	// operational flexibility (§I: "extensive CPU pinning incurs a higher
+	// cost and makes the host management more challenging"), so policy may
+	// rule it out.
+	AllowPinning bool
+	// MaxOverhead rejects candidates whose predicted ratio exceeds it
+	// (0 = no bound).
+	MaxOverhead float64
+}
+
+// Choice is one ranked candidate from Recommend.
+type Choice struct {
+	Key Key
+	// Predicted is the expected overhead ratio at the asked CHR.
+	Predicted float64
+}
+
+// Recommend ranks the fitted deployments for an application class at a CHR
+// under the given constraints and returns them best-first. This is the
+// data-driven counterpart of core.Advise: instead of encoding the paper's
+// conclusions as rules, it reads them off the fitted overhead curves — and
+// automatically reflects whatever testbed the model was fitted on.
+func (m *Model) Recommend(class core.AppClass, chr float64, c Constraints) ([]Choice, error) {
+	if chr <= 0 || chr > 1 {
+		return nil, fmt.Errorf("model: CHR %v out of (0,1]", chr)
+	}
+	var out []Choice
+	for _, k := range m.Keys() {
+		if k.Class != class {
+			continue
+		}
+		if Isolation(k.Platform) < c.MinIsolation {
+			continue
+		}
+		if !c.AllowPinning && k.Mode == platform.Pinned {
+			continue
+		}
+		cur, _ := m.Curve(k)
+		pred := cur.Predict(chr)
+		if c.MaxOverhead > 0 && pred > c.MaxOverhead {
+			continue
+		}
+		out = append(out, Choice{Key: k, Predicted: pred})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("model: no fitted deployment satisfies the constraints for %v at CHR %.3f", class, chr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Predicted != out[j].Predicted {
+			return out[i].Predicted < out[j].Predicted
+		}
+		// Tie-break toward less isolation (less operational weight) and
+		// vanilla mode (more scheduling flexibility).
+		if a, b := Isolation(out[i].Key.Platform), Isolation(out[j].Key.Platform); a != b {
+			return a < b
+		}
+		return out[i].Key.Mode < out[j].Key.Mode
+	})
+	return out, nil
+}
+
+// Best returns Recommend's top choice.
+func (m *Model) Best(class core.AppClass, chr float64, c Constraints) (Choice, error) {
+	ranked, err := m.Recommend(class, chr, c)
+	if err != nil {
+		return Choice{}, err
+	}
+	return ranked[0], nil
+}

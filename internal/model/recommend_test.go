@@ -1,0 +1,120 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// ioFixture fits curves shaped like the paper's Fig 5/6 findings: pinned CN
+// at bare metal, vanilla CN with a strong PSO, VM family with a flat tax.
+func ioFixture(t *testing.T) *Model {
+	t.Helper()
+	var samples []Sample
+	add := func(k Key, pto, a, tau float64) {
+		samples = append(samples, synthetic(k, pto, a, tau, stdCHRs)...)
+	}
+	add(Key{platform.CN, platform.Pinned, core.IOBound}, 0.98, 0, 1)
+	add(Key{platform.CN, platform.Vanilla, core.IOBound}, 1.0, 2.2, 0.12)
+	add(Key{platform.VM, platform.Pinned, core.IOBound}, 1.45, 0, 1)
+	add(Key{platform.VM, platform.Vanilla, core.IOBound}, 1.55, 0, 1)
+	add(Key{platform.VMCN, platform.Pinned, core.IOBound}, 1.40, 0, 1)
+	add(Key{platform.VMCN, platform.Vanilla, core.IOBound}, 1.50, 0, 1)
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRecommendPrefersPinnedCN(t *testing.T) {
+	m := ioFixture(t)
+	best, err := m.Best(core.IOBound, 0.14, Constraints{AllowPinning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Key.Platform != platform.CN || best.Key.Mode != platform.Pinned {
+		t.Fatalf("best = %v; the paper's BP2/BP4 answer is pinned CN", best.Key)
+	}
+}
+
+func TestRecommendWithoutPinningFollowsBP4(t *testing.T) {
+	m := ioFixture(t)
+	// Pinning ruled out at small CHR: best practice 4 says VMCN beats both
+	// a VM and a vanilla container.
+	best, err := m.Best(core.IOBound, 0.04, Constraints{AllowPinning: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Key.Platform != platform.VMCN {
+		t.Fatalf("best without pinning at low CHR = %v; BP4 expects VMCN", best.Key)
+	}
+	// At high CHR the vanilla container's PSO is gone and it wins again.
+	best, err = m.Best(core.IOBound, 0.5, Constraints{AllowPinning: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Key.Platform != platform.CN {
+		t.Fatalf("best without pinning at high CHR = %v; the PSO has decayed", best.Key)
+	}
+}
+
+func TestRecommendIsolationConstraint(t *testing.T) {
+	m := ioFixture(t)
+	best, err := m.Best(core.IOBound, 0.14, Constraints{
+		AllowPinning: true,
+		MinIsolation: IsolationHardware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Isolation(best.Key.Platform) < IsolationHardware {
+		t.Fatalf("isolation constraint violated: %v", best.Key)
+	}
+	if best.Key.Platform != platform.VMCN || best.Key.Mode != platform.Pinned {
+		t.Fatalf("under a VM boundary the cheapest fitted option is pinned VMCN, got %v", best.Key)
+	}
+}
+
+func TestRecommendMaxOverheadFilters(t *testing.T) {
+	m := ioFixture(t)
+	ranked, err := m.Recommend(core.IOBound, 0.14, Constraints{AllowPinning: true, MaxOverhead: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ranked {
+		if c.Predicted > 1.2 {
+			t.Fatalf("budget violated: %+v", c)
+		}
+	}
+	if _, err := m.Recommend(core.IOBound, 0.04, Constraints{MaxOverhead: 1.01}); err == nil {
+		t.Fatal("impossible budget must error")
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	m := ioFixture(t)
+	if _, err := m.Recommend(core.IOBound, 0, Constraints{}); err == nil {
+		t.Fatal("bad CHR")
+	}
+	if _, err := m.Recommend(core.CPUBound, 0.14, Constraints{AllowPinning: true}); err == nil {
+		t.Fatal("unfitted class must error")
+	}
+}
+
+func TestRecommendRankingIsSorted(t *testing.T) {
+	m := ioFixture(t)
+	ranked, err := m.Recommend(core.IOBound, 0.1, Constraints{AllowPinning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 6 {
+		t.Fatalf("candidates: %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Predicted < ranked[i-1].Predicted {
+			t.Fatalf("ranking unsorted at %d: %v", i, ranked)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package model
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes the fitted curves as a table: one row per key with the PTO,
+// PSO magnitude and decay, fit quality, and sample predictions at the
+// paper's instance sizes.
+func (m *Model) Render(w io.Writer, hostCPUs int) {
+	fmt.Fprintf(w, "ANALYTIC OVERHEAD MODEL — R(CHR) = PTO + A·exp(−CHR/τ)   (§VI future work)\n")
+	fmt.Fprintf(w, "%-34s %-9s %6s %8s %8s %6s", "deployment", "isolation", "PTO", "A", "tau", "RMSE")
+	sizes := []int{2, 4, 8, 16, 32, 64}
+	for _, c := range sizes {
+		fmt.Fprintf(w, " %7s", fmt.Sprintf("R@%d", c))
+	}
+	fmt.Fprintln(w)
+	for _, k := range m.Keys() {
+		c, _ := m.Curve(k)
+		fmt.Fprintf(w, "%-34s %-9d %6.2f %8.3f %8.3f %6.3f",
+			k.String(), int(Isolation(k.Platform)), c.PTO, c.A, c.Tau, c.RMSE)
+		for _, cores := range sizes {
+			if hostCPUs > 0 && cores <= hostCPUs {
+				fmt.Fprintf(w, " %7.2f", c.Predict(float64(cores)/float64(hostCPUs)))
+			} else {
+				fmt.Fprintf(w, " %7s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,34 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func TestRenderTable(t *testing.T) {
+	var samples []Sample
+	samples = append(samples, synthetic(Key{platform.VM, platform.Pinned, core.CPUBound}, 2.0, 0, 1, stdCHRs)...)
+	samples = append(samples, synthetic(Key{platform.CN, platform.Vanilla, core.IOBound}, 1.0, 2.0, 0.1, stdCHRs)...)
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m.Render(&buf, 112)
+	out := buf.String()
+	for _, want := range []string{"ANALYTIC OVERHEAD MODEL", "PTO", "tau", "R@16", "Pinned VM / cpu-bound", "Vanilla CN / io-bound"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Without a host size the per-instance columns degrade to dashes.
+	var nohost bytes.Buffer
+	m.Render(&nohost, 0)
+	if !strings.Contains(nohost.String(), "-") {
+		t.Fatal("hostless render must dash the predictions")
+	}
+}

@@ -1,0 +1,179 @@
+// Package platform assembles the paper's four execution platforms (Table III
+// and Fig 2) in the two CPU-provisioning modes (§II-D):
+//
+//	BM    bare metal            — host machine, GRUB-style core limiting
+//	VM    KVM virtual machine   — hypervisor guest machine
+//	CN    container on BM       — host machine + Docker-style cgroup
+//	VMCN  container inside a VM — guest machine + cgroup inside the guest
+//
+// with Vanilla (CFS quota / floating vCPUs) or Pinned (cpuset / vcpupin)
+// provisioning.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/cgroups"
+	"repro/internal/container"
+	"repro/internal/hypervisor"
+	"repro/internal/irqsim"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// Kind enumerates the execution platforms.
+type Kind int
+
+const (
+	BM Kind = iota
+	VM
+	CN
+	VMCN
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BM:
+		return "BM"
+	case VM:
+		return "VM"
+	case CN:
+		return "CN"
+	case VMCN:
+		return "VMCN"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mode is the CPU-provisioning mode.
+type Mode int
+
+const (
+	Vanilla Mode = iota
+	Pinned
+)
+
+func (m Mode) String() string {
+	if m == Pinned {
+		return "Pinned"
+	}
+	return "Vanilla"
+}
+
+// Spec selects a platform deployment: kind, mode and instance size in cores.
+type Spec struct {
+	Kind  Kind
+	Mode  Mode
+	Cores int
+}
+
+// Label renders the figure-legend name, e.g. "Pinned CN".
+func (s Spec) Label() string { return s.Mode.String() + " " + s.Kind.String() }
+
+// Deployment is a platform instance ready to receive workload tasks.
+type Deployment struct {
+	Spec Spec
+	// M is the machine tasks are spawned on (the host for BM/CN, the guest
+	// for VM/VMCN).
+	M *machine.Machine
+	// Group is the container cgroup tasks must join (nil for BM/VM).
+	Group *cgroups.Group
+	// Affinity is the task CPU restriction for BM core limiting (empty
+	// otherwise).
+	Affinity topology.CPUSet
+	// Container is set for CN/VMCN.
+	Container *container.Container
+}
+
+// Deploy builds a fresh deployment. host is the physical host calibration;
+// hv the hypervisor calibration; seed drives all the run's randomness.
+func Deploy(spec Spec, host machine.Config, hv hypervisor.Params, seed uint64) (*Deployment, error) {
+	if spec.Cores <= 0 {
+		return nil, fmt.Errorf("platform: instance size must be positive, got %d", spec.Cores)
+	}
+	if spec.Cores > host.Topo.NumCPUs() {
+		return nil, fmt.Errorf("platform: instance size %d exceeds host's %d CPUs",
+			spec.Cores, host.Topo.NumCPUs())
+	}
+	d := &Deployment{Spec: spec}
+	switch spec.Kind {
+	case BM:
+		host.Seed = seed
+		m, err := machine.New(host)
+		if err != nil {
+			return nil, err
+		}
+		d.M = m
+		d.Affinity = host.Topo.InterleavedCPUs(spec.Cores)
+	case VM:
+		g, err := hypervisor.NewGuest(host, hypervisor.VMSpec{
+			Name:   fmt.Sprintf("vm%d", spec.Cores),
+			VCPUs:  spec.Cores,
+			Pinned: spec.Mode == Pinned,
+		}, hv, seed)
+		if err != nil {
+			return nil, err
+		}
+		d.M = g
+	case CN:
+		host.Seed = seed
+		m, err := machine.New(host)
+		if err != nil {
+			return nil, err
+		}
+		cn, err := container.Create(m, container.Spec{
+			Name:    fmt.Sprintf("cn%d", spec.Cores),
+			Cores:   spec.Cores,
+			Pinned:  spec.Mode == Pinned,
+			NearCPU: m.IRQ.Channel(irqsim.ChanDisk).Home,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.M = m
+		d.Group = cn.Group
+		d.Container = cn
+	case VMCN:
+		g, err := hypervisor.NewGuest(host, hypervisor.VMSpec{
+			Name:          fmt.Sprintf("vmcn%d", spec.Cores),
+			VCPUs:         spec.Cores,
+			Pinned:        spec.Mode == Pinned,
+			Containerized: true,
+		}, hv, seed)
+		if err != nil {
+			return nil, err
+		}
+		cn, err := container.Create(g, container.Spec{
+			Name:    fmt.Sprintf("cn-in-vm%d", spec.Cores),
+			Cores:   spec.Cores,
+			Pinned:  spec.Mode == Pinned,
+			NearCPU: g.IRQ.Channel(irqsim.ChanDisk).Home,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.M = g
+		d.Group = cn.Group
+		d.Container = cn
+	default:
+		return nil, fmt.Errorf("platform: unknown kind %v", spec.Kind)
+	}
+	return d, nil
+}
+
+// StandardSeries returns the paper figures' seven series in legend order:
+// Vanilla/Pinned VM, Vanilla/Pinned VMCN, Vanilla/Pinned CN, Vanilla BM.
+func StandardSeries() []struct {
+	Kind Kind
+	Mode Mode
+} {
+	return []struct {
+		Kind Kind
+		Mode Mode
+	}{
+		{VM, Vanilla}, {VM, Pinned},
+		{VMCN, Vanilla}, {VMCN, Pinned},
+		{CN, Vanilla}, {CN, Pinned},
+		{BM, Vanilla},
+	}
+}

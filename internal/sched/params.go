@@ -1,0 +1,112 @@
+// Package sched implements the discrete-event model of the Linux Completely
+// Fair Scheduler that the paper identifies as "the ultimate decision maker in
+// allocating processes to CPU cores" (§III-A). It provides per-CPU runqueues
+// with vruntime ordering, wake-up placement, idle stealing, affinity masks
+// (the pinning mechanism), cgroup quota enforcement hooks, IRQ completion
+// costs and migration penalties. Every overhead the paper discusses is
+// metered separately in a Breakdown so experiments can attribute time.
+package sched
+
+import "repro/internal/sim"
+
+// Params are the scheduler's calibration constants.
+type Params struct {
+	// TargetLatency is the CFS scheduling-latency target; a runqueue with n
+	// runnable tasks gives each a slice of TargetLatency/n.
+	TargetLatency sim.Time
+	// MinGranularity is the smallest preemption slice.
+	MinGranularity sim.Time
+	// MaxSlice bounds how long an uncontended task runs before the
+	// scheduler-tick bookkeeping point (it resumes immediately; no switch
+	// cost is charged when the same task continues).
+	MaxSlice sim.Time
+	// BandwidthSlice bounds slices of bandwidth-limited (quota'd) groups,
+	// matching the kernel's cfs_bandwidth_slice_us runtime hand-out
+	// granularity. Small vanilla containers burst and throttle at this
+	// granularity, which is where their PSO comes from.
+	BandwidthSlice sim.Time
+	// MinWorkChunk guarantees forward progress when per-dispatch overheads
+	// exceed the nominal slice.
+	MinWorkChunk sim.Time
+	// SwitchCost is the direct cost of one context switch.
+	SwitchCost sim.Time
+	// TickInterval is the accounting tick; each tick of a grouped task's
+	// runtime triggers one cgroup accounting invocation.
+	TickInterval sim.Time
+	// SMTPenalty is the fractional slowdown of compute when the SMT sibling
+	// of the running CPU is busy.
+	SMTPenalty float64
+	// WakeJitter randomizes IO latencies by ±fraction to decorrelate runs.
+	WakeJitter float64
+}
+
+// DefaultParams returns the calibrated defaults used by all experiments.
+// TargetLatency and MinGranularity follow the kernel's log2(nr_cpus) scaling
+// of sched_latency_ns / sched_min_granularity_ns on a ~100-CPU host.
+func DefaultParams() Params {
+	return Params{
+		TargetLatency:  24 * sim.Millisecond,
+		MinGranularity: 3 * sim.Millisecond,
+		MaxSlice:       24 * sim.Millisecond,
+		BandwidthSlice: 5 * sim.Millisecond,
+		MinWorkChunk:   100 * sim.Microsecond,
+		SwitchCost:     3 * sim.Microsecond,
+		TickInterval:   1 * sim.Millisecond,
+		SMTPenalty:     0.25,
+		WakeJitter:     0.05,
+	}
+}
+
+// Breakdown meters where simulated CPU time went. Durations are cumulative
+// over all CPUs; counters are event counts. Experiments use it both for the
+// paper's PTO/PSO attribution and for the ablation benches.
+type Breakdown struct {
+	UsefulWork    sim.Time // productive application compute
+	SwitchTime    sim.Time // context-switch cost
+	MigrationTime sim.Time // cache-reload penalties for cross-CPU moves
+	AcctTime      sim.Time // cgroup accounting invocations
+	ChurnTime     sim.Time // unthrottle churn (slice redistribution etc.)
+	ThrottleTime  sim.Time // resched-IPI cost at throttle points
+	IRQTime       sim.Time // IO completion path costs
+	VirtioTime    sim.Time // guest-only per-IO virtio/VM-exit costs
+	MsgTime       sim.Time // messaging sync + copy costs
+	NestedTime    sim.Time // guest-container nested switch costs (VMCN)
+	WanderTime    sim.Time // floating-vCPU stalls (vanilla VMs only)
+
+	Switches   uint64
+	Migrations uint64
+	Steals     uint64
+	Wakeups    uint64
+	IOs        uint64
+	Messages   uint64
+	Throttles  uint64
+}
+
+// OverheadTotal sums all non-useful time channels.
+func (b *Breakdown) OverheadTotal() sim.Time {
+	return b.SwitchTime + b.MigrationTime + b.AcctTime + b.ChurnTime +
+		b.ThrottleTime + b.IRQTime + b.VirtioTime + b.MsgTime + b.NestedTime +
+		b.WanderTime
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.UsefulWork += o.UsefulWork
+	b.SwitchTime += o.SwitchTime
+	b.MigrationTime += o.MigrationTime
+	b.AcctTime += o.AcctTime
+	b.ChurnTime += o.ChurnTime
+	b.ThrottleTime += o.ThrottleTime
+	b.IRQTime += o.IRQTime
+	b.VirtioTime += o.VirtioTime
+	b.MsgTime += o.MsgTime
+	b.NestedTime += o.NestedTime
+	b.WanderTime += o.WanderTime
+	b.Switches += o.Switches
+	b.Migrations += o.Migrations
+	b.Steals += o.Steals
+	b.Wakeups += o.Wakeups
+	b.IOs += o.IOs
+	b.Messages += o.Messages
+	b.Throttles += o.Throttles
+}

@@ -1,0 +1,90 @@
+package sched
+
+import "repro/internal/topology"
+
+// cachedAffinity memoizes the effective-affinity set and slice of a task
+// (affinities never change during a run).
+func (s *Scheduler) cachedAffinity(t *Task) (topology.CPUSet, []int) {
+	if t.affCache == nil {
+		t.affCacheSet = s.effAffinity(t)
+		t.affCache = t.affCacheSet.Slice()
+	}
+	return t.affCacheSet, t.affCache
+}
+
+// loadOf approximates runqueue load: the running task plus waiting runnables.
+func (s *Scheduler) loadOf(cpu int) int {
+	c := s.cpus[cpu]
+	n := 0
+	if c.current != nil {
+		n++
+	}
+	n += s.runnableCount(c)
+	return n
+}
+
+func (s *Scheduler) siblingIdle(cpu int) bool {
+	idle := true
+	s.cfg.Topo.SiblingsOf(cpu).ForEach(func(sib int) bool {
+		if sib != cpu && s.cpus[sib].current != nil {
+			idle = false
+			return false
+		}
+		return true
+	})
+	return idle
+}
+
+// placeTask implements wake-up placement, a simplified wake_affine +
+// select_idle_sibling:
+//
+//  1. the task's previous CPU, if allowed and idle (cache-warm);
+//  2. an idle allowed CPU, preferring ones whose SMT sibling is also idle,
+//     scanning from the previous CPU's socket (or a rotating cursor for
+//     first placements, which spreads fork-time placement like
+//     SD_BALANCE_FORK);
+//  3. otherwise the least-loaded allowed CPU.
+func (s *Scheduler) placeTask(t *Task) int {
+	set, slice := s.cachedAffinity(t)
+	if t.lastCPU >= 0 && set.Contains(t.lastCPU) && s.cpus[t.lastCPU].current == nil {
+		return t.lastCPU
+	}
+	start := 0
+	if t.lastCPU >= 0 {
+		// Begin scanning at the first allowed CPU of the previous socket.
+		sock := s.cfg.Topo.Socket(t.lastCPU)
+		for i, c := range slice {
+			if s.cfg.Topo.Socket(c) == sock {
+				start = i
+				break
+			}
+		}
+	} else {
+		start = s.curs % len(slice)
+		s.curs++
+	}
+	firstIdle := -1
+	for i := 0; i < len(slice); i++ {
+		c := slice[(start+i)%len(slice)]
+		if s.cpus[c].current != nil {
+			continue
+		}
+		if firstIdle < 0 {
+			firstIdle = c
+		}
+		if s.siblingIdle(c) {
+			return c
+		}
+	}
+	if firstIdle >= 0 {
+		return firstIdle
+	}
+	best, bestLoad := slice[start], 1<<30
+	for i := 0; i < len(slice); i++ {
+		c := slice[(start+i)%len(slice)]
+		if l := s.loadOf(c); l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	return best
+}

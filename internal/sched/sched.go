@@ -1,0 +1,836 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cgroups"
+	"repro/internal/irqsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config wires a scheduler to its machine's models and scaling hooks.
+type Config struct {
+	Params Params
+	Topo   *topology.Topology
+	Cache  *cache.Model
+	IRQ    *irqsim.Controller
+	RNG    *sim.RNG
+
+	// ComputeScale returns the wall-time multiplier (>= 1) for nominal
+	// compute of a task: virtualization tax × NUMA factor. nil = 1.
+	ComputeScale func(t *Task) float64
+	// IOScale multiplies device latencies (paravirtual IO path). 0 = 1.
+	IOScale float64
+	// PerIOExtra returns additional per-IO-completion cost (virtio ring +
+	// VM-exit, affinity-miss for wandering vanilla vCPUs). nil = 0.
+	PerIOExtra func(t *Task) sim.Time
+	// MsgSyncCost is the kernel (host) or hypervisor (guest) synchronization
+	// cost per message.
+	MsgSyncCost sim.Time
+	// MsgCopyPerKB is the per-KiB copy cost of message payloads.
+	MsgCopyPerKB sim.Time
+	// MsgNSPerCPU is the extra per-message cost for *grouped* (container)
+	// senders: the container network-namespace path (veth/bridge) touches
+	// per-CPU networking structures of this machine. Bare-metal and
+	// intra-guest processes use the shared-memory transport instead.
+	MsgNSPerCPU sim.Time
+	// MsgNSCopyScale multiplies payload copy costs for grouped senders
+	// (TCP-over-bridge copies instead of one shared-memory copy).
+	MsgNSCopyScale float64
+	// MsgLineScale multiplies receiver-side line-transfer costs. Guests set
+	// it > 1: their flat virtual topology hides that vCPUs actually sit on
+	// different host sockets.
+	MsgLineScale float64
+	// WakeExtra is charged per block-wakeup; guests pay the virtual-IPI /
+	// VM-exit path here.
+	WakeExtra sim.Time
+	// NestedSwitchCost is charged per context switch of a *grouped* task,
+	// scaled by how far the task's runnable thread-group siblings
+	// oversubscribe this machine's CPUs; nonzero only inside guests running
+	// containers (VMCN), where thread-group usage counters contend under
+	// virtualized timekeeping.
+	NestedSwitchCost sim.Time
+	// NestedSwitchMax caps one nested-switch charge.
+	NestedSwitchMax sim.Time
+	// WanderStallRate/WanderStallCost model floating vCPUs: the host
+	// scheduler migrates a vanilla VM's vCPU threads, and each migration
+	// stalls whatever runs on that vCPU while its cache/TLB state refills.
+	// Zero for hosts and pinned VMs.
+	WanderStallRate float64 // events per CPU-second
+	WanderStallCost sim.Time
+	// Trace, when non-nil, receives scheduler tracepoint events (the BCC
+	// instrumentation analog). Tracing is off the hot path when nil.
+	Trace TraceFn
+}
+
+// procKey identifies a thread group inside a cgroup.
+type procKey struct {
+	group *cgroups.Group
+	proc  int
+}
+
+type cpuRun struct {
+	id           int
+	rq           []*Task
+	current      *Task
+	lastTask     *Task
+	sliceEnd     *sim.Event
+	sliceStart   sim.Time
+	sliceOver    sim.Time // committed overhead portion of current slice
+	sliceWork    sim.Time // planned scaled work in current slice
+	sliceScale   float64
+	sliceFull    bool     // the slice covers the chunk's entire remaining work
+	pendingStall sim.Time // vCPU-wander stall charged at next dispatch
+}
+
+// Scheduler simulates CFS over one machine.
+type Scheduler struct {
+	cfg  Config
+	eng  *sim.Engine
+	cpus []*cpuRun
+
+	tasks     []*Task
+	groups    map[*cgroups.Group][]*Task
+	groupRun  map[*cgroups.Group]int
+	groupLive map[*cgroups.Group]int
+	procRun   map[procKey]int
+	live      int
+	bd        Breakdown
+	curs      int // rotating placement cursor
+	completed []*Task
+}
+
+// New returns a scheduler over eng with the given config.
+func New(eng *sim.Engine, cfg Config) *Scheduler {
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams()
+	}
+	if cfg.IOScale <= 0 {
+		cfg.IOScale = 1
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = sim.NewRNG(1)
+	}
+	s := &Scheduler{
+		cfg:       cfg,
+		eng:       eng,
+		groups:    make(map[*cgroups.Group][]*Task),
+		groupRun:  make(map[*cgroups.Group]int),
+		groupLive: make(map[*cgroups.Group]int),
+		procRun:   make(map[procKey]int),
+	}
+	n := cfg.Topo.NumCPUs()
+	s.cpus = make([]*cpuRun, n)
+	for i := range s.cpus {
+		s.cpus[i] = &cpuRun{id: i}
+	}
+	if cfg.WanderStallRate > 0 && cfg.WanderStallCost > 0 {
+		s.scheduleWander()
+	}
+	return s
+}
+
+// scheduleWander runs the vCPU-wander Poisson process: at each event one
+// random CPU accrues a stall, paid by the next dispatch there.
+func (s *Scheduler) scheduleWander() {
+	mean := sim.Time(float64(sim.Second) / (s.cfg.WanderStallRate * float64(len(s.cpus))))
+	s.eng.After(s.cfg.RNG.ExpDuration(mean), func() {
+		c := s.cpus[s.cfg.RNG.Intn(len(s.cpus))]
+		c.pendingStall += s.cfg.WanderStallCost
+		s.scheduleWander()
+	})
+}
+
+// Breakdown returns the accumulated overhead meter.
+func (s *Scheduler) Breakdown() Breakdown { return s.bd }
+
+// Live returns the number of spawned-but-unfinished tasks.
+func (s *Scheduler) Live() int { return s.live }
+
+// Tasks returns every task ever spawned.
+func (s *Scheduler) Tasks() []*Task { return s.tasks }
+
+// Spawn creates a task and schedules its arrival at time `at`.
+func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
+	if spec.Program == nil {
+		panic("sched: task without program")
+	}
+	t := &Task{ID: len(s.tasks), Spec: spec, lastCPU: -1, rqCPU: -1, state: stateNew, pendingMsgFromCPU: -1}
+	s.tasks = append(s.tasks, t)
+	s.live++
+	if g := spec.Group; g != nil {
+		s.groups[g] = append(s.groups[g], t)
+		if len(s.groups[g]) == 1 {
+			s.registerGroup(g)
+		}
+		s.groupLive[g]++
+		g.SetLive(s.groupLive[g])
+		// Keep the group's churn working-set factor at the mean of its
+		// members (§IV-C: the unthrottle refill cost tracks how much state
+		// the threads pull back into cache).
+		var wsSum float64
+		for _, gt := range s.groups[g] {
+			wsSum += gt.Spec.WorkingSet
+		}
+		g.SetChurnScale(churnWSScale(wsSum / float64(len(s.groups[g]))))
+	}
+	s.eng.At(at, func() {
+		t.SpawnedAt = s.eng.Now()
+		s.emit(TraceSpawn, t, -1, BlockNone)
+		s.startProgram(t, -1)
+	})
+	return t
+}
+
+func (s *Scheduler) registerGroup(g *cgroups.Group) {
+	g.SetUnthrottleFn(func(churn sim.Time) {
+		for _, t := range s.groups[g] {
+			switch t.state {
+			case stateRunnable, stateBlockedIO, stateBlockedRecv:
+				// Overwrite, never stack: cold caches refill once no matter
+				// how many throttle cycles the task sat out. Blocked tasks
+				// pay too — they resume onto cold caches and torn-down IO
+				// channels just like the ones waiting on the runqueue.
+				t.pendingChurn = churn
+			}
+		}
+		// Kick idle CPUs so the refreshed group resumes.
+		for _, c := range s.cpus {
+			if c.current == nil && s.hasRunnable(c) {
+				s.dispatch(c)
+			}
+		}
+	})
+}
+
+// churnWSScale converts a task's working-set size into its unthrottle
+// cold-restart multiplier. Floored so even tiny-footprint tasks pay the
+// fixed part of the restart (slice redistribution, runqueue requeue).
+func churnWSScale(ws float64) float64 {
+	const floor, ceil = 0.75, 3.0
+	switch {
+	case ws < floor:
+		return floor
+	case ws > ceil:
+		return ceil
+	}
+	return ws
+}
+
+// updateRunnable maintains the group-wide and per-thread-group runnable
+// counts (runnable = wants CPU, i.e. runnable or running).
+func (s *Scheduler) updateRunnable(t *Task, delta int) {
+	g := t.Spec.Group
+	if g == nil {
+		return
+	}
+	s.groupRun[g] += delta
+	g.SetRunnable(s.groupRun[g])
+	if t.Spec.Proc > 0 {
+		s.procRun[procKey{g, t.Spec.Proc}] += delta
+	}
+}
+
+// procOversubscription returns how many runnable threads of t's thread group
+// exist per CPU of this machine (1 for a lone thread on an idle machine).
+func (s *Scheduler) procOversubscription(t *Task) float64 {
+	if t.Spec.Group == nil || t.Spec.Proc <= 0 {
+		return 0
+	}
+	n := s.procRun[procKey{t.Spec.Group, t.Spec.Proc}]
+	return float64(n) / float64(len(s.cpus))
+}
+
+// effAffinity resolves the CPUs a task may use: its own affinity intersected
+// with its group's cpuset; empty components default to all CPUs.
+func (s *Scheduler) effAffinity(t *Task) topology.CPUSet {
+	all := s.cfg.Topo.AllCPUs()
+	aff := t.Spec.Affinity
+	if aff.IsEmpty() {
+		aff = all
+	}
+	if g := t.Spec.Group; g != nil {
+		aff = aff.Intersect(g.AllowedCPUs())
+	}
+	if aff.IsEmpty() {
+		panic(fmt.Sprintf("sched: %v has empty effective affinity", t))
+	}
+	return aff
+}
+
+// ---- program driving -------------------------------------------------
+
+// startProgram advances a task's program until it blocks, computes or ends.
+// homeCPU is the CPU the task just ran on (-1 at spawn).
+func (s *Scheduler) startProgram(t *Task, homeCPU int) {
+	for {
+		a := t.Spec.Program.Next(t)
+		switch a.Kind {
+		case ActCompute:
+			if a.Dur <= 0 {
+				continue
+			}
+			t.remaining = a.Dur
+			t.chunkIsMsg = false
+			s.makeRunnable(t, homeCPU)
+			return
+		case ActIO:
+			t.state = stateBlockedIO
+			s.emit(TraceBlock, t, -1, BlockIO)
+			s.bd.IOs++
+			ch := s.cfg.IRQ.Channel(a.Channel)
+			lat := s.cfg.RNG.Jitter(sim.Time(float64(a.Latency)*s.cfg.IOScale), s.cfg.Params.WakeJitter)
+			delay := s.cfg.IRQ.CompletionDelay(ch, s.eng.Now(), lat, s.cfg.IOScale)
+			s.eng.After(delay, func() { s.ioComplete(t, ch) })
+			return
+		case ActSend:
+			if a.To == nil {
+				panic("sched: send without destination")
+			}
+			s.bd.Messages++
+			copyScale := 1.0
+			cost := s.cfg.MsgSyncCost
+			if t.Spec.Group != nil {
+				// Container network-namespace transport.
+				cost += sim.Time(int64(s.cfg.MsgNSPerCPU) * int64(len(s.cpus)))
+				if s.cfg.MsgNSCopyScale > 0 {
+					copyScale = s.cfg.MsgNSCopyScale
+				}
+			}
+			cost += sim.Time(float64(a.Bytes*int64(s.cfg.MsgCopyPerKB)) * copyScale / 1024)
+			if cost <= 0 {
+				cost = sim.Microsecond
+			}
+			t.remaining = cost
+			t.chunkIsMsg = true
+			t.sendTo = a.To
+			t.sendBytes = a.Bytes
+			s.makeRunnable(t, homeCPU)
+			return
+		case ActRecv:
+			if len(t.pendingDeliver) > 0 {
+				continue // message already waiting; program consumes via TakeMessage
+			}
+			t.state = stateBlockedRecv
+			s.emit(TraceBlock, t, -1, BlockRecv)
+			return
+		case ActSleep:
+			if a.Dur <= 0 {
+				continue
+			}
+			t.state = stateBlockedIO
+			s.emit(TraceBlock, t, -1, BlockSleep)
+			s.eng.After(a.Dur, func() { s.wakeFromBlock(t) })
+			return
+		case ActDone:
+			s.finish(t)
+			return
+		default:
+			panic(fmt.Sprintf("sched: unknown action kind %d", a.Kind))
+		}
+	}
+}
+
+func (s *Scheduler) finish(t *Task) {
+	t.state = stateDone
+	t.finished = true
+	t.FinishedAt = s.eng.Now()
+	s.completed = append(s.completed, t)
+	s.live--
+	if g := t.Spec.Group; g != nil {
+		s.groupLive[g]--
+		g.SetLive(s.groupLive[g])
+	}
+	s.emit(TraceFinish, t, -1, BlockNone)
+}
+
+// makeRunnable enqueues a task ready to compute. homeCPU >= 0 keeps the task
+// local to the CPU it just ran on (no wake placement).
+func (s *Scheduler) makeRunnable(t *Task, homeCPU int) {
+	t.state = stateRunnable
+	s.updateRunnable(t, 1)
+	var c *cpuRun
+	if homeCPU >= 0 && s.effAffinity(t).Contains(homeCPU) {
+		c = s.cpus[homeCPU]
+	} else {
+		c = s.cpus[s.placeTask(t)]
+		s.bd.Wakeups++
+	}
+	// Newcomers and wakers join at the queue's current virtual time: no
+	// credit for time spent blocked, no starvation of incumbents.
+	if mv := s.minVruntime(c); t.vruntime < mv {
+		t.vruntime = mv
+	}
+	t.rqCPU = c.id
+	c.rq = append(c.rq, t)
+	if c.current == nil {
+		s.dispatch(c)
+		return
+	}
+	// Wakeup preemption (check_preempt_wakeup): a long uncontended slice
+	// must yield promptly once someone else wants the CPU.
+	if c.sliceEnd != nil && c.sliceEnd.At()-s.eng.Now() > s.cfg.Params.MinGranularity {
+		s.preempt(c)
+	}
+}
+
+// minVruntime returns the smallest vruntime currently associated with c.
+func (s *Scheduler) minVruntime(c *cpuRun) sim.Time {
+	var mv sim.Time
+	seen := false
+	if c.current != nil {
+		mv = c.current.vruntime
+		seen = true
+	}
+	for _, t := range c.rq {
+		if !seen || t.vruntime < mv {
+			mv = t.vruntime
+			seen = true
+		}
+	}
+	return mv
+}
+
+func (s *Scheduler) ioComplete(t *Task, ch *irqsim.Channel) {
+	t.pendingIRQ = ch
+	s.wakeFromBlock(t)
+}
+
+// wakeFromBlock handles IO completions and message arrivals: cgroup wakeup
+// accounting plus wake placement.
+func (s *Scheduler) wakeFromBlock(t *Task) {
+	s.emit(TraceWake, t, -1, BlockNone)
+	if g := t.Spec.Group; g != nil {
+		a := g.AcctCost()
+		t.pendingOverhead += a
+		s.bd.AcctTime += a
+	}
+	if s.cfg.WakeExtra > 0 {
+		t.pendingOverhead += s.cfg.WakeExtra
+		s.bd.VirtioTime += s.cfg.WakeExtra
+	}
+	s.startProgramResume(t)
+}
+
+// startProgramResume re-enters the program after a block. For IO the blocked
+// action is complete; for Recv the program loops via TakeMessage.
+func (s *Scheduler) startProgramResume(t *Task) {
+	s.startProgram(t, -1)
+}
+
+// deliver sends msg to task `to`; called when a sender's send-chunk ends.
+func (s *Scheduler) deliver(from *Task, to *Task, bytes int64, senderCPU int) {
+	if to.finished {
+		return
+	}
+	to.pendingDeliver = append(to.pendingDeliver, Message{From: from, Bytes: bytes, sentCPU: senderCPU})
+	if to.state == stateBlockedRecv {
+		// Line-transfer cost: pulling the payload's cache lines to wherever
+		// the receiver lands; charged at dispatch via pendingOverhead with
+		// the distance computed against the sender's CPU.
+		to.pendingMsgFromCPU = senderCPU
+		s.wakeFromBlock(to)
+	}
+}
+
+// ---- dispatching ------------------------------------------------------
+
+func (s *Scheduler) hasRunnable(c *cpuRun) bool {
+	for _, t := range c.rq {
+		if t.state == stateRunnable && !s.throttled(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) throttled(t *Task) bool {
+	g := t.Spec.Group
+	return g != nil && g.Throttled()
+}
+
+// pickLocal removes and returns the min-vruntime runnable task of c's queue.
+func (s *Scheduler) pickLocal(c *cpuRun) *Task {
+	best := -1
+	for i, t := range c.rq {
+		if t.state != stateRunnable || s.throttled(t) {
+			continue
+		}
+		if best < 0 || t.vruntime < c.rq[best].vruntime {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := c.rq[best]
+	c.rq = append(c.rq[:best], c.rq[best+1:]...)
+	t.rqCPU = -1
+	return t
+}
+
+// steal pulls a waiting runnable task from the most loaded other queue that
+// allows this CPU (idle balancing).
+func (s *Scheduler) steal(c *cpuRun) *Task {
+	var srcCPU, srcIdx, srcLoad = -1, -1, 0
+	for _, o := range s.cpus {
+		if o == c {
+			continue
+		}
+		load := 0
+		cand := -1
+		for i, t := range o.rq {
+			if t.state != stateRunnable || s.throttled(t) {
+				continue
+			}
+			if !s.effAffinity(t).Contains(c.id) {
+				continue
+			}
+			load++
+			if cand < 0 || t.vruntime < o.rq[cand].vruntime {
+				cand = i
+			}
+		}
+		if cand >= 0 && load > srcLoad {
+			srcCPU, srcIdx, srcLoad = o.id, cand, load
+		}
+	}
+	if srcCPU < 0 {
+		return nil
+	}
+	o := s.cpus[srcCPU]
+	t := o.rq[srcIdx]
+	o.rq = append(o.rq[:srcIdx], o.rq[srcIdx+1:]...)
+	t.rqCPU = -1
+	s.bd.Steals++
+	return t
+}
+
+func (s *Scheduler) runnableCount(c *cpuRun) int {
+	n := 0
+	for _, t := range c.rq {
+		if t.state == stateRunnable && !s.throttled(t) {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) smtScale(c *cpuRun) float64 {
+	if s.cfg.Topo.ThreadsPerCore <= 1 || s.cfg.Params.SMTPenalty <= 0 {
+		return 1
+	}
+	busy := false
+	s.cfg.Topo.SiblingsOf(c.id).ForEach(func(sib int) bool {
+		if sib != c.id && s.cpus[sib].current != nil {
+			busy = true
+			return false
+		}
+		return true
+	})
+	if busy {
+		return 1 + s.cfg.Params.SMTPenalty
+	}
+	return 1
+}
+
+func (s *Scheduler) dispatch(c *cpuRun) {
+	if c.current != nil {
+		return
+	}
+	t := s.pickLocal(c)
+	if t == nil {
+		t = s.steal(c)
+	}
+	if t == nil {
+		return
+	}
+	s.startSlice(c, t)
+}
+
+func (s *Scheduler) startSlice(c *cpuRun, t *Task) {
+	now := s.eng.Now()
+	p := &s.cfg.Params
+	g := t.Spec.Group
+
+	var over sim.Time
+	if c.lastTask != t {
+		over += p.SwitchCost
+		s.bd.SwitchTime += p.SwitchCost
+		s.bd.Switches++
+		if g != nil {
+			a := g.AcctCost()
+			over += a
+			s.bd.AcctTime += a
+			if s.cfg.NestedSwitchCost > 0 {
+				// Guest-container nested accounting: contention on the
+				// thread group's shared usage counters, proportional to how
+				// far its runnable threads oversubscribe the vCPUs and to
+				// how hard the task's compute hammers virtualized memory
+				// structures (VMTaxWeight — a JVM blocking on IO barely
+				// touches the counters; a 16-thread transcoder hammers
+				// them).
+				if osub := s.procOversubscription(t); osub > 1 {
+					nc := sim.Time(float64(s.cfg.NestedSwitchCost) * (osub - 1))
+					if s.cfg.NestedSwitchMax > 0 && nc > s.cfg.NestedSwitchMax {
+						nc = s.cfg.NestedSwitchMax
+					}
+					nc = sim.Time(float64(nc) * t.Spec.VMTaxWeight)
+					over += nc
+					s.bd.NestedTime += nc
+				}
+			}
+		}
+	}
+	// Migration / cold-cache penalty.
+	pen := s.cfg.Cache.MigrationPenalty(t.lastCPU, c.id, t.Spec.WorkingSet, t.lastRanAt, now)
+	if pen > 0 {
+		over += pen
+		s.bd.MigrationTime += pen
+		if t.lastCPU >= 0 && t.lastCPU != c.id {
+			s.bd.Migrations++
+		}
+	}
+	// Deferred wakeup-path costs.
+	if t.pendingOverhead > 0 {
+		over += t.pendingOverhead
+		t.pendingOverhead = 0
+	}
+	if t.pendingChurn > 0 {
+		over += t.pendingChurn
+		s.bd.ChurnTime += t.pendingChurn
+		t.pendingChurn = 0
+	}
+	if c.pendingStall > 0 {
+		over += c.pendingStall
+		s.bd.WanderTime += c.pendingStall
+		c.pendingStall = 0
+	}
+	if t.pendingIRQ != nil {
+		ic := s.cfg.IRQ.CompletionCost(t.pendingIRQ, c.id)
+		over += ic
+		s.bd.IRQTime += ic
+		if s.cfg.PerIOExtra != nil {
+			ve := s.cfg.PerIOExtra(t)
+			over += ve
+			s.bd.VirtioTime += ve
+		}
+		t.pendingIRQ = nil
+	}
+	if t.pendingMsgFromCPU >= 0 {
+		lc := s.cfg.Cache.LineTransferCost(t.pendingMsgFromCPU, c.id)
+		if s.cfg.MsgLineScale > 0 {
+			lc = sim.Time(float64(lc) * s.cfg.MsgLineScale)
+		}
+		over += lc
+		s.bd.MsgTime += lc
+		t.pendingMsgFromCPU = -1
+	}
+
+	// Slice sizing. An uncontended task runs until the next bookkeeping
+	// point (MaxSlice) — resuming the same task charges no switch cost.
+	// Quota'd groups run at the kernel's bandwidth hand-out granularity.
+	nrr := s.runnableCount(c) + 1
+	var slice sim.Time
+	if nrr == 1 {
+		slice = p.MaxSlice
+	} else {
+		slice = p.TargetLatency / sim.Time(nrr)
+		if slice < p.MinGranularity {
+			slice = p.MinGranularity
+		}
+	}
+	if g != nil && g.Quota() > 0 && p.BandwidthSlice > 0 && slice > p.BandwidthSlice {
+		slice = p.BandwidthSlice
+	}
+	scale := 1.0
+	if !t.chunkIsMsg {
+		if s.cfg.ComputeScale != nil {
+			scale = s.cfg.ComputeScale(t)
+		}
+		scale *= s.smtScale(c)
+	}
+	// Dispatch overheads extend the slice (the kernel burns them on top of
+	// the task's fair share); they never starve the work budget.
+	remainScaled := sim.Time(float64(t.remaining) * scale)
+	if remainScaled < 1 {
+		remainScaled = 1
+	}
+	work := remainScaled
+	full := true
+	if work > slice {
+		work = slice
+		full = false
+	}
+	occ := over + work
+	// Accounting ticks over the slice for grouped tasks.
+	if g != nil && p.TickInterval > 0 {
+		for ticks := int64(occ / p.TickInterval); ticks > 0; ticks-- {
+			a := g.AcctCost()
+			occ += a
+			s.bd.AcctTime += a
+		}
+	}
+
+	t.state = stateRunning
+	t.curCPU = c.id
+	s.emit(TraceRunStart, t, c.id, BlockNone)
+	c.current = t
+	c.sliceStart = now
+	c.sliceOver = occ - work
+	c.sliceWork = work
+	c.sliceScale = scale
+	c.sliceFull = full
+	c.sliceEnd = s.eng.After(occ, func() { s.sliceDone(c) })
+}
+
+// sliceDone finishes the planned slice of c.current.
+func (s *Scheduler) sliceDone(c *cpuRun) {
+	s.endSlice(c, c.sliceWork, c.sliceFull)
+}
+
+// preempt cuts short the current slice (quota throttle of the group).
+func (s *Scheduler) preempt(c *cpuRun) {
+	if c.current == nil {
+		return
+	}
+	s.eng.Cancel(c.sliceEnd)
+	elapsed := s.eng.Now() - c.sliceStart
+	work := elapsed - c.sliceOver
+	if work < 0 {
+		work = 0
+	}
+	if work > c.sliceWork {
+		work = c.sliceWork
+	}
+	s.endSlice(c, work, false)
+}
+
+// endSlice retires the slice with the given scaled work actually completed.
+// full marks slices that covered their chunk's entire remaining work, which
+// must zero the chunk exactly (scaling arithmetic would otherwise leave
+// sub-nanosecond remainders that never converge).
+func (s *Scheduler) endSlice(c *cpuRun, workScaled sim.Time, full bool) {
+	t := c.current
+	now := s.eng.Now()
+	elapsed := now - c.sliceStart
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if full {
+		t.remaining = 0
+	} else {
+		nominal := sim.Time(float64(workScaled) / c.sliceScale)
+		if nominal <= 0 && workScaled > 0 {
+			nominal = 1
+		}
+		t.remaining -= nominal
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+	if t.chunkIsMsg {
+		s.bd.MsgTime += workScaled
+	} else {
+		s.bd.UsefulWork += workScaled
+	}
+	t.vruntime += elapsed
+	t.lastCPU = c.id
+	t.lastRanAt = now
+	c.lastTask = t
+	c.current = nil
+	c.sliceEnd = nil
+	s.emit(TraceRunEnd, t, c.id, BlockNone)
+
+	g := t.Spec.Group
+	throttleNow := false
+	if g != nil {
+		throttleNow = g.Charge(c.id, elapsed)
+	}
+
+	if t.remaining <= 0 {
+		s.updateRunnable(t, -1)
+		s.chunkComplete(t, c.id)
+	} else {
+		t.state = stateRunnable
+		dst := c
+		// Periodic load balancing: when other tasks are already waiting
+		// here, shed the just-preempted task to the least-loaded allowed
+		// CPU. Without this, N equal threads on M < N CPUs never converge
+		// to their fair 1/M shares and the doubly-loaded CPUs set the
+		// makespan.
+		if others := s.runnableCount(c); others >= 1 {
+			if best := s.leastLoadedCPU(t, c); best != nil && others+1 > s.loadOf(best.id) {
+				dst = best
+			}
+		}
+		t.rqCPU = dst.id
+		dst.rq = append(dst.rq, t)
+		if dst != c {
+			if dst.current == nil {
+				s.dispatch(dst)
+			} else if dst.sliceEnd != nil && dst.sliceEnd.At()-now > s.cfg.Params.MinGranularity {
+				s.preempt(dst)
+			}
+		}
+	}
+
+	if throttleNow {
+		s.throttleGroup(g)
+	}
+	s.dispatch(c)
+}
+
+// leastLoadedCPU returns the allowed CPU with the smallest load, excluding
+// `except`.
+func (s *Scheduler) leastLoadedCPU(t *Task, except *cpuRun) *cpuRun {
+	_, slice := s.cachedAffinity(t)
+	var best *cpuRun
+	bestLoad := 1 << 30
+	for _, id := range slice {
+		if except != nil && id == except.id {
+			continue
+		}
+		if l := s.loadOf(id); l < bestLoad {
+			best, bestLoad = s.cpus[id], l
+		}
+	}
+	return best
+}
+
+// chunkComplete fires when a compute or send chunk finishes.
+func (s *Scheduler) chunkComplete(t *Task, cpu int) {
+	if t.chunkIsMsg {
+		to := t.sendTo
+		bytes := t.sendBytes
+		t.sendTo = nil
+		t.sendBytes = 0
+		t.chunkIsMsg = false
+		s.deliver(t, to, bytes, cpu)
+	}
+	s.startProgram(t, cpu)
+}
+
+// throttleGroup preempts every running task of a group that just exhausted
+// its quota and meters the resched-IPI cost.
+func (s *Scheduler) throttleGroup(g *cgroups.Group) {
+	cost := g.ThrottleCost()
+	s.bd.ThrottleTime += cost
+	s.bd.Throttles++
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(TraceEvent{Kind: TraceThrottle, CPU: -1, At: s.eng.Now(), Group: g.Name})
+	}
+	for _, t := range s.groups[g] {
+		if t.state == stateRunning {
+			c := s.cpus[t.curCPU]
+			if c.current == t {
+				s.preempt(c)
+			}
+		}
+	}
+}
+
+// CompletedTasks returns tasks in completion order.
+func (s *Scheduler) CompletedTasks() []*Task { return s.completed }

@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cgroups"
+	"repro/internal/irqsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// tinyRig builds a scheduler over a small topology with its own engine.
+func tinyRig(t *testing.T, cpus int) (*sim.Engine, *Scheduler, *cgroups.Controller, *topology.Topology) {
+	t.Helper()
+	topo, err := topology.New("rig", 1, cpus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	cg := cgroups.NewController(eng, topo, cgroups.DefaultParams())
+	s := New(eng, Config{
+		Topo:  topo,
+		Cache: cache.New(topo, cache.DefaultParams()),
+		IRQ:   irqsim.NewController(topo, irqsim.DefaultParams(), irqsim.DefaultChannels()),
+		RNG:   sim.NewRNG(7),
+	})
+	return eng, s, cg, topo
+}
+
+// TestTinyQuotaStillProgresses is the death-spiral regression guard: a group
+// whose quota is far below one bandwidth slice must still finish its work —
+// the unthrottle churn must never exceed what the caps allow, and it must
+// overwrite rather than stack across consecutive throttle cycles.
+func TestTinyQuotaStillProgresses(t *testing.T) {
+	eng, s, cg, _ := tinyRig(t, 4)
+	g := cg.NewGroup("starved", 0.05, topology.CPUSet{}) // 5ms per 100ms period
+	for i := 0; i < 3; i++ {
+		s.Spawn(TaskSpec{
+			Name:    "worker",
+			Group:   g,
+			Program: Sequence(Compute(20 * sim.Millisecond)),
+		}, 0)
+	}
+	limit := 1200 * sim.Second // 60ms of work at 5% duty needs ≥ 1.2s + churn
+	for s.Live() > 0 {
+		if !eng.Step() {
+			t.Fatal("deadlock: live tasks with empty event queue")
+		}
+		if eng.Now() > limit {
+			t.Fatalf("livelock: %d tasks still unfinished after %v (quota death spiral?)", s.Live(), limit)
+		}
+	}
+	if g.Stats.Throttles == 0 {
+		t.Fatal("the tiny quota must have throttled at least once")
+	}
+}
+
+// TestTraceStreamInvariants checks the tracepoint protocol the trace package
+// relies on: per task, run-start and run-end strictly alternate, timestamps
+// are monotone, blocks only happen off-CPU, and every finished task's last
+// run event is an end.
+func TestTraceStreamInvariants(t *testing.T) {
+	topo, err := topology.New("rig", 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	cg := cgroups.NewController(eng, topo, cgroups.DefaultParams())
+	type state struct {
+		running  bool
+		finished bool
+		events   int
+	}
+	states := map[*Task]*state{}
+	var last sim.Time
+	trace := func(ev TraceEvent) {
+		if ev.At < last {
+			t.Fatalf("trace timestamps regressed: %v after %v", ev.At, last)
+		}
+		last = ev.At
+		if ev.Task == nil {
+			if ev.Kind != TraceThrottle {
+				t.Fatalf("taskless event of kind %v", ev.Kind)
+			}
+			return
+		}
+		st := states[ev.Task]
+		if st == nil {
+			st = &state{}
+			states[ev.Task] = st
+		}
+		st.events++
+		switch ev.Kind {
+		case TraceRunStart:
+			if st.running {
+				t.Fatal("run-start while running")
+			}
+			if st.finished {
+				t.Fatal("run-start after finish")
+			}
+			st.running = true
+		case TraceRunEnd:
+			if !st.running {
+				t.Fatal("run-end while not running")
+			}
+			st.running = false
+		case TraceBlock:
+			if st.running {
+				t.Fatal("block emitted while on CPU")
+			}
+			if ev.Block == BlockNone {
+				t.Fatal("block event without a reason")
+			}
+		case TraceFinish:
+			st.finished = true
+		}
+	}
+	s := New(eng, Config{
+		Topo:  topo,
+		Cache: cache.New(topo, cache.DefaultParams()),
+		IRQ:   irqsim.NewController(topo, irqsim.DefaultParams(), irqsim.DefaultChannels()),
+		RNG:   sim.NewRNG(3),
+		Trace: trace,
+	})
+	g := cg.NewGroup("g", 1, topology.CPUSet{})
+	for i := 0; i < 4; i++ {
+		grp := g
+		if i%2 == 0 {
+			grp = nil
+		}
+		s.Spawn(TaskSpec{
+			Name:  "mix",
+			Group: grp,
+			Program: Sequence(
+				Compute(5*sim.Millisecond),
+				IO(0, sim.Millisecond),
+				Compute(30*sim.Millisecond),
+				Sleep(2*sim.Millisecond),
+				Compute(5*sim.Millisecond),
+			),
+		}, sim.Time(i)*sim.Millisecond)
+	}
+	for s.Live() > 0 {
+		if !eng.Step() {
+			t.Fatal("deadlock")
+		}
+	}
+	if len(states) != 4 {
+		t.Fatalf("tasks traced: %d", len(states))
+	}
+	for task, st := range states {
+		if st.running {
+			t.Errorf("%v left on CPU at exit", task)
+		}
+		if !st.finished {
+			t.Errorf("%v never emitted finish", task)
+		}
+		if st.events < 8 {
+			t.Errorf("%v produced only %d events", task, st.events)
+		}
+	}
+}
+
+// TestTraceDisabledCostsNothing ensures a nil Trace leaves no residue: the
+// same run with and without tracing produces identical results.
+func TestTraceDisabledCostsNothing(t *testing.T) {
+	run := func(traced bool) sim.Time {
+		topo, _ := topology.New("rig", 1, 2, 1)
+		eng := sim.NewEngine()
+		cfg := Config{
+			Topo:  topo,
+			Cache: cache.New(topo, cache.DefaultParams()),
+			IRQ:   irqsim.NewController(topo, irqsim.DefaultParams(), irqsim.DefaultChannels()),
+			RNG:   sim.NewRNG(11),
+		}
+		if traced {
+			cfg.Trace = func(TraceEvent) {}
+		}
+		s := New(eng, cfg)
+		done := s.Spawn(TaskSpec{
+			Name:    "t",
+			Program: Sequence(Compute(3*sim.Millisecond), IO(0, sim.Millisecond), Compute(3*sim.Millisecond)),
+		}, 0)
+		for s.Live() > 0 {
+			if !eng.Step() {
+				t.Fatal("deadlock")
+			}
+		}
+		return done.FinishedAt
+	}
+	if run(false) != run(true) {
+		t.Fatal("tracing must not perturb the simulation")
+	}
+}

@@ -1,0 +1,432 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cgroups"
+	"repro/internal/irqsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// rig bundles a scheduler over a host with its engine and cgroup controller.
+type rig struct {
+	eng  *sim.Engine
+	topo *topology.Topology
+	cg   *cgroups.Controller
+	s    *Scheduler
+}
+
+func newRig(topo *topology.Topology, mutate func(*Config)) *rig {
+	eng := sim.NewEngine()
+	cfg := Config{
+		Params:       DefaultParams(),
+		Topo:         topo,
+		Cache:        cache.New(topo, cache.DefaultParams()),
+		IRQ:          irqsim.NewController(topo, irqsim.DefaultParams(), irqsim.DefaultChannels()),
+		RNG:          sim.NewRNG(1),
+		MsgSyncCost:  8 * sim.Microsecond,
+		MsgCopyPerKB: 250 * sim.Nanosecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return &rig{
+		eng:  eng,
+		topo: topo,
+		cg:   cgroups.NewController(eng, topo, cgroups.DefaultParams()),
+		s:    New(eng, cfg),
+	}
+}
+
+// drain runs until all tasks finish, with a safety cap.
+func (r *rig) drain(t *testing.T) {
+	t.Helper()
+	for r.s.Live() > 0 {
+		if !r.eng.Step() {
+			t.Fatalf("deadlock: %d tasks live, empty queue", r.s.Live())
+		}
+		if r.eng.Processed() > 50_000_000 {
+			t.Fatal("runaway simulation")
+		}
+	}
+	for _, g := range r.cg.Groups() {
+		g.Stop()
+	}
+}
+
+func smallHost() *topology.Topology {
+	topo, err := topology.New("t", 1, 4, 1)
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+func TestSingleTaskCompletes(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	task := r.s.Spawn(TaskSpec{Name: "one", Program: Sequence(Compute(10 * sim.Millisecond))}, 0)
+	r.drain(t)
+	if !task.Finished() {
+		t.Fatal("task did not finish")
+	}
+	// Completion ≈ work + dispatch overheads (first-dispatch cold start).
+	if rt := task.ResponseTime(); rt < 10*sim.Millisecond || rt > 12*sim.Millisecond {
+		t.Fatalf("response %v, want ≈10ms", rt)
+	}
+	bd := r.s.Breakdown()
+	if bd.UsefulWork != 10*sim.Millisecond {
+		t.Fatalf("useful work %v", bd.UsefulWork)
+	}
+}
+
+func TestUnfinishedResponseIsNegative(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	task := r.s.Spawn(TaskSpec{Name: "later", Program: Sequence(Compute(sim.Millisecond))}, sim.Second)
+	if task.ResponseTime() != -1 {
+		t.Fatal("unfinished task must report -1 response")
+	}
+	r.drain(t)
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	// 4 equal tasks on 4 CPUs must take ≈1 task's time, not 4.
+	r := newRig(smallHost(), nil)
+	for i := 0; i < 4; i++ {
+		r.s.Spawn(TaskSpec{Name: "p", Program: Sequence(Compute(100 * sim.Millisecond))}, 0)
+	}
+	r.drain(t)
+	if end := r.eng.Now(); end > 110*sim.Millisecond {
+		t.Fatalf("4 tasks on 4 cpus took %v", end)
+	}
+}
+
+func TestFairnessOversubscribed(t *testing.T) {
+	// 8 equal tasks on 4 CPUs: makespan ≈ 2× solo, and completions close
+	// together (load balancing must spread them fairly).
+	r := newRig(smallHost(), nil)
+	var tasks []*Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, r.s.Spawn(TaskSpec{Name: "f", Program: Sequence(Compute(100 * sim.Millisecond))}, 0))
+	}
+	r.drain(t)
+	var minT, maxT sim.Time
+	for i, task := range tasks {
+		ft := task.FinishedAt
+		if i == 0 || ft < minT {
+			minT = ft
+		}
+		if ft > maxT {
+			maxT = ft
+		}
+	}
+	if maxT > 230*sim.Millisecond {
+		t.Fatalf("makespan %v, want ≈200ms", maxT)
+	}
+	if spread := maxT - minT; spread > 60*sim.Millisecond {
+		t.Fatalf("unfair completion spread %v", spread)
+	}
+}
+
+func TestAffinityRespected(t *testing.T) {
+	topo := topology.PaperHost()
+	r := newRig(topo, nil)
+	allowed := topology.NewCPUSet(3, 5)
+	for i := 0; i < 4; i++ {
+		r.s.Spawn(TaskSpec{
+			Name:     "pinned",
+			Affinity: allowed,
+			Program:  Sequence(Compute(50 * sim.Millisecond)),
+		}, 0)
+	}
+	r.drain(t)
+	for _, task := range r.s.Tasks() {
+		if !allowed.Contains(task.lastCPU) {
+			t.Fatalf("task ran on cpu %d outside %v", task.lastCPU, allowed)
+		}
+	}
+	// 4 tasks × 50ms on 2 cpus ⇒ ≥100ms.
+	if r.eng.Now() < 100*sim.Millisecond {
+		t.Fatalf("finished too fast for a 2-cpu cage: %v", r.eng.Now())
+	}
+}
+
+func TestEmptyAffinityPanics(t *testing.T) {
+	topo := topology.PaperHost()
+	r := newRig(topo, nil)
+	g := r.cg.NewGroup("g", 0, topology.NewCPUSet(0))
+	// Task affinity ∩ group cpuset = ∅.
+	r.s.Spawn(TaskSpec{
+		Name:     "bad",
+		Group:    g,
+		Affinity: topology.NewCPUSet(5),
+		Program:  Sequence(Compute(sim.Millisecond)),
+	}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty effective affinity must panic")
+		}
+	}()
+	for r.s.Live() > 0 && r.eng.Step() {
+	}
+}
+
+func TestSpawnWithoutProgramPanics(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil program must panic")
+		}
+	}()
+	r.s.Spawn(TaskSpec{Name: "no-prog"}, 0)
+}
+
+func TestQuotaGroupBoundedThroughput(t *testing.T) {
+	// A 1-core-quota group with 4 hot threads must take ≈4× the dedicated
+	// time (plus churn), never less.
+	topo := topology.PaperHost()
+	r := newRig(topo, nil)
+	g := r.cg.NewGroup("g", 1, topology.CPUSet{})
+	for i := 0; i < 4; i++ {
+		r.s.Spawn(TaskSpec{Name: "q", Group: g, Program: Sequence(Compute(100 * sim.Millisecond))}, 0)
+	}
+	r.drain(t)
+	elapsed := r.eng.Now()
+	if elapsed < 380*sim.Millisecond {
+		t.Fatalf("quota violated: 400ms of work at 1 core finished in %v", elapsed)
+	}
+	if elapsed > 800*sim.Millisecond {
+		t.Fatalf("quota overhead unreasonable: %v", elapsed)
+	}
+	if r.s.Breakdown().Throttles == 0 {
+		t.Fatal("expected throttling")
+	}
+}
+
+func TestPinnedGroupStaysInCpuset(t *testing.T) {
+	topo := topology.PaperHost()
+	r := newRig(topo, nil)
+	set := topo.PinPlan(2, 0)
+	g := r.cg.NewGroup("pin", 0, set)
+	for i := 0; i < 6; i++ {
+		r.s.Spawn(TaskSpec{Name: "c", Group: g, Program: Sequence(Compute(30 * sim.Millisecond))}, 0)
+	}
+	r.drain(t)
+	for _, task := range r.s.Tasks() {
+		if !set.Contains(task.lastCPU) {
+			t.Fatalf("grouped task escaped cpuset onto cpu %d", task.lastCPU)
+		}
+	}
+}
+
+func TestIOBlocksAndWakes(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	task := r.s.Spawn(TaskSpec{
+		Name: "io",
+		Program: Sequence(
+			Compute(sim.Millisecond),
+			IO(irqsim.ChanNIC, 5*sim.Millisecond),
+			Compute(sim.Millisecond),
+		),
+	}, 0)
+	r.drain(t)
+	if !task.Finished() {
+		t.Fatal("io task did not finish")
+	}
+	rt := task.ResponseTime()
+	if rt < 6*sim.Millisecond {
+		t.Fatalf("response %v cannot be faster than compute+latency", rt)
+	}
+	bd := r.s.Breakdown()
+	if bd.IOs != 1 || bd.IRQTime == 0 {
+		t.Fatalf("IO accounting: %+v", bd)
+	}
+}
+
+func TestQueuedDiskSerializes(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	const n = 4
+	for i := 0; i < n; i++ {
+		r.s.Spawn(TaskSpec{Name: "d", Program: Sequence(IO(irqsim.ChanDisk, 0))}, 0)
+	}
+	r.drain(t)
+	// Disk service is 9ms serialized: 4 IOs ≥ ~36ms even with 4 CPUs.
+	if r.eng.Now() < 30*sim.Millisecond {
+		t.Fatalf("queued disk did not serialize: %v", r.eng.Now())
+	}
+}
+
+func TestSleepAction(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	task := r.s.Spawn(TaskSpec{
+		Name:    "sleepy",
+		Program: Sequence(Sleep(20*sim.Millisecond), Compute(sim.Millisecond)),
+	}, 0)
+	r.drain(t)
+	if task.ResponseTime() < 21*sim.Millisecond {
+		t.Fatalf("sleep not honored: %v", task.ResponseTime())
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	var got []Message
+	receiver := r.s.Spawn(TaskSpec{
+		Name: "rx",
+		Program: ProgramFunc(func(task *Task) Action {
+			if m, ok := task.TakeMessage(); ok {
+				got = append(got, m)
+				return Done()
+			}
+			return Recv()
+		}),
+	}, 0)
+	r.s.Spawn(TaskSpec{
+		Name:    "tx",
+		Program: Sequence(Compute(sim.Millisecond), Send(receiver, 4096)),
+	}, 0)
+	r.drain(t)
+	if len(got) != 1 || got[0].Bytes != 4096 {
+		t.Fatalf("message not delivered: %v", got)
+	}
+	bd := r.s.Breakdown()
+	if bd.Messages != 1 || bd.MsgTime == 0 {
+		t.Fatalf("message accounting: %+v", bd)
+	}
+}
+
+func TestContainerSenderPaysNamespaceCost(t *testing.T) {
+	mkTime := func(grouped bool) sim.Time {
+		topo := topology.PaperHost()
+		r := newRig(topo, func(c *Config) {
+			c.MsgNSPerCPU = 250 * sim.Nanosecond
+			c.MsgNSCopyScale = 5
+		})
+		var g *cgroups.Group
+		if grouped {
+			g = r.cg.NewGroup("g", 0, topology.CPUSet{})
+		}
+		rx := r.s.Spawn(TaskSpec{
+			Name:  "rx",
+			Group: g,
+			Program: ProgramFunc(func(task *Task) Action {
+				if _, ok := task.TakeMessage(); ok {
+					return Done()
+				}
+				return Recv()
+			}),
+		}, 0)
+		r.s.Spawn(TaskSpec{Name: "tx", Group: g,
+			Program: Sequence(Send(rx, 1<<20))}, 0)
+		r.drain(t)
+		return r.eng.Now()
+	}
+	bare := mkTime(false)
+	contained := mkTime(true)
+	if contained <= bare {
+		t.Fatalf("container messaging (%v) should cost more than bare (%v)", contained, bare)
+	}
+}
+
+func TestNestedSwitchCostOnlyWhenOversubscribed(t *testing.T) {
+	run := func(threads int) sim.Time {
+		topo, _ := topology.New("guest", 1, 2, 1)
+		r := newRig(topo, func(c *Config) {
+			c.NestedSwitchCost = 500 * sim.Microsecond
+			c.NestedSwitchMax = 3 * sim.Millisecond
+		})
+		g := r.cg.NewGroup("cn", 0, topology.CPUSet{})
+		for i := 0; i < threads; i++ {
+			r.s.Spawn(TaskSpec{
+				Name: "t", Group: g, Proc: 1, VMTaxWeight: 1,
+				Program: Sequence(Compute(sim.Time(200/threads) * sim.Millisecond)),
+			}, 0)
+		}
+		r.drain(t)
+		return r.s.Breakdown().NestedTime
+	}
+	if got := run(2); got != 0 {
+		t.Fatalf("2 threads on 2 vcpus should pay no nested cost, got %v", got)
+	}
+	if got := run(8); got == 0 {
+		t.Fatal("8 threads on 2 vcpus must pay nested accounting")
+	}
+}
+
+func TestWanderStallsChargeOnlyWhenConfigured(t *testing.T) {
+	run := func(rate float64) sim.Time {
+		r := newRig(smallHost(), func(c *Config) {
+			c.WanderStallRate = rate
+			c.WanderStallCost = 2 * sim.Millisecond
+		})
+		for i := 0; i < 4; i++ {
+			r.s.Spawn(TaskSpec{Name: "w", Program: Sequence(Compute(200 * sim.Millisecond))}, 0)
+		}
+		r.drain(t)
+		return r.s.Breakdown().WanderTime
+	}
+	if got := run(0); got != 0 {
+		t.Fatalf("no wander configured but charged %v", got)
+	}
+	if got := run(50); got == 0 {
+		t.Fatal("wander stalls not charged")
+	}
+}
+
+func TestBreakdownConservation(t *testing.T) {
+	// For a single uncontended task, completion time == useful work +
+	// metered overheads.
+	r := newRig(smallHost(), nil)
+	task := r.s.Spawn(TaskSpec{Name: "solo", WorkingSet: 1,
+		Program: Sequence(Compute(40 * sim.Millisecond))}, 0)
+	r.drain(t)
+	bd := r.s.Breakdown()
+	want := bd.UsefulWork + bd.OverheadTotal()
+	if got := task.FinishedAt; got != want {
+		t.Fatalf("conservation: finished at %v, accounted %v", got, want)
+	}
+}
+
+func TestComputeScaleStretchesWork(t *testing.T) {
+	r := newRig(smallHost(), func(c *Config) {
+		c.ComputeScale = func(t *Task) float64 { return 1 + t.Spec.VMTaxWeight }
+	})
+	task := r.s.Spawn(TaskSpec{Name: "taxed", VMTaxWeight: 1,
+		Program: Sequence(Compute(50 * sim.Millisecond))}, 0)
+	r.drain(t)
+	if rt := task.ResponseTime(); rt < 100*sim.Millisecond {
+		t.Fatalf("2× tax not applied: %v", rt)
+	}
+}
+
+func TestMessageToFinishedTaskIsDropped(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	rx := r.s.Spawn(TaskSpec{Name: "gone", Program: Sequence(Compute(sim.Microsecond))}, 0)
+	r.s.Spawn(TaskSpec{Name: "tx",
+		Program: Sequence(Compute(10*sim.Millisecond), Send(rx, 64))}, 0)
+	r.drain(t) // must not deadlock or panic
+}
+
+func TestZeroComputeActionSkipped(t *testing.T) {
+	r := newRig(smallHost(), nil)
+	task := r.s.Spawn(TaskSpec{Name: "zero",
+		Program: Sequence(Compute(0), Compute(sim.Millisecond))}, 0)
+	r.drain(t)
+	if !task.Finished() {
+		t.Fatal("zero compute wedged the program")
+	}
+}
+
+func TestSMTContentionSlowsSiblings(t *testing.T) {
+	topo, _ := topology.New("smt", 1, 1, 2) // one core, two threads
+	r := newRig(topo, nil)
+	for i := 0; i < 2; i++ {
+		r.s.Spawn(TaskSpec{Name: "s", Program: Sequence(Compute(100 * sim.Millisecond))}, 0)
+	}
+	r.drain(t)
+	// Two threads on SMT siblings of one core: slower than perfect 100ms.
+	if r.eng.Now() < 110*sim.Millisecond {
+		t.Fatalf("SMT contention missing: %v", r.eng.Now())
+	}
+}

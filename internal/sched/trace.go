@@ -1,0 +1,105 @@
+package sched
+
+import "repro/internal/sim"
+
+// TraceKind enumerates scheduler trace events. The trace stream is the
+// simulator's analog of the kernel tracepoints BCC tools attach to
+// (sched_switch, sched_wakeup, ...); the paper's profiling methodology
+// (§III-A) builds cpudist and offcputime from exactly these events.
+type TraceKind uint8
+
+const (
+	// TraceSpawn fires when a task arrives (becomes known to the scheduler).
+	TraceSpawn TraceKind = iota
+	// TraceRunStart fires when a task is dispatched onto a CPU.
+	TraceRunStart
+	// TraceRunEnd fires when a task leaves a CPU (slice end, preemption,
+	// block, or completion).
+	TraceRunEnd
+	// TraceBlock fires when a task enters a blocked state; Block carries the
+	// reason.
+	TraceBlock
+	// TraceWake fires when a blocked task becomes runnable again.
+	TraceWake
+	// TraceFinish fires when a task terminates.
+	TraceFinish
+	// TraceThrottle fires once per group throttle (the group's tasks stop
+	// being runnable until the next bandwidth period).
+	TraceThrottle
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSpawn:
+		return "spawn"
+	case TraceRunStart:
+		return "run-start"
+	case TraceRunEnd:
+		return "run-end"
+	case TraceBlock:
+		return "block"
+	case TraceWake:
+		return "wake"
+	case TraceFinish:
+		return "finish"
+	case TraceThrottle:
+		return "throttle"
+	}
+	return "unknown"
+}
+
+// BlockKind classifies why a task went off-CPU into a blocked state.
+type BlockKind uint8
+
+const (
+	// BlockNone: not blocked (e.g. preempted while runnable).
+	BlockNone BlockKind = iota
+	// BlockIO: waiting for a device completion (disk/NIC IRQ path).
+	BlockIO
+	// BlockRecv: waiting for a message from another task.
+	BlockRecv
+	// BlockSleep: timed sleep (paced arrivals, think time).
+	BlockSleep
+)
+
+func (b BlockKind) String() string {
+	switch b {
+	case BlockNone:
+		return "runqueue"
+	case BlockIO:
+		return "io"
+	case BlockRecv:
+		return "recv"
+	case BlockSleep:
+		return "sleep"
+	}
+	return "unknown"
+}
+
+// TraceEvent is one scheduler tracepoint firing.
+type TraceEvent struct {
+	Kind  TraceKind
+	Task  *Task // nil for TraceThrottle
+	CPU   int   // valid for RunStart/RunEnd; -1 otherwise
+	At    sim.Time
+	Block BlockKind // valid for TraceBlock
+	// Group names the task's cgroup ("" for ungrouped tasks and for
+	// group-level events with no group name).
+	Group string
+}
+
+// TraceFn receives trace events. It runs synchronously inside the scheduler:
+// implementations must not call back into the scheduler.
+type TraceFn func(TraceEvent)
+
+// emit fires a trace event if tracing is enabled.
+func (s *Scheduler) emit(kind TraceKind, t *Task, cpu int, block BlockKind) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	ev := TraceEvent{Kind: kind, Task: t, CPU: cpu, At: s.eng.Now(), Block: block}
+	if t != nil && t.Spec.Group != nil {
+		ev.Group = t.Spec.Group.Name
+	}
+	s.cfg.Trace(ev)
+}

@@ -1,0 +1,93 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (splitmix64-seeded xorshift64*). Every simulation run owns its own RNG so
+// repeated runs with the same seed replay event-for-event.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64 so that nearby
+// seeds produce unrelated streams.
+func NewRNG(seed uint64) *RNG {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: z}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean, for Poisson event processes.
+func (r *RNG) ExpDuration(mean Time) Time {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := -float64(mean) * math.Log(u)
+	if d > float64(math.MaxInt64/2) {
+		d = float64(math.MaxInt64 / 2)
+	}
+	return Time(d)
+}
+
+// Normal returns a normally distributed value (Box–Muller) with the given
+// mean and standard deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f]; used to add
+// bounded run-to-run noise to service times.
+func (r *RNG) Jitter(d Time, f float64) Time {
+	if f <= 0 {
+		return d
+	}
+	scale := 1 + f*(2*r.Float64()-1)
+	return Time(float64(d) * scale)
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

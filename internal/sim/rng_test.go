@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+func TestRNGSeedSeparation(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(4)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpDurationMean(t *testing.T) {
+	r := NewRNG(5)
+	const mean = 10 * Millisecond
+	var sum Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(mean)
+		if d < 0 {
+			t.Fatalf("negative duration %v", d)
+		}
+		sum += d
+	}
+	got := float64(sum) / n / float64(mean)
+	if got < 0.95 || got > 1.05 {
+		t.Fatalf("exponential mean off by %v×", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(6)
+	var sum, sq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < 4.9 || mean > 5.1 {
+		t.Fatalf("normal mean %v, want ≈5", mean)
+	}
+	if variance < 3.6 || variance > 4.4 {
+		t.Fatalf("normal variance %v, want ≈4", variance)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(8)
+	const base = 100 * Millisecond
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(base, 0.1)
+		if v < 90*Millisecond || v > 110*Millisecond {
+			t.Fatalf("jitter out of ±10%%: %v", v)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("zero jitter must be identity")
+	}
+}
+
+// Property: Perm returns a permutation of [0,n).
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("mean: %+v", s)
+	}
+	if math.Abs(s.Stddev-2.138) > 0.01 {
+		t.Fatalf("stddev %v", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max: %+v", s)
+	}
+	// CI95 = t(7) × s/√8 = 2.365 × 2.138/2.828 ≈ 1.788
+	if math.Abs(s.CI95-1.788) > 0.01 {
+		t.Fatalf("ci95 %v", s.CI95)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty: %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.CI95 != 0 || s.Stddev != 0 {
+		t.Fatalf("singleton: %+v", s)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !math.IsNaN(TCritical95(1)) {
+		t.Fatal("n=1 has no CI")
+	}
+	if TCritical95(2) != 12.706 {
+		t.Fatal("df=1")
+	}
+	if TCritical95(21) != 2.086 {
+		t.Fatal("df=20")
+	}
+	if TCritical95(500) != 1.96 {
+		t.Fatal("large df must fall back to normal")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 {
+		t.Fatal("ratio")
+	}
+	if !math.IsNaN(Ratio(4, 0)) {
+		t.Fatal("zero baseline must be NaN")
+	}
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	if Median(xs) != 5 {
+		t.Fatalf("median %v", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 9 {
+		t.Fatal("percentile extremes")
+	}
+	if Percentile(xs, -5) != 1 || Percentile(xs, 200) != 9 {
+		t.Fatal("percentile clamping")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Summary{Mean: 10, CI95: 1}
+	b := Summary{Mean: 11.5, CI95: 1}
+	if !Overlaps(a, b) {
+		t.Fatal("CIs [9,11] and [10.5,12.5] overlap")
+	}
+	c := Summary{Mean: 20, CI95: 1}
+	if Overlaps(a, c) {
+		t.Fatal("distant CIs must not overlap")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatal(s.String())
+	}
+}
+
+// Property: mean is bounded by min and max; stddev non-negative; sorting
+// invariance of Median.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-6 || s.Mean > s.Max+1e-6 {
+			return false
+		}
+		if s.Stddev < 0 {
+			return false
+		}
+		med := Median(xs)
+		return med >= s.Min && med <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package topology models CPU topologies (sockets, cores, SMT threads, cache
+// sharing and NUMA distance) and provides the CPUSet type used everywhere a
+// set of logical CPUs is needed: scheduler affinity masks, cgroup cpusets,
+// pinning plans, and the real-affinity syscall wrappers.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxCPUs is the largest logical CPU id + 1 representable in a CPUSet.
+const MaxCPUs = 1024
+
+const setWords = MaxCPUs / 64
+
+// CPUSet is a fixed-size bitmask of logical CPU ids. The zero value is the
+// empty set. CPUSet is a value type: methods that modify it take a pointer
+// receiver; set-algebra methods return new sets.
+type CPUSet struct {
+	bits [setWords]uint64
+}
+
+// NewCPUSet returns a set containing the given CPUs.
+func NewCPUSet(cpus ...int) CPUSet {
+	var s CPUSet
+	for _, c := range cpus {
+		s.Add(c)
+	}
+	return s
+}
+
+// Range returns the set {lo, lo+1, ..., hi} (inclusive).
+func Range(lo, hi int) CPUSet {
+	var s CPUSet
+	for c := lo; c <= hi; c++ {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts cpu into the set. Out-of-range ids panic: they are model bugs.
+func (s *CPUSet) Add(cpu int) {
+	if cpu < 0 || cpu >= MaxCPUs {
+		panic(fmt.Sprintf("topology: cpu %d out of range", cpu))
+	}
+	s.bits[cpu/64] |= 1 << uint(cpu%64)
+}
+
+// Remove deletes cpu from the set.
+func (s *CPUSet) Remove(cpu int) {
+	if cpu < 0 || cpu >= MaxCPUs {
+		return
+	}
+	s.bits[cpu/64] &^= 1 << uint(cpu%64)
+}
+
+// Contains reports whether cpu is in the set.
+func (s CPUSet) Contains(cpu int) bool {
+	if cpu < 0 || cpu >= MaxCPUs {
+		return false
+	}
+	return s.bits[cpu/64]&(1<<uint(cpu%64)) != 0
+}
+
+// Count returns the number of CPUs in the set.
+func (s CPUSet) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no CPUs.
+func (s CPUSet) IsEmpty() bool {
+	for _, w := range s.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two sets contain exactly the same CPUs.
+func (s CPUSet) Equal(o CPUSet) bool { return s.bits == o.bits }
+
+// Union returns s ∪ o.
+func (s CPUSet) Union(o CPUSet) CPUSet {
+	var r CPUSet
+	for i := range s.bits {
+		r.bits[i] = s.bits[i] | o.bits[i]
+	}
+	return r
+}
+
+// Intersect returns s ∩ o.
+func (s CPUSet) Intersect(o CPUSet) CPUSet {
+	var r CPUSet
+	for i := range s.bits {
+		r.bits[i] = s.bits[i] & o.bits[i]
+	}
+	return r
+}
+
+// Difference returns s \ o.
+func (s CPUSet) Difference(o CPUSet) CPUSet {
+	var r CPUSet
+	for i := range s.bits {
+		r.bits[i] = s.bits[i] &^ o.bits[i]
+	}
+	return r
+}
+
+// IsSubsetOf reports whether every CPU in s is also in o.
+func (s CPUSet) IsSubsetOf(o CPUSet) bool {
+	for i := range s.bits {
+		if s.bits[i]&^o.bits[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// First returns the lowest CPU id in the set, or -1 if empty.
+func (s CPUSet) First() int {
+	for i, w := range s.bits {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Next returns the lowest CPU id strictly greater than cpu, or -1.
+func (s CPUSet) Next(cpu int) int {
+	start := cpu + 1
+	if start < 0 {
+		start = 0
+	}
+	if start >= MaxCPUs {
+		return -1
+	}
+	w := s.bits[start/64] >> uint(start%64)
+	if w != 0 {
+		return start + bits.TrailingZeros64(w)
+	}
+	for i := start/64 + 1; i < setWords; i++ {
+		if s.bits[i] != 0 {
+			return i*64 + bits.TrailingZeros64(s.bits[i])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for each CPU in ascending order; returning false stops.
+func (s CPUSet) ForEach(fn func(cpu int) bool) {
+	for c := s.First(); c >= 0; c = s.Next(c) {
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+// Slice returns the CPUs in ascending order.
+func (s CPUSet) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(c int) bool { out = append(out, c); return true })
+	return out
+}
+
+// String formats the set in Linux cpu-list syntax, e.g. "0-3,8,10-11".
+// The empty set formats as "".
+func (s CPUSet) String() string {
+	var b strings.Builder
+	first := true
+	c := s.First()
+	for c >= 0 {
+		runEnd := c
+		for s.Contains(runEnd + 1) {
+			runEnd++
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if runEnd == c {
+			fmt.Fprintf(&b, "%d", c)
+		} else {
+			fmt.Fprintf(&b, "%d-%d", c, runEnd)
+		}
+		c = s.Next(runEnd)
+	}
+	return b.String()
+}
+
+// ParseList parses Linux cpu-list syntax ("0-3,8,10-11"). An empty string
+// yields the empty set. Whitespace around items is tolerated.
+func ParseList(list string) (CPUSet, error) {
+	var s CPUSet
+	list = strings.TrimSpace(list)
+	if list == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return CPUSet{}, fmt.Errorf("topology: empty item in cpu list %q", list)
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return CPUSet{}, fmt.Errorf("topology: bad cpu range %q: %v", part, err)
+			}
+			b, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return CPUSet{}, fmt.Errorf("topology: bad cpu range %q: %v", part, err)
+			}
+			if a < 0 || b >= MaxCPUs || a > b {
+				return CPUSet{}, fmt.Errorf("topology: bad cpu range %q", part)
+			}
+			for c := a; c <= b; c++ {
+				s.Add(c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil {
+			return CPUSet{}, fmt.Errorf("topology: bad cpu %q: %v", part, err)
+		}
+		if c < 0 || c >= MaxCPUs {
+			return CPUSet{}, fmt.Errorf("topology: cpu %d out of range", c)
+		}
+		s.Add(c)
+	}
+	return s, nil
+}
+
+// MustParseList is ParseList that panics on error; for constants in tests
+// and examples.
+func MustParseList(list string) CPUSet {
+	s, err := ParseList(list)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TakeLowest returns a subset holding the n lowest-numbered CPUs of s (all of
+// s if n >= Count).
+func (s CPUSet) TakeLowest(n int) CPUSet {
+	var r CPUSet
+	taken := 0
+	s.ForEach(func(c int) bool {
+		if taken >= n {
+			return false
+		}
+		r.Add(c)
+		taken++
+		return true
+	})
+	return r
+}

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// KeyFn maps a task to the aggregation key its samples are filed under.
+// BCC tools aggregate by process name or cgroup; the default key is the
+// task's cgroup name, falling back to "host" for ungrouped tasks.
+type KeyFn func(t *sched.Task) string
+
+// DefaultKey groups samples by cgroup name ("host" when ungrouped).
+func DefaultKey(t *sched.Task) string {
+	if t == nil {
+		return "host"
+	}
+	if g := t.Spec.Group; g != nil {
+		return g.Name
+	}
+	return "host"
+}
+
+// ByTaskName keys samples by the task's configured name.
+func ByTaskName(t *sched.Task) string {
+	if t == nil {
+		return "?"
+	}
+	return t.Spec.Name
+}
+
+// taskTrack is the per-task state machine stitching trace events into
+// on-CPU and off-CPU intervals.
+type taskTrack struct {
+	lastRunStart sim.Time
+	lastRunEnd   sim.Time
+	running      bool
+	everRan      bool
+	offReason    sched.BlockKind // why the task went off-CPU (BlockNone = runqueue)
+	wokenAt      sim.Time
+	hasWake      bool
+}
+
+// Collector subscribes to a scheduler's tracepoint stream and builds the
+// paper's two BCC instruments plus per-CPU busy time. Attach its Fn to
+// sched.Config.Trace (or machine.Config.Trace) before the run.
+type Collector struct {
+	Key KeyFn
+
+	// OnCPU is cpudist: per key, the distribution of times spent on a CPU
+	// per scheduling interval.
+	OnCPU map[string]*Hist
+	// OffCPU is offcputime: per key and block reason, the distribution of
+	// times spent off the CPU between two run intervals.
+	OffCPU map[string]map[sched.BlockKind]*Hist
+	// RunqLatency is runqlat: the delay between a wakeup and the next
+	// dispatch of the woken task.
+	RunqLatency map[string]*Hist
+
+	cpuBusy   map[int]sim.Time
+	tracks    map[*sched.Task]*taskTrack
+	throttles map[string]uint64
+	first     sim.Time
+	last      sim.Time
+	seen      bool
+	events    uint64
+}
+
+// NewCollector returns an empty collector aggregating by key (nil =
+// DefaultKey).
+func NewCollector(key KeyFn) *Collector {
+	if key == nil {
+		key = DefaultKey
+	}
+	return &Collector{
+		Key:         key,
+		OnCPU:       make(map[string]*Hist),
+		OffCPU:      make(map[string]map[sched.BlockKind]*Hist),
+		RunqLatency: make(map[string]*Hist),
+		cpuBusy:     make(map[int]sim.Time),
+		tracks:      make(map[*sched.Task]*taskTrack),
+		throttles:   make(map[string]uint64),
+	}
+}
+
+// Fn returns the TraceFn to plug into sched.Config.Trace.
+func (c *Collector) Fn() sched.TraceFn { return c.handle }
+
+// Events returns the number of trace events consumed.
+func (c *Collector) Events() uint64 { return c.events }
+
+// Span returns the time range covered by the consumed events.
+func (c *Collector) Span() (first, last sim.Time) { return c.first, c.last }
+
+// Throttles returns per-group throttle counts observed in the stream.
+func (c *Collector) Throttles() map[string]uint64 {
+	out := make(map[string]uint64, len(c.throttles))
+	for k, v := range c.throttles {
+		out[k] = v
+	}
+	return out
+}
+
+// CPUBusy returns the accumulated on-CPU time per CPU id.
+func (c *Collector) CPUBusy() map[int]sim.Time {
+	out := make(map[int]sim.Time, len(c.cpuBusy))
+	for k, v := range c.cpuBusy {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Collector) track(t *sched.Task) *taskTrack {
+	tr := c.tracks[t]
+	if tr == nil {
+		tr = &taskTrack{}
+		c.tracks[t] = tr
+	}
+	return tr
+}
+
+func (c *Collector) onCPUHist(key string) *Hist {
+	h := c.OnCPU[key]
+	if h == nil {
+		h = NewHist(0)
+		c.OnCPU[key] = h
+	}
+	return h
+}
+
+func (c *Collector) offCPUHist(key string, reason sched.BlockKind) *Hist {
+	m := c.OffCPU[key]
+	if m == nil {
+		m = make(map[sched.BlockKind]*Hist)
+		c.OffCPU[key] = m
+	}
+	h := m[reason]
+	if h == nil {
+		h = NewHist(0)
+		m[reason] = h
+	}
+	return h
+}
+
+func (c *Collector) runqHist(key string) *Hist {
+	h := c.RunqLatency[key]
+	if h == nil {
+		h = NewHist(0)
+		c.RunqLatency[key] = h
+	}
+	return h
+}
+
+func (c *Collector) handle(ev sched.TraceEvent) {
+	c.events++
+	if !c.seen || ev.At < c.first {
+		c.first = ev.At
+		c.seen = true
+	}
+	if ev.At > c.last {
+		c.last = ev.At
+	}
+	if ev.Kind == sched.TraceThrottle {
+		c.throttles[ev.Group]++
+		return
+	}
+	t := ev.Task
+	if t == nil {
+		return
+	}
+	key := c.Key(t)
+	tr := c.track(t)
+	switch ev.Kind {
+	case sched.TraceRunStart:
+		if tr.everRan && !tr.running {
+			c.offCPUHist(key, tr.offReason).Record(ev.At - tr.lastRunEnd)
+		}
+		if tr.hasWake {
+			c.runqHist(key).Record(ev.At - tr.wokenAt)
+			tr.hasWake = false
+		}
+		tr.running = true
+		tr.everRan = true
+		tr.offReason = sched.BlockNone
+		tr.lastRunStart = ev.At
+	case sched.TraceRunEnd:
+		if tr.running {
+			d := ev.At - tr.lastRunStart
+			c.onCPUHist(key).Record(d)
+			c.cpuBusy[ev.CPU] += d
+			tr.running = false
+			tr.lastRunEnd = ev.At
+		}
+	case sched.TraceBlock:
+		tr.offReason = ev.Block
+	case sched.TraceWake:
+		tr.wokenAt = ev.At
+		tr.hasWake = true
+	case sched.TraceSpawn, sched.TraceFinish:
+		// Lifecycle markers; intervals handled via run events.
+	}
+}
+
+// Report renders the collected instruments in BCC's style: one cpudist
+// histogram per key, one offcputime histogram per key and reason, runqlat,
+// and the utilization summary.
+func (c *Collector) Report(w io.Writer) {
+	keys := c.sortedKeys()
+	fmt.Fprintf(w, "== cpudist (on-CPU time per scheduling interval, usecs) ==\n")
+	for _, k := range keys {
+		if h := c.OnCPU[k]; h != nil && h.Count() > 0 {
+			fmt.Fprintf(w, "\n[%s]\n", k)
+			h.Render(w, "usecs")
+		}
+	}
+	fmt.Fprintf(w, "\n== offcputime (blocked/waiting durations, usecs) ==\n")
+	for _, k := range keys {
+		reasons := c.sortedReasons(k)
+		for _, r := range reasons {
+			h := c.OffCPU[k][r]
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "\n[%s / %s]\n", k, r)
+			h.Render(w, "usecs")
+		}
+	}
+	fmt.Fprintf(w, "\n== runqlat (wakeup-to-dispatch latency, usecs) ==\n")
+	for _, k := range keys {
+		if h := c.RunqLatency[k]; h != nil && h.Count() > 0 {
+			fmt.Fprintf(w, "\n[%s]\n", k)
+			h.Render(w, "usecs")
+		}
+	}
+	c.reportUtilization(w)
+	if len(c.throttles) > 0 {
+		fmt.Fprintf(w, "\n== cgroup throttles ==\n")
+		var gs []string
+		for g := range c.throttles {
+			gs = append(gs, g)
+		}
+		sort.Strings(gs)
+		for _, g := range gs {
+			fmt.Fprintf(w, "  %-20s %d\n", g, c.throttles[g])
+		}
+	}
+}
+
+func (c *Collector) reportUtilization(w io.Writer) {
+	if !c.seen || c.last <= c.first {
+		return
+	}
+	span := c.last - c.first
+	var ids []int
+	for id := range c.cpuBusy {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var total sim.Time
+	for _, id := range ids {
+		total += c.cpuBusy[id]
+	}
+	fmt.Fprintf(w, "\n== cpu utilization (span %v, %d CPUs touched) ==\n", span, len(ids))
+	for _, id := range ids {
+		util := float64(c.cpuBusy[id]) / float64(span) * 100
+		fmt.Fprintf(w, "  cpu%-4d %6.1f%%\n", id, util)
+	}
+	if len(ids) > 0 {
+		fmt.Fprintf(w, "  total busy %v across %d CPUs\n", total, len(ids))
+	}
+}
+
+func (c *Collector) sortedKeys() []string {
+	set := map[string]bool{}
+	for k := range c.OnCPU {
+		set[k] = true
+	}
+	for k := range c.OffCPU {
+		set[k] = true
+	}
+	for k := range c.RunqLatency {
+		set[k] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (c *Collector) sortedReasons(key string) []sched.BlockKind {
+	m := c.OffCPU[key]
+	reasons := make([]sched.BlockKind, 0, len(m))
+	for r := range m {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	return reasons
+}

@@ -1,0 +1,207 @@
+// Package trace is the simulator's analog of the BCC (BPF Compiler
+// Collection) kernel-tracing toolkit the paper uses for its profiling
+// methodology (§III-A): "we used cpudist and offcputime to monitor and
+// profile the instantaneous status of the processes in the OS scheduler."
+//
+// The scheduler exposes a tracepoint stream (sched.TraceEvent); this package
+// turns it into the two instruments the paper relies on — cpudist (how long
+// tasks stay on a CPU per scheduling interval) and offcputime (how long and
+// why they stay off) — plus per-CPU utilization, rendered in the familiar
+// BCC ASCII-histogram format.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// histBuckets is the number of power-of-two buckets: bucket i counts samples
+// in [2^i, 2^(i+1)) of the histogram's unit. 64 buckets cover any int64.
+const histBuckets = 64
+
+// Hist is a BCC-style power-of-two histogram of durations.
+type Hist struct {
+	// Unit is the duration of one histogram unit (BCC tools default to
+	// microseconds). Zero means microseconds.
+	Unit sim.Time
+
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     sim.Time
+	min     sim.Time
+	max     sim.Time
+}
+
+// NewHist returns a histogram with the given unit (0 = microseconds).
+func NewHist(unit sim.Time) *Hist {
+	if unit <= 0 {
+		unit = sim.Microsecond
+	}
+	return &Hist{Unit: unit}
+}
+
+func (h *Hist) unit() sim.Time {
+	if h.Unit <= 0 {
+		return sim.Microsecond
+	}
+	return h.Unit
+}
+
+// bucketOf returns the bucket index for a duration: floor(log2(d/unit)),
+// with sub-unit durations landing in bucket 0.
+func (h *Hist) bucketOf(d sim.Time) int {
+	v := uint64(d / h.unit())
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v) - 1
+}
+
+// Record adds one duration sample. Negative durations are clamped to zero.
+func (h *Hist) Record(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[h.bucketOf(d)]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Sum returns the total of all recorded durations.
+func (h *Hist) Sum() sim.Time { return h.sum }
+
+// Min returns the smallest recorded duration (0 if empty).
+func (h *Hist) Min() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded duration (0 if empty).
+func (h *Hist) Max() sim.Time { return h.max }
+
+// Mean returns the average duration (0 if empty).
+func (h *Hist) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Buckets returns a copy of the bucket counts.
+func (h *Hist) Buckets() []uint64 {
+	out := make([]uint64, histBuckets)
+	copy(out[:], h.buckets[:])
+	return out
+}
+
+// Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
+// from the bucket boundaries: the top edge of the bucket holding the p-th
+// sample. Returns 0 for an empty histogram.
+func (h *Hist) Percentile(p float64) sim.Time {
+	if h.count == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(p / 100 * float64(h.count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			return h.unit() << uint(i+1)
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's samples into h. The units must match.
+func (h *Hist) Merge(other *Hist) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if h.unit() != other.unit() {
+		return fmt.Errorf("trace: merging histograms of different units (%v vs %v)", h.unit(), other.unit())
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	return nil
+}
+
+// Render writes the histogram in BCC's ASCII format:
+//
+//	usecs               : count     distribution
+//	    0 -> 1          : 0        |                    |
+//	    2 -> 3          : 12       |****                |
+func (h *Hist) Render(w io.Writer, label string) {
+	const barWidth = 40
+	lo, hi := h.renderRange()
+	var peak uint64
+	for i := lo; i <= hi; i++ {
+		if h.buckets[i] > peak {
+			peak = h.buckets[i]
+		}
+	}
+	fmt.Fprintf(w, "     %-19s : count     distribution\n", label)
+	for i := lo; i <= hi; i++ {
+		loEdge := uint64(0)
+		if i > 0 {
+			loEdge = 1 << uint(i)
+		}
+		hiEdge := uint64(1<<uint(i+1)) - 1
+		stars := 0
+		if peak > 0 {
+			stars = int(h.buckets[i] * barWidth / peak)
+		}
+		fmt.Fprintf(w, "%10d -> %-10d : %-8d |%-*s|\n",
+			loEdge, hiEdge, h.buckets[i], barWidth, strings.Repeat("*", stars))
+	}
+	if h.count > 0 {
+		fmt.Fprintf(w, "     samples %d, avg %v, min %v, max %v\n",
+			h.count, h.Mean(), h.Min(), h.Max())
+	}
+}
+
+// renderRange picks the non-empty bucket span (always at least bucket 0).
+func (h *Hist) renderRange() (lo, hi int) {
+	lo, hi = -1, 0
+	for i, c := range h.buckets {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}

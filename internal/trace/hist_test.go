@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistBucketBoundaries(t *testing.T) {
+	h := NewHist(sim.Microsecond)
+	cases := []struct {
+		d      sim.Time
+		bucket int
+	}{
+		{0, 0},
+		{sim.Nanosecond, 0},      // sub-unit
+		{sim.Microsecond, 0},     // [1,2)
+		{2 * sim.Microsecond, 1}, // [2,4)
+		{3 * sim.Microsecond, 1},
+		{4 * sim.Microsecond, 2},
+		{1023 * sim.Microsecond, 9},
+		{1024 * sim.Microsecond, 10},
+	}
+	for _, c := range cases {
+		if got := h.bucketOf(c.d); got != c.bucket {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.bucket)
+		}
+	}
+}
+
+func TestHistStats(t *testing.T) {
+	h := NewHist(0) // default usec
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram stats must be zero")
+	}
+	h.Record(10 * sim.Microsecond)
+	h.Record(20 * sim.Microsecond)
+	h.Record(30 * sim.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 60*sim.Microsecond {
+		t.Fatalf("sum %v", h.Sum())
+	}
+	if h.Mean() != 20*sim.Microsecond {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if h.Min() != 10*sim.Microsecond || h.Max() != 30*sim.Microsecond {
+		t.Fatalf("min/max %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	h := NewHist(0)
+	h.Record(-5 * sim.Microsecond)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatal("negative samples must clamp to zero")
+	}
+}
+
+func TestHistPercentileMonotone(t *testing.T) {
+	h := NewHist(0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		h.Record(sim.Time(rng.Int63n(int64(10 * sim.Millisecond))))
+	}
+	prev := sim.Time(0)
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+	if h.Percentile(100) < h.Max() {
+		t.Fatal("p100 upper bound must cover the max")
+	}
+}
+
+func TestHistMergeEqualsUnion(t *testing.T) {
+	a, b, u := NewHist(0), NewHist(0), NewHist(0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		d := sim.Time(rng.Int63n(int64(sim.Second)))
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		u.Record(d)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != u.Count() || a.Sum() != u.Sum() || a.Min() != u.Min() || a.Max() != u.Max() {
+		t.Fatal("merge must equal recording the union")
+	}
+	ab, ub := a.Buckets(), u.Buckets()
+	for i := range ab {
+		if ab[i] != ub[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, ab[i], ub[i])
+		}
+	}
+}
+
+func TestHistMergeUnitMismatch(t *testing.T) {
+	a := NewHist(sim.Microsecond)
+	b := NewHist(sim.Millisecond)
+	b.Record(sim.Millisecond)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("unit mismatch must error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal("nil merge is a no-op")
+	}
+	empty := NewHist(sim.Millisecond)
+	if err := a.Merge(empty); err != nil {
+		t.Fatal("empty merge is a no-op regardless of unit")
+	}
+}
+
+func TestHistRender(t *testing.T) {
+	h := NewHist(0)
+	for i := 0; i < 8; i++ {
+		h.Record(3 * sim.Microsecond)
+	}
+	h.Record(100 * sim.Microsecond)
+	var buf bytes.Buffer
+	h.Render(&buf, "usecs")
+	out := buf.String()
+	if !strings.Contains(out, "usecs") || !strings.Contains(out, "distribution") {
+		t.Fatalf("render header:\n%s", out)
+	}
+	if !strings.Contains(out, "****") {
+		t.Fatalf("render bars:\n%s", out)
+	}
+	if !strings.Contains(out, "samples 9") {
+		t.Fatalf("render summary:\n%s", out)
+	}
+	var empty bytes.Buffer
+	NewHist(0).Render(&empty, "usecs")
+	if !strings.Contains(empty.String(), "count") {
+		t.Fatal("empty histogram still renders a header")
+	}
+}
+
+// Property: count is conserved, sum equals the sample total, and every
+// sample lands in exactly one bucket.
+func TestHistConservationProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := NewHist(0)
+		var want sim.Time
+		for _, r := range raw {
+			d := sim.Time(r)
+			want += d
+			h.Record(d)
+		}
+		var inBuckets uint64
+		for _, c := range h.Buckets() {
+			inBuckets += c
+		}
+		return h.Count() == uint64(len(raw)) && inBuckets == h.Count() && h.Sum() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the percentile upper bound is ≥ the true percentile for any
+// sample set (bucket top edges bound their contents).
+func TestHistPercentileBoundProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw%100) + 1
+		h := NewHist(0)
+		vals := make([]sim.Time, len(raw))
+		for i, r := range raw {
+			d := sim.Time(r) * sim.Microsecond
+			vals[i] = d
+			h.Record(d)
+		}
+		// True percentile by sorting.
+		for i := 1; i < len(vals); i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+		rank := int(p / 100 * float64(len(vals)))
+		if rank == 0 {
+			rank = 1
+		}
+		truth := vals[rank-1]
+		return h.Percentile(p) >= truth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

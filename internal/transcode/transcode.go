@@ -1,0 +1,200 @@
+// Package transcode is a real CPU-bound kernel standing in for FFmpeg's
+// codec change (§III-B1): synthetic video frames pushed through an 8×8 DCT
+// + quantization + inverse-DCT pipeline by a bounded worker pool (FFmpeg
+// "can utilize up to 16 CPU cores"). cmd/pinbench runs it pinned and
+// unpinned on the real machine; its unit tests double as a correctness
+// check of the DCT round-trip.
+package transcode
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxWorkers mirrors FFmpeg's effective thread cap for the paper's codec.
+const MaxWorkers = 16
+
+// Job describes a synthetic transcode.
+type Job struct {
+	// Width and Height are the frame dimensions in pixels (multiples of 8).
+	Width, Height int
+	// Frames is the number of frames to process.
+	Frames int
+	// Quality selects the quantization strength (1..51, x264-style).
+	Quality int
+	// Workers bounds the pool (clamped to [1, MaxWorkers]).
+	Workers int
+	// Seed makes the synthetic content deterministic.
+	Seed uint64
+}
+
+// DefaultJob is a small HD-like transcode suitable for benchmarks.
+func DefaultJob() Job {
+	return Job{Width: 320, Height: 176, Frames: 48, Quality: 28, Workers: MaxWorkers, Seed: 7}
+}
+
+// Result summarizes a transcode run.
+type Result struct {
+	Frames int
+	// Blocks is the number of 8×8 blocks processed.
+	Blocks int64
+	// PSNR is the reconstruction quality in dB (sanity check that the
+	// pipeline computed something real).
+	PSNR float64
+}
+
+// Run executes the job.
+func Run(job Job) (Result, error) {
+	if job.Width <= 0 || job.Height <= 0 || job.Width%8 != 0 || job.Height%8 != 0 {
+		return Result{}, fmt.Errorf("transcode: frame %dx%d must be positive multiples of 8", job.Width, job.Height)
+	}
+	if job.Frames <= 0 {
+		return Result{}, fmt.Errorf("transcode: need at least one frame, got %d", job.Frames)
+	}
+	if job.Quality < 1 || job.Quality > 51 {
+		return Result{}, fmt.Errorf("transcode: quality %d out of range 1..51", job.Quality)
+	}
+	workers := job.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > MaxWorkers {
+		workers = MaxWorkers
+	}
+
+	frames := make(chan int, job.Frames)
+	for f := 0; f < job.Frames; f++ {
+		frames <- f
+	}
+	close(frames)
+
+	var blocks atomic.Int64
+	var sqErr, samples atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range frames {
+				se, n, nb := processFrame(job, f)
+				sqErr.Add(se)
+				samples.Add(n)
+				blocks.Add(nb)
+			}
+		}()
+	}
+	wg.Wait()
+
+	mse := float64(sqErr.Load()) / float64(samples.Load())
+	psnr := math.Inf(1)
+	if mse > 0 {
+		psnr = 10 * math.Log10(255*255/mse)
+	}
+	return Result{Frames: job.Frames, Blocks: blocks.Load(), PSNR: psnr}, nil
+}
+
+// processFrame synthesizes one frame and pushes each 8×8 block through
+// DCT → quantize → dequantize → IDCT, accumulating reconstruction error.
+func processFrame(job Job, frame int) (sqErr, samples, blocks int64) {
+	q := float64(job.Quality)
+	state := job.Seed + uint64(frame)*0x9e3779b97f4a7c15
+	var src, rec [64]float64
+	for by := 0; by < job.Height/8; by++ {
+		for bx := 0; bx < job.Width/8; bx++ {
+			// Synthetic content: smooth gradients + hash noise, so the
+			// DCT has realistic energy distribution.
+			for i := 0; i < 64; i++ {
+				x := bx*8 + i%8
+				y := by*8 + i/8
+				state = state*6364136223846793005 + 1442695040888963407
+				noise := float64(state>>56) / 8
+				src[i] = 128 + 64*math.Sin(float64(x+frame)/17) + 32*math.Cos(float64(y)/11) + noise
+				if src[i] < 0 {
+					src[i] = 0
+				}
+				if src[i] > 255 {
+					src[i] = 255
+				}
+			}
+			var coef [64]float64
+			fdct8x8(&src, &coef)
+			for i := 0; i < 64; i++ {
+				step := 1 + q*float64(1+i/8+i%8)/8
+				coef[i] = math.Round(coef[i]/step) * step
+			}
+			idct8x8(&coef, &rec)
+			for i := 0; i < 64; i++ {
+				d := int64(math.Round(src[i] - rec[i]))
+				sqErr += d * d
+			}
+			samples += 64
+			blocks++
+		}
+	}
+	return sqErr, samples, blocks
+}
+
+var cosTable [8][8]float64
+
+func init() {
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			cosTable[k][n] = math.Cos(math.Pi * float64(k) * (2*float64(n) + 1) / 16)
+		}
+	}
+}
+
+func alpha(k int) float64 {
+	if k == 0 {
+		return math.Sqrt(1.0 / 8)
+	}
+	return math.Sqrt(2.0 / 8)
+}
+
+// fdct8x8 computes the 2-D type-II DCT of an 8×8 block (rows then columns).
+func fdct8x8(src, dst *[64]float64) {
+	var tmp [64]float64
+	for r := 0; r < 8; r++ {
+		for k := 0; k < 8; k++ {
+			var s float64
+			for n := 0; n < 8; n++ {
+				s += src[r*8+n] * cosTable[k][n]
+			}
+			tmp[r*8+k] = alpha(k) * s
+		}
+	}
+	for c := 0; c < 8; c++ {
+		for k := 0; k < 8; k++ {
+			var s float64
+			for n := 0; n < 8; n++ {
+				s += tmp[n*8+c] * cosTable[k][n]
+			}
+			dst[k*8+c] = alpha(k) * s
+		}
+	}
+}
+
+// idct8x8 inverts fdct8x8.
+func idct8x8(src, dst *[64]float64) {
+	var tmp [64]float64
+	for c := 0; c < 8; c++ {
+		for n := 0; n < 8; n++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				s += alpha(k) * src[k*8+c] * cosTable[k][n]
+			}
+			tmp[n*8+c] = s
+		}
+	}
+	for r := 0; r < 8; r++ {
+		for n := 0; n < 8; n++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				s += alpha(k) * tmp[r*8+k] * cosTable[k][n]
+			}
+			dst[r*8+n] = s
+		}
+	}
+}

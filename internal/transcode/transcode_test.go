@@ -1,0 +1,142 @@
+package transcode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunValidation(t *testing.T) {
+	bad := []Job{
+		{Width: 100, Height: 64, Frames: 1, Quality: 20}, // width not ×8
+		{Width: 64, Height: 100, Frames: 1, Quality: 20}, // height not ×8
+		{Width: 64, Height: 64, Frames: 0, Quality: 20},  // no frames
+		{Width: 64, Height: 64, Frames: 1, Quality: 0},   // quality low
+		{Width: 64, Height: 64, Frames: 1, Quality: 99},  // quality high
+		{Width: -8, Height: 64, Frames: 1, Quality: 20},  // negative
+	}
+	for i, job := range bad {
+		if _, err := Run(job); err == nil {
+			t.Errorf("job %d should have failed validation", i)
+		}
+	}
+}
+
+func TestRunProducesExpectedBlocks(t *testing.T) {
+	job := Job{Width: 64, Height: 32, Frames: 3, Quality: 28, Workers: 2, Seed: 1}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks := int64(64 / 8 * 32 / 8 * 3)
+	if res.Blocks != wantBlocks {
+		t.Fatalf("blocks %d, want %d", res.Blocks, wantBlocks)
+	}
+	if res.Frames != 3 {
+		t.Fatal("frames")
+	}
+}
+
+func TestQualityMonotonicity(t *testing.T) {
+	base := Job{Width: 64, Height: 64, Frames: 4, Workers: 2, Seed: 3}
+	hq := base
+	hq.Quality = 5
+	lq := base
+	lq.Quality = 50
+	rh, err := Run(hq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(lq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.PSNR <= rl.PSNR {
+		t.Fatalf("higher quality must reconstruct better: %v dB vs %v dB", rh.PSNR, rl.PSNR)
+	}
+	if rh.PSNR < 25 {
+		t.Fatalf("q=5 PSNR too low: %v dB", rh.PSNR)
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// The pipeline must be deterministic in content regardless of worker
+	// count (work partitioning must not change the math).
+	one := Job{Width: 64, Height: 64, Frames: 8, Quality: 30, Workers: 1, Seed: 9}
+	many := one
+	many.Workers = 8
+	r1, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.PSNR-r8.PSNR) > 1e-9 || r1.Blocks != r8.Blocks {
+		t.Fatalf("parallelism changed results: %+v vs %+v", r1, r8)
+	}
+}
+
+func TestWorkerClamping(t *testing.T) {
+	job := Job{Width: 64, Height: 64, Frames: 1, Quality: 20, Workers: 99, Seed: 1}
+	if _, err := Run(job); err != nil {
+		t.Fatal("oversized worker count must clamp, not fail")
+	}
+	job.Workers = -3
+	if _, err := Run(job); err != nil {
+		t.Fatal("negative workers must clamp to 1")
+	}
+}
+
+// Property: the DCT round-trips — IDCT(FDCT(block)) ≈ block without
+// quantization.
+func TestDCTRoundTripProperty(t *testing.T) {
+	f := func(raw [64]int8) bool {
+		var src, coef, rec [64]float64
+		for i, v := range raw {
+			src[i] = float64(v)
+		}
+		fdct8x8(&src, &coef)
+		idct8x8(&coef, &rec)
+		for i := range src {
+			if math.Abs(src[i]-rec[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval — the DCT is orthonormal, so energy is preserved.
+func TestDCTEnergyProperty(t *testing.T) {
+	f := func(raw [64]int8) bool {
+		var src, coef [64]float64
+		var eIn, eOut float64
+		for i, v := range raw {
+			src[i] = float64(v)
+			eIn += src[i] * src[i]
+		}
+		fdct8x8(&src, &coef)
+		for _, c := range coef {
+			eOut += c * c
+		}
+		return math.Abs(eIn-eOut) <= 1e-6*(1+eIn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultJobRuns(t *testing.T) {
+	res, err := Run(DefaultJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PSNR < 20 || res.PSNR > 60 {
+		t.Fatalf("implausible PSNR %v", res.PSNR)
+	}
+}

@@ -1,0 +1,102 @@
+package webapp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig mirrors the paper's JMeter setup: Requests simultaneous web
+// requests from Concurrency client workers.
+type LoadConfig struct {
+	Requests    int
+	Concurrency int
+	Timeout     time.Duration
+}
+
+// DefaultLoad is the paper's 1,000-request burst at a client pool size that
+// saturates without exhausting sockets.
+func DefaultLoad() LoadConfig {
+	return LoadConfig{Requests: 1000, Concurrency: 64, Timeout: 30 * time.Second}
+}
+
+// LoadResult aggregates response times, the paper's Fig 5 metric.
+type LoadResult struct {
+	Requests int
+	Errors   int
+	Elapsed  time.Duration
+	Mean     time.Duration
+	Median   time.Duration
+	P95      time.Duration
+	Max      time.Duration
+}
+
+// RunLoad fires cfg.Requests GETs at baseURL/page/<n> and aggregates
+// response times.
+func RunLoad(baseURL string, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Requests <= 0 {
+		return LoadResult{}, fmt.Errorf("webapp: load needs positive request count, got %d", cfg.Requests)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	lats := make([]time.Duration, cfg.Requests)
+	errs := make([]bool, cfg.Requests)
+	jobs := make(chan int, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/page/%d", baseURL, i))
+				if err != nil {
+					errs[i] = true
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = true
+					continue
+				}
+				lats[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := LoadResult{Requests: cfg.Requests, Elapsed: time.Since(start)}
+	ok := make([]time.Duration, 0, cfg.Requests)
+	var sum time.Duration
+	for i, l := range lats {
+		if errs[i] {
+			res.Errors++
+			continue
+		}
+		ok = append(ok, l)
+		sum += l
+	}
+	if len(ok) > 0 {
+		res.Mean = sum / time.Duration(len(ok))
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		res.Median = ok[len(ok)/2]
+		res.P95 = ok[len(ok)*95/100]
+		res.Max = ok[len(ok)-1]
+	}
+	return res, nil
+}

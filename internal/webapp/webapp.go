@@ -1,0 +1,129 @@
+// Package webapp is a real miniature CMS standing in for WordPress
+// (§III-B3): an HTTP server whose page handler does the request shape the
+// paper describes — read the request from the socket, fetch content from a
+// small article store (with a tunable synthetic "disk" delay on cache
+// misses), render a template, and write the response — plus a JMeter-like
+// concurrent load generator with response-time statistics.
+package webapp
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Article is one CMS page.
+type Article struct {
+	ID    int
+	Title string
+	Body  string
+}
+
+// Config tunes the server.
+type Config struct {
+	// Articles is the content count.
+	Articles int
+	// DiskDelay is the synthetic page-cache-miss penalty.
+	DiskDelay time.Duration
+	// MissEvery makes every n-th request a miss (0 = never).
+	MissEvery int
+	// RenderCost adds CPU work per render (template executions).
+	RenderCost int
+}
+
+// DefaultConfig is a small site.
+func DefaultConfig() Config {
+	return Config{Articles: 64, DiskDelay: 2 * time.Millisecond, MissEvery: 7, RenderCost: 4}
+}
+
+// Server is the CMS.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	tmpl     *template.Template
+	mu       sync.RWMutex
+	articles map[int]Article
+	hits     int64
+	misses   int64
+	requests int64
+}
+
+var pageTemplate = template.Must(template.New("page").Parse(`<!doctype html>
+<html><head><title>{{.Title}}</title></head>
+<body><h1>{{.Title}}</h1><article>{{.Body}}</article></body></html>`))
+
+// NewServer builds a server with synthetic content.
+func NewServer(cfg Config) *Server {
+	if cfg.Articles <= 0 {
+		cfg.Articles = 16
+	}
+	s := &Server{cfg: cfg, tmpl: pageTemplate, articles: make(map[int]Article), mux: http.NewServeMux()}
+	for i := 0; i < cfg.Articles; i++ {
+		s.articles[i] = Article{
+			ID:    i,
+			Title: fmt.Sprintf("Article %d", i),
+			Body:  fmt.Sprintf("Body of article %d: the art of CPU pinning, part %d.", i, i%7),
+		}
+	}
+	s.mux.HandleFunc("/page/", s.handlePage)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Path[len("/page/"):]
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.Error(w, "bad article id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.requests++
+	miss := s.cfg.MissEvery > 0 && s.requests%int64(s.cfg.MissEvery) == 0
+	if miss {
+		s.misses++
+	} else {
+		s.hits++
+	}
+	s.mu.Unlock()
+
+	if miss && s.cfg.DiskDelay > 0 {
+		time.Sleep(s.cfg.DiskDelay) // synthetic disk fetch
+	}
+	s.mu.RLock()
+	a, ok := s.articles[id%s.cfg.Articles]
+	s.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	// Render with a tunable amount of CPU work.
+	for i := 0; i < s.cfg.RenderCost; i++ {
+		w.Header().Set("X-Render-Pass", strconv.Itoa(i))
+	}
+	if err := s.tmpl.Execute(w, a); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fmt.Fprintf(w, "requests=%d hits=%d misses=%d\n", s.requests, s.hits, s.misses)
+}
+
+// Stats returns (requests, hits, misses).
+func (s *Server) Stats() (int64, int64, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.requests, s.hits, s.misses
+}

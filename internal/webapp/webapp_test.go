@@ -1,0 +1,138 @@
+package webapp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func server(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestPageRendering(t *testing.T) {
+	_, ts := server(t, DefaultConfig())
+	resp, err := http.Get(ts.URL + "/page/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "Article 3") {
+		t.Fatalf("body: %s", body)
+	}
+}
+
+func TestPageWrapsArticleIndex(t *testing.T) {
+	_, ts := server(t, Config{Articles: 4})
+	resp, err := http.Get(ts.URL + "/page/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("indices wrap around the article store")
+	}
+}
+
+func TestBadArticleID(t *testing.T) {
+	_, ts := server(t, DefaultConfig())
+	resp, err := http.Get(ts.URL + "/page/xyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthAndStatsEndpoints(t *testing.T) {
+	s, ts := server(t, Config{Articles: 2, MissEvery: 2})
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(ts.URL + "/page/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatal("healthz")
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "requests=4") {
+		t.Fatalf("stats: %s", body)
+	}
+	reqs, hits, misses := s.Stats()
+	if reqs != 4 || hits != 2 || misses != 2 {
+		t.Fatalf("stats: %d/%d/%d", reqs, hits, misses)
+	}
+}
+
+func TestMissDelayApplied(t *testing.T) {
+	_, ts := server(t, Config{Articles: 2, MissEvery: 1, DiskDelay: 30 * time.Millisecond})
+	t0 := time.Now()
+	resp, err := http.Get(ts.URL + "/page/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if time.Since(t0) < 30*time.Millisecond {
+		t.Fatal("miss delay not applied")
+	}
+}
+
+func TestRunLoad(t *testing.T) {
+	_, ts := server(t, Config{Articles: 8, MissEvery: 5, DiskDelay: time.Millisecond})
+	res, err := RunLoad(ts.URL, LoadConfig{Requests: 50, Concurrency: 8, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d load errors", res.Errors)
+	}
+	if res.Requests != 50 || res.Mean <= 0 || res.Max < res.Median {
+		t.Fatalf("stats: %+v", res)
+	}
+	if res.P95 < res.Median {
+		t.Fatalf("p95 < median: %+v", res)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := RunLoad("http://127.0.0.1:0", LoadConfig{}); err == nil {
+		t.Fatal("zero requests must fail")
+	}
+}
+
+func TestRunLoadCountsErrors(t *testing.T) {
+	// Server that always 500s.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	res, err := RunLoad(ts.URL, LoadConfig{Requests: 10, Concurrency: 2, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 10 {
+		t.Fatalf("errors %d, want 10", res.Errors)
+	}
+}

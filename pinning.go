@@ -1,0 +1,175 @@
+// Package pinning reproduces "The Art of CPU-Pinning: Evaluating and
+// Improving the Performance of Virtualization and Containerization
+// Platforms" (GhatrehSamani, Denninnart, Bacik, Amini Salehi — ICPP 2020).
+//
+// It bundles three things:
+//
+//   - a discrete-event model of the paper's testbed — CFS scheduling,
+//     cgroup quota/cpuset provisioning, IRQ/IO affinity, a KVM-style
+//     hypervisor overlay — able to regenerate every figure and table of the
+//     paper's evaluation (see cmd/pinsim and the Benchmark* functions);
+//
+//   - the paper's actionable findings as a library: application
+//     classification, PTO/PSO overhead decomposition, CHR bands and the
+//     best-practice Advisor;
+//
+//   - the real operational mechanics of pinning on Linux: sched_setaffinity
+//     wrappers, a Docker Engine API client for --cpus / --cpuset-cpus, and
+//     libvirt <cputune> generation (see cmd/pinctl and cmd/pinbench).
+//
+// This facade re-exports the stable surface of the internal packages.
+package pinning
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpumanager"
+	"repro/internal/experiments"
+	"repro/internal/grubconf"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Re-exported core types: the paper's contribution as an API.
+type (
+	// AppClass is the paper's application taxonomy (Table I).
+	AppClass = core.AppClass
+	// Profile describes an application for the Advisor.
+	Profile = core.Profile
+	// Recommendation is the Advisor's output.
+	Recommendation = core.Recommendation
+	// CHRBand is a recommended Container-to-Host core Ratio range (§IV-A).
+	CHRBand = core.CHRBand
+
+	// Topology describes a host (sockets × cores × SMT threads).
+	Topology = topology.Topology
+	// CPUSet is a set of logical CPUs (affinity masks, cpusets, pin plans).
+	CPUSet = topology.CPUSet
+
+	// PlatformKind is one of the four execution platforms (Table III).
+	PlatformKind = platform.Kind
+	// Mode is the CPU-provisioning mode (§II-D).
+	Mode = platform.Mode
+
+	// ExperimentConfig controls figure regeneration.
+	ExperimentConfig = experiments.Config
+	// Figure is a regenerated paper figure.
+	Figure = experiments.Figure
+
+	// OverheadModel is the fitted §VI analytic law R = PTO + A·exp(−CHR/τ).
+	OverheadModel = model.Model
+	// OverheadSample is one measured (platform, mode, class, CHR, ratio)
+	// point for fitting.
+	OverheadSample = model.Sample
+	// IsolationLevel ranks platforms by the isolation they provide.
+	IsolationLevel = model.IsolationLevel
+	// ModelConstraints narrow a model-driven recommendation.
+	ModelConstraints = model.Constraints
+	// ModelChoice is one ranked candidate from the model's Recommend.
+	ModelChoice = model.Choice
+
+	// CPUManager hands out exclusive topology-aligned cpusets
+	// (Kubernetes-style static policy with IO-affinity placement).
+	CPUManager = cpumanager.Manager
+	// CPURequest asks the CPUManager for an exclusive cpuset.
+	CPURequest = cpumanager.Request
+
+	// GrubConfig is a bare-metal CPU provisioning plan (kernel cmdline).
+	GrubConfig = grubconf.Config
+
+	// TraceCollector gathers the BCC-analog instruments (cpudist,
+	// offcputime, runqlat) from a simulated run.
+	TraceCollector = trace.Collector
+	// ProfileSpec selects a deployment for BCC-style profiling.
+	ProfileSpec = experiments.ProfileSpec
+)
+
+// Application classes.
+const (
+	CPUBound     = core.CPUBound
+	Parallel     = core.Parallel
+	IOBound      = core.IOBound
+	UltraIOBound = core.UltraIOBound
+)
+
+// Execution platforms (Table III).
+const (
+	BM   = platform.BM
+	VM   = platform.VM
+	CN   = platform.CN
+	VMCN = platform.VMCN
+)
+
+// Provisioning modes (§II-D).
+const (
+	Vanilla = platform.Vanilla
+	Pinned  = platform.Pinned
+)
+
+// PaperHost returns the paper's evaluation host: 4-socket, 112 logical
+// CPUs (DELL R830, Table II's substrate).
+func PaperHost() *Topology { return topology.PaperHost() }
+
+// SmallHost16 returns the 16-core host of the Fig 7 CHR experiment.
+func SmallHost16() *Topology { return topology.SmallHost16() }
+
+// Classify maps an application profile onto the paper's taxonomy.
+func Classify(p Profile) AppClass { return core.Classify(p) }
+
+// Advise applies the paper's §VI best practices to a profile on a host.
+func Advise(p Profile, host *Topology) Recommendation { return core.Advise(p, host) }
+
+// CHR computes the Container-to-Host core Ratio (§IV-A).
+func CHR(containerCores int, host *Topology) float64 { return core.CHR(containerCores, host) }
+
+// RecommendedCHR returns best-practice #5's CHR band for a class.
+func RecommendedCHR(class AppClass) CHRBand { return core.RecommendedCHR(class) }
+
+// RunFigure regenerates paper figure n (3..8) from the simulator.
+func RunFigure(n int, cfg ExperimentConfig) (Figure, error) { return experiments.RunFigure(n, cfg) }
+
+// ParseCPUList parses Linux cpu-list syntax ("0-3,8,10-11").
+func ParseCPUList(list string) (CPUSet, error) { return topology.ParseList(list) }
+
+// FitOverheadModel regenerates the given figures (3..6) and fits the §VI
+// analytic overhead law on their cells.
+func FitOverheadModel(figs []int, cfg ExperimentConfig) (*OverheadModel, error) {
+	return experiments.FitModel(figs, cfg)
+}
+
+// FitSamples fits the analytic law directly on measured samples (simulator
+// output or a real testbed's numbers).
+func FitSamples(samples []OverheadSample) (*OverheadModel, error) { return model.Fit(samples) }
+
+// Isolation returns a platform's isolation level (§VI: overhead grows with
+// it for CPU-bound work).
+func Isolation(k PlatformKind) IsolationLevel { return model.Isolation(k) }
+
+// NewCPUManager returns a static-policy CPU manager for a host; reserved
+// CPUs are never handed out.
+func NewCPUManager(host *Topology, reserved CPUSet) (*CPUManager, error) {
+	return cpumanager.New(host, reserved)
+}
+
+// GrubForInstance returns the §III-A bare-metal provisioning (maxcpus=) for
+// an instance size.
+func GrubForInstance(host *Topology, cores int) (GrubConfig, error) {
+	return grubconf.ForInstance(host, cores)
+}
+
+// GrubIsolate returns the isolcpus/nohz_full/rcu_nocbs recipe for an
+// exclusively-owned cpuset.
+func GrubIsolate(host *Topology, set CPUSet) (GrubConfig, error) {
+	return grubconf.IsolateFor(host, set)
+}
+
+// RunProfile runs one deployment with the BCC-analog instruments attached
+// (the paper's §III-A methodology) and returns the collector.
+func RunProfile(spec ProfileSpec, cfg ExperimentConfig) (*TraceCollector, float64, error) {
+	res, err := experiments.RunProfile(spec, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Collector, res.MetricSecs, nil
+}
