@@ -11,6 +11,7 @@
 //	pinsim -fig 5 -csv     # CSV output
 //	pinsim -fig 3 -breakdown  # include the overhead attribution
 //	pinsim -reps 5 -seed 7 -quick
+//	pinsim -fig all -workers 8   # parallel trial fan-out (deterministic)
 //
 // Profiling (the paper's §III-A BCC methodology — cpudist/offcputime):
 //
@@ -37,6 +38,7 @@ func main() {
 		reps      = flag.Int("reps", 0, "override repetitions per cell (0 = paper defaults)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		quick     = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		workers   = flag.Int("workers", 0, "trial fan-out (0 = GOMAXPROCS, 1 = serial)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a text table")
 		breakdown = flag.Bool("breakdown", false, "also emit the overhead attribution")
 		fitmodel  = flag.Bool("model", false, "fit and print the §VI analytic overhead model (from figs 3-6)")
@@ -48,7 +50,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers}
 	out := os.Stdout
 	did := false
 

@@ -1,0 +1,171 @@
+// Command pinsweep runs user-defined experiment grids beyond the paper's
+// fixed figures: any cross product of platforms × modes × instance sizes
+// (CHR points) × workload classes × memory sizes, fanned across a parallel
+// worker pool with deterministic per-trial seeding — the sweep output is
+// bit-identical at any worker count.
+//
+// Usage:
+//
+//	pinsweep                                     # standard series × Table II sizes, FFmpeg
+//	pinsweep -platforms cn,vm -modes vanilla,pinned -cores 2,4,8,16
+//	pinsweep -workloads ffmpeg,wordpress -reps 5 -seed 7
+//	pinsweep -cores 16 -mem 16,32,64             # memory axis (0 = 4 GB/core)
+//	pinsweep -host small16                       # CHR against the 16-core host
+//	pinsweep -format csv                         # or json, text (default)
+//	pinsweep -quick -workers 4 -progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		platforms = flag.String("platforms", "", "comma list of platforms: bm,vm,cn,vmcn (default: all)")
+		modes     = flag.String("modes", "", "comma list of provisioning modes: vanilla,pinned (default: both)")
+		cores     = flag.String("cores", "", "comma list of instance sizes in cores (default: Table II sizes)")
+		workloads = flag.String("workloads", "ffmpeg", "comma list of workloads: "+strings.Join(experiments.WorkloadNames, ","))
+		mem       = flag.String("mem", "", "comma list of instance memory sizes in GB (0 = 4 GB/core)")
+		reps      = flag.Int("reps", 0, "repetitions per cell (0 = 3, or 2 with -quick)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		quick     = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		workers   = flag.Int("workers", 0, "trial fan-out (0 = GOMAXPROCS, 1 = serial)")
+		host      = flag.String("host", "paper", "host topology: paper (112 CPUs) or small16")
+		format    = flag.String("format", "text", "output format: text, csv or json")
+		progress  = flag.Bool("progress", false, "report trial progress on stderr")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Reps:    *reps,
+		Seed:    *seed,
+		Quick:   *quick,
+		Workers: *workers,
+	}
+	switch *host {
+	case "paper", "":
+		// default host
+	case "small16":
+		cfg.Host = topology.SmallHost16()
+	default:
+		fatalf("unknown -host %q (have paper, small16)", *host)
+	}
+	if *progress {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	spec := experiments.SweepSpec{
+		Platforms: parsePlatforms(*platforms, *modes),
+		Cores:     parseInts("cores", *cores),
+		Workloads: parseList(*workloads),
+		MemGB:     parseInts("mem", *mem),
+		Reps:      *reps,
+	}
+
+	res, err := experiments.Sweep(cfg, spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	switch *format {
+	case "text":
+		res.RenderText(os.Stdout)
+	case "csv":
+		res.RenderCSV(os.Stdout)
+	case "json":
+		if err := res.RenderJSON(os.Stdout); err != nil {
+			fatalf("json: %v", err)
+		}
+	default:
+		fatalf("unknown -format %q (have text, csv, json)", *format)
+	}
+}
+
+// parsePlatforms crosses the -platforms and -modes axes into specs. Empty
+// inputs mean "all" on that axis; both empty leaves the SweepSpec default
+// (the standard seven series, which omits vanilla BM duplicates).
+func parsePlatforms(platforms, modes string) []platform.Spec {
+	if platforms == "" && modes == "" {
+		return nil
+	}
+	kinds := map[string]platform.Kind{
+		"bm": platform.BM, "vm": platform.VM, "cn": platform.CN, "vmcn": platform.VMCN,
+	}
+	modeBy := map[string]platform.Mode{
+		"vanilla": platform.Vanilla, "pinned": platform.Pinned,
+	}
+	kindList := parseList(platforms)
+	if platforms == "" {
+		kindList = []string{"bm", "vm", "cn", "vmcn"}
+	}
+	modeList := parseList(modes)
+	if modes == "" {
+		modeList = []string{"vanilla", "pinned"}
+	}
+	var out []platform.Spec
+	for _, k := range kindList {
+		kind, ok := kinds[strings.ToLower(k)]
+		if !ok {
+			fatalf("unknown platform %q (have bm, vm, cn, vmcn)", k)
+		}
+		for _, m := range modeList {
+			mode, ok := modeBy[strings.ToLower(m)]
+			if !ok {
+				fatalf("unknown mode %q (have vanilla, pinned)", m)
+			}
+			// Pinning bare metal is not a platform of the paper's matrix.
+			if kind == platform.BM && mode == platform.Pinned {
+				continue
+			}
+			out = append(out, platform.Spec{Kind: kind, Mode: mode})
+		}
+	}
+	if len(out) == 0 {
+		// An empty list would silently fall back to the sweep default (all
+		// series) — the opposite of what a narrowing flag asked for.
+		fatalf("-platforms/-modes selected nothing (pinned bare metal is not a platform of the matrix)")
+	}
+	return out
+}
+
+func parseList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(name, s string) []int {
+	var out []int
+	for _, f := range parseList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			fatalf("bad -%s entry %q: %v", name, f, err)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pinsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

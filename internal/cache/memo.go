@@ -1,0 +1,89 @@
+package cache
+
+// This file is the other meaning of "cache" in this repository: not the
+// modeled CPU-cache penalty, but a concurrency-safe memoization store for
+// simulation results. Experiment sweeps key each trial by a hash of its
+// full configuration fingerprint plus its substream seed; repeated or
+// overlapping sweeps then skip every cell that has already been simulated.
+
+import (
+	"sync"
+)
+
+// fnv64Offset/fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset uint64 = 0xcbf29ce484222325
+	fnv64Prime  uint64 = 0x100000001b3
+)
+
+// HashKey collapses a textual configuration fingerprint into a 64-bit
+// memoization key (FNV-1a). Collisions are theoretically possible but
+// vanishingly rare at sweep scale (birthday bound ≈ n²/2⁶⁵); callers that
+// cannot tolerate them should key a Memo by the full string instead.
+func HashKey(fingerprint string) uint64 {
+	h := fnv64Offset
+	for i := 0; i < len(fingerprint); i++ {
+		h ^= uint64(fingerprint[i])
+		h *= fnv64Prime
+	}
+	return h
+}
+
+// Memo is a concurrency-safe memoization table from 64-bit keys to computed
+// values. Any number of worker goroutines may Get and Put concurrently;
+// two workers racing to fill the same key is benign for deterministic
+// computations (both store the identical value).
+type Memo[V any] struct {
+	mu     sync.RWMutex
+	m      map[uint64]V
+	hits   uint64
+	misses uint64
+}
+
+// NewMemo returns an empty memoization table.
+func NewMemo[V any]() *Memo[V] {
+	return &Memo[V]{m: make(map[uint64]V)}
+}
+
+// Get returns the stored value for key. Every call counts as a hit or a
+// miss, so Hits/Misses audit exactly how much simulation a sweep skipped.
+func (c *Memo[V]) Get(key uint64) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// Put stores the value for key, overwriting any previous entry.
+func (c *Memo[V]) Put(key uint64, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+// Len returns the number of stored entries.
+func (c *Memo[V]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Hits returns how many Gets found their key.
+func (c *Memo[V]) Hits() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits
+}
+
+// Misses returns how many Gets did not find their key — for a memoized
+// sweep, exactly the number of trials that actually ran.
+func (c *Memo[V]) Misses() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.misses
+}

@@ -1,0 +1,67 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHashKeyStableAndDistinct(t *testing.T) {
+	if HashKey("a|b|c") != HashKey("a|b|c") {
+		t.Fatal("HashKey must be deterministic")
+	}
+	// FNV-1a reference value for the empty string.
+	if got := HashKey(""); got != 0xcbf29ce484222325 {
+		t.Fatalf("HashKey(\"\") = %#x, want FNV-1a offset basis", got)
+	}
+	seen := map[uint64]string{}
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("trial|%d|seed=%d", i%100, i)
+		h := HashKey(k)
+		if prev, dup := seen[h]; dup && prev != k {
+			t.Fatalf("collision between %q and %q", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestMemoGetPutAndCounters(t *testing.T) {
+	m := NewMemo[float64]()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty memo must miss")
+	}
+	m.Put(1, 3.5)
+	v, ok := m.Get(1)
+	if !ok || v != 3.5 {
+		t.Fatalf("got %v,%v", v, ok)
+	}
+	if m.Hits() != 1 || m.Misses() != 1 || m.Len() != 1 {
+		t.Fatalf("hits=%d misses=%d len=%d", m.Hits(), m.Misses(), m.Len())
+	}
+}
+
+func TestMemoConcurrentAccess(t *testing.T) {
+	m := NewMemo[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := uint64(i % 50)
+				if v, ok := m.Get(key); ok && v != int(key) {
+					t.Errorf("key %d holds %d", key, v)
+					return
+				}
+				m.Put(key, int(key))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != 50 {
+		t.Fatalf("len=%d, want 50", m.Len())
+	}
+	if m.Hits()+m.Misses() != 8*500 {
+		t.Fatalf("counter drift: hits=%d misses=%d", m.Hits(), m.Misses())
+	}
+}

@@ -1,19 +1,15 @@
 // Command seedcalc prints the deterministic seeds an experiment cell uses.
 package main
 
-import "fmt"
+import (
+	"fmt"
 
-func seedFor(base uint64, parts ...uint64) uint64 {
-	h := base*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-	for _, p := range parts {
-		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-	}
-	return h
-}
+	"repro/internal/sim"
+)
 
 func main() {
 	// fig6: series index 2 = Vanilla VMCN, instance index 0 = xLarge
 	for rep := 0; rep < 20; rep++ {
-		fmt.Println(seedFor(42, 2, 0, uint64(rep)))
+		fmt.Println(sim.Substream(42, 2, 0, uint64(rep)))
 	}
 }

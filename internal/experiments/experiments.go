@@ -2,6 +2,15 @@
 // (Figs 3–8) and table (Tables I–III), the §IV-A CHR analysis and the §IV
 // PTO/PSO overhead decomposition. Each runner returns a Figure value that
 // renders as text or CSV and that the benchmark harness and tests consume.
+//
+// Every experiment decomposes into a grid of independent trials — one
+// seeded simulation per (series, cell, repetition) — executed by the
+// parallel trial runner (runner.go): trials fan out across Config.Workers
+// goroutines with results that are bit-identical to a serial run, and an
+// optional Config.Memo skips trials that an earlier run already simulated.
+// Beyond the paper's fixed figures, Sweep (sweep.go) runs arbitrary
+// user-defined grids of platforms × CHR points × workloads × memory sizes
+// through the same machinery; cmd/pinsweep is its CLI.
 package experiments
 
 import (
@@ -111,8 +120,27 @@ type Config struct {
 	OutOfRangeFactor float64
 	// MutateHost, when set, edits the host machine configuration before
 	// each deployment — the hook the ablation benchmarks use to switch off
-	// individual overhead mechanisms (DESIGN.md §7).
+	// individual overhead mechanisms (DESIGN.md §7). With Workers != 1 the
+	// hook is called from multiple goroutines and must be concurrency-safe
+	// (a pure function of its argument); it also disables trial memoization,
+	// because an arbitrary function cannot be fingerprinted into a cache
+	// key.
 	MutateHost func(*machine.Config)
+	// Workers is the trial fan-out: every figure and sweep is a grid of
+	// independent (series, cell, repetition) trials whose seeds are derived
+	// up front, so trials run on a pool of this many goroutines with
+	// bit-identical output to a serial run. 0 means GOMAXPROCS; 1 keeps the
+	// legacy serial path (no goroutines) for A/B comparison.
+	Workers int
+	// Memo, when non-nil, caches per-trial results keyed by a hash of the
+	// trial's configuration fingerprint and seed. Repeated or overlapping
+	// runs that share a memo skip every already-simulated trial. Ignored
+	// while MutateHost is set.
+	Memo *TrialMemo
+	// Progress, when non-nil, is called after each completed trial with
+	// (done, total) — the long-sweep progress hook. Calls are serialized by
+	// the runner but may come from any worker goroutine.
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -173,13 +201,11 @@ type Figure struct {
 	BaselineIdx int
 }
 
-// seedFor decorrelates repetitions and cells deterministically.
+// seedFor decorrelates repetitions and cells deterministically; it is
+// sim.Substream, the pure derivation that makes handing every parallel
+// trial its own private RNG safe.
 func seedFor(base uint64, parts ...uint64) uint64 {
-	h := base*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-	for _, p := range parts {
-		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-	}
-	return h
+	return sim.Substream(base, parts...)
 }
 
 // runOne deploys spec on host, spawns w and runs to completion, returning
@@ -205,7 +231,11 @@ func runOne(cfg Config, host *topology.Topology, spec platform.Spec, w workload.
 	return inst.Metric(res), res.Breakdown, nil
 }
 
-// runMatrix runs the standard seven series over the given instances.
+// runMatrix runs the standard seven series over the given instances. The
+// (series, instance, rep) grid is flattened into independent trials and
+// fanned across cfg.Workers goroutines; each trial's seed is derived from
+// its grid coordinates alone, and results land in index-addressed slots, so
+// the assembled Figure is bit-identical at any worker count.
 func runMatrix(cfg Config, id, title, metric string, instances []InstanceType,
 	mkWorkload func(it InstanceType) workload.Workload, reps int) (Figure, error) {
 	cfg = cfg.withDefaults()
@@ -220,24 +250,36 @@ func runMatrix(cfg Config, id, title, metric string, instances []InstanceType,
 		fig.XLabels = append(fig.XLabels, it.Name)
 	}
 	series := platform.StandardSeries()
+	nI, nR := len(instances), reps
+	results := make([]TrialResult, len(series)*nI*nR)
+	err := forEachTrial(cfg, len(results), func(i int) error {
+		si, ii, rep := i/(nI*nR), i/nR%nI, i%nR
+		it := instances[ii]
+		spec := platform.Spec{Kind: series[si].Kind, Mode: series[si].Mode, Cores: it.Cores}
+		seed := seedFor(cfg.Seed, uint64(si), uint64(ii), uint64(rep))
+		r, err := runTrial(cfg, cfg.Host, spec, mkWorkload(it), it.MemGB, seed)
+		if err != nil {
+			return fmt.Errorf("%s %s %s: %w", id, spec.Label(), it.Name, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
 	for si, sk := range series {
 		spec := platform.Spec{Kind: sk.Kind, Mode: sk.Mode}
 		sr := SeriesResult{Label: spec.Label(), Spec: spec}
 		if sk.Kind == platform.BM {
 			fig.BaselineIdx = si
 		}
-		for ii, it := range instances {
-			var vals []float64
+		for ii := range instances {
+			vals := make([]float64, 0, nR)
 			var bd sched.Breakdown
-			for rep := 0; rep < reps; rep++ {
-				seed := seedFor(cfg.Seed, uint64(si), uint64(ii), uint64(rep))
-				spec.Cores = it.Cores
-				v, b, err := runOne(cfg, cfg.Host, spec, mkWorkload(it), it.MemGB, seed)
-				if err != nil {
-					return Figure{}, fmt.Errorf("%s %s %s: %w", id, spec.Label(), it.Name, err)
-				}
-				vals = append(vals, v)
-				bd = b
+			for rep := 0; rep < nR; rep++ {
+				r := results[(si*nI+ii)*nR+rep]
+				vals = append(vals, r.Metric)
+				bd = r.Breakdown // last repetition, as in the serial path
 			}
 			sr.Cells = append(sr.Cells, Cell{Summary: stats.Summarize(vals), Breakdown: bd})
 		}

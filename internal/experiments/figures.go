@@ -124,19 +124,30 @@ func RunFig7(cfg Config) (Figure, error) {
 		fig.XLabels = append(fig.XLabels, h.label)
 	}
 	w := transcodeFor(cfg, 1)
+	nH := len(hosts)
+	results := make([]TrialResult, len(series)*nH*reps)
+	err := forEachTrial(cfg, len(results), func(i int) error {
+		si, hi, rep := i/(nH*reps), i/reps%nH, i%reps
+		seed := seedFor(cfg.Seed, 7, uint64(si), uint64(hi), uint64(rep))
+		r, err := runTrial(cfg, hosts[hi].topo, series[si], w, 64, seed)
+		if err != nil {
+			return fmt.Errorf("fig7 %s on %s: %w", series[si].Label(), hosts[hi].label, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
 	for si, spec := range series {
 		sr := SeriesResult{Label: spec.Label(), Spec: spec}
-		for hi, h := range hosts {
+		for hi := range hosts {
 			var vals []float64
 			var bd = Cell{}
 			for rep := 0; rep < reps; rep++ {
-				seed := seedFor(cfg.Seed, 7, uint64(si), uint64(hi), uint64(rep))
-				v, b, err := runOne(cfg, h.topo, spec, w, 64, seed)
-				if err != nil {
-					return Figure{}, fmt.Errorf("fig7 %s on %s: %w", spec.Label(), h.label, err)
-				}
-				vals = append(vals, v)
-				bd.Breakdown = b
+				r := results[(si*nH+hi)*reps+rep]
+				vals = append(vals, r.Metric)
+				bd.Breakdown = r.Breakdown
 			}
 			bd.Summary = stats.Summarize(vals)
 			sr.Cells = append(sr.Cells, bd)
@@ -173,20 +184,31 @@ func RunFig8(cfg Config) (Figure, error) {
 	for _, c := range cases {
 		fig.XLabels = append(fig.XLabels, c.label)
 	}
+	nC := len(cases)
+	results := make([]TrialResult, len(series)*nC*reps)
+	err := forEachTrial(cfg, len(results), func(i int) error {
+		si, ci, rep := i/(nC*reps), i/reps%nC, i%reps
+		seed := seedFor(cfg.Seed, 8, uint64(si), uint64(ci), uint64(rep))
+		w := transcodeFor(cfg, cases[ci].segments)
+		r, err := runTrial(cfg, cfg.Host, series[si], w, 64, seed)
+		if err != nil {
+			return fmt.Errorf("fig8 %s %s: %w", series[si].Label(), cases[ci].label, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
 	for si, spec := range series {
 		sr := SeriesResult{Label: spec.Label(), Spec: spec}
-		for ci, c := range cases {
+		for ci := range cases {
 			var vals []float64
 			var cell Cell
 			for rep := 0; rep < reps; rep++ {
-				seed := seedFor(cfg.Seed, 8, uint64(si), uint64(ci), uint64(rep))
-				w := transcodeFor(cfg, c.segments)
-				v, b, err := runOne(cfg, cfg.Host, spec, w, 64, seed)
-				if err != nil {
-					return Figure{}, fmt.Errorf("fig8 %s %s: %w", spec.Label(), c.label, err)
-				}
-				vals = append(vals, v)
-				cell.Breakdown = b
+				r := results[(si*nC+ci)*reps+rep]
+				vals = append(vals, r.Metric)
+				cell.Breakdown = r.Breakdown
 			}
 			cell.Summary = stats.Summarize(vals)
 			sr.Cells = append(sr.Cells, cell)
@@ -267,17 +289,30 @@ func RunCHRSweep(cfg Config) ([]CHRBand, error) {
 		prev := instances[0]
 		found := false
 		for ii, it := range instances {
+			// The outer size sweep is sequential by nature (it stops at the
+			// first size whose PSO is insignificant), but each step's
+			// kinds × reps block is an independent grid and fans out.
+			kinds := []platform.Kind{platform.CN, platform.BM}
+			results := make([]TrialResult, len(kinds)*reps)
+			err := forEachTrial(cfg, len(results), func(i int) error {
+				kind, rep := kinds[i/reps], i%reps
+				seed := seedFor(cfg.Seed, 40, uint64(ai), uint64(ii), uint64(kind), uint64(rep))
+				spec := platform.Spec{Kind: kind, Mode: platform.Vanilla, Cores: it.Cores}
+				r, err := runTrial(cfg, cfg.Host, spec, a.mk(it), it.MemGB, seed)
+				if err != nil {
+					return err
+				}
+				results[i] = r
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			means := map[platform.Kind]float64{}
-			for _, kind := range []platform.Kind{platform.CN, platform.BM} {
+			for ki, kind := range kinds {
 				var vals []float64
 				for rep := 0; rep < reps; rep++ {
-					seed := seedFor(cfg.Seed, 40, uint64(ai), uint64(ii), uint64(kind), uint64(rep))
-					spec := platform.Spec{Kind: kind, Mode: platform.Vanilla, Cores: it.Cores}
-					v, _, err := runOne(cfg, cfg.Host, spec, a.mk(it), it.MemGB, seed)
-					if err != nil {
-						return nil, err
-					}
-					vals = append(vals, v)
+					vals = append(vals, results[ki*reps+rep].Metric)
 				}
 				means[kind] = stats.Summarize(vals).Mean
 			}

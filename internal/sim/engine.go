@@ -2,11 +2,26 @@
 // kernel: a virtual clock, a cancellable event queue, and a reproducible
 // random number generator. All higher-level models (scheduler, cgroups,
 // hypervisor) are built on this package.
+//
+// # Concurrency model
+//
+// An Engine (and the RNG, machine and scheduler state built on top of it)
+// is goroutine-confined: one simulation run belongs to exactly one
+// goroutine, with no internal locking. Determinism comes from the strict
+// (time, sequence) event order, which any cross-goroutine interleaving
+// would destroy, so sharing an Engine is never meaningful — parallelism
+// belongs one level up, where independent runs (each with its own Engine
+// and its own Substream-derived RNG seed) execute on separate goroutines.
+// The executor entry points (Step, Run, RunUntil) assert this confinement
+// and panic on concurrent entry; the scheduling calls (At, After, Cancel)
+// are intentionally unguarded because event callbacks invoke them
+// re-entrantly from inside Step — the race detector covers those.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is simulated time in nanoseconds since the start of the run.
@@ -87,13 +102,28 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine is a discrete-event simulation executor. The zero value is not
-// usable; call NewEngine.
+// usable; call NewEngine. An Engine is goroutine-confined (see the package
+// comment); its executor entry points panic when entered concurrently or
+// re-entrantly from an event callback.
 type Engine struct {
 	now       Time
 	seq       uint64
 	queue     eventHeap
 	processed uint64
+	// running guards the executor entry points against concurrent use from
+	// a second goroutine (or re-entrant Step/Run from inside a callback).
+	// It is a best-effort assertion, not a synchronization mechanism.
+	running atomic.Bool
 }
+
+// enter asserts single-goroutine use of the executor; leave releases it.
+func (e *Engine) enter(op string) {
+	if !e.running.CompareAndSwap(false, true) {
+		panic("sim: concurrent " + op + " on one Engine — engines are goroutine-confined, give each concurrent run its own Engine")
+	}
+}
+
+func (e *Engine) leave() { e.running.Store(false) }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -143,6 +173,12 @@ func (e *Engine) Cancel(ev *Event) {
 
 // Step executes the next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
+	e.enter("Step")
+	defer e.leave()
+	return e.step()
+}
+
+func (e *Engine) step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
@@ -163,9 +199,11 @@ func (e *Engine) Step() bool {
 // processed (0 means no limit). It returns the number of events processed by
 // this call.
 func (e *Engine) Run(maxEvents uint64) uint64 {
+	e.enter("Run")
+	defer e.leave()
 	var n uint64
 	for maxEvents == 0 || n < maxEvents {
-		if !e.Step() {
+		if !e.step() {
 			break
 		}
 		n++
@@ -177,6 +215,8 @@ func (e *Engine) Run(maxEvents uint64) uint64 {
 // later remain queued. The clock is advanced to deadline if the queue empties
 // earlier than the deadline.
 func (e *Engine) RunUntil(deadline Time) {
+	e.enter("RunUntil")
+	defer e.leave()
 	for len(e.queue) > 0 {
 		// Peek.
 		next := e.queue[0]
@@ -187,7 +227,7 @@ func (e *Engine) RunUntil(deadline Time) {
 		if next.at > deadline {
 			break
 		}
-		e.Step()
+		e.step()
 	}
 	if e.now < deadline {
 		e.now = deadline

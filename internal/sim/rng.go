@@ -5,8 +5,28 @@ import "math"
 // RNG is a small, fast, deterministic random number generator
 // (splitmix64-seeded xorshift64*). Every simulation run owns its own RNG so
 // repeated runs with the same seed replay event-for-event.
+//
+// An RNG is goroutine-confined, like the Engine it usually lives next to:
+// it is plain mutable state with no locking. Concurrent trials must not
+// share one — derive an independent substream seed per trial with Substream
+// and give each trial its own NewRNG.
 type RNG struct {
 	state uint64
+}
+
+// Substream deterministically derives an independent seed from a base seed
+// and a path of integer coordinates (series, cell, repetition, ...). It is a
+// pure function of its inputs, so any number of goroutines may derive
+// substream seeds concurrently and hand each trial a private NewRNG — the
+// safe way to parallelize a seeded experiment grid. Nearby coordinates give
+// unrelated streams (each step folds a splitmix-style odd constant into an
+// avalanching mix).
+func Substream(base uint64, parts ...uint64) uint64 {
+	h := base*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return h
 }
 
 // NewRNG returns a generator seeded from seed via splitmix64 so that nearby

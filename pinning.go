@@ -51,11 +51,29 @@ type (
 	PlatformKind = platform.Kind
 	// Mode is the CPU-provisioning mode (§II-D).
 	Mode = platform.Mode
+	// PlatformSpec is a deployable (kind, mode, cores) combination — the
+	// series axis of figures and sweeps.
+	PlatformSpec = platform.Spec
 
-	// ExperimentConfig controls figure regeneration.
+	// ExperimentConfig controls figure regeneration, including the parallel
+	// trial fan-out (Workers), per-trial memoization (Memo) and the
+	// long-run progress callback (Progress).
 	ExperimentConfig = experiments.Config
 	// Figure is a regenerated paper figure.
 	Figure = experiments.Figure
+
+	// SweepSpec defines an arbitrary experiment grid — platforms × CHR
+	// points × workloads × memory sizes — beyond the paper's fixed figures.
+	SweepSpec = experiments.SweepSpec
+	// SweepResult is a completed sweep (one aggregated cell per grid point).
+	SweepResult = experiments.SweepResult
+	// SweepCell is one grid point of a sweep.
+	SweepCell = experiments.SweepCell
+	// TrialResult is the memoizable outcome of one simulated trial.
+	TrialResult = experiments.TrialResult
+	// TrialMemo caches trial results across runs and sweeps; share one via
+	// ExperimentConfig.Memo to skip already-simulated cells.
+	TrialMemo = experiments.TrialMemo
 
 	// OverheadModel is the fitted §VI analytic law R = PTO + A·exp(−CHR/τ).
 	OverheadModel = model.Model
@@ -128,6 +146,16 @@ func RecommendedCHR(class AppClass) CHRBand { return core.RecommendedCHR(class) 
 
 // RunFigure regenerates paper figure n (3..8) from the simulator.
 func RunFigure(n int, cfg ExperimentConfig) (Figure, error) { return experiments.RunFigure(n, cfg) }
+
+// RunSweep runs a user-defined experiment grid through the parallel trial
+// runner (see cmd/pinsweep for the CLI form). Results are deterministic for
+// any ExperimentConfig.Workers setting.
+func RunSweep(spec SweepSpec, cfg ExperimentConfig) (*SweepResult, error) {
+	return experiments.Sweep(cfg, spec)
+}
+
+// NewTrialMemo returns an empty trial memo for ExperimentConfig.Memo.
+func NewTrialMemo() *TrialMemo { return experiments.NewTrialMemo() }
 
 // ParseCPUList parses Linux cpu-list syntax ("0-3,8,10-11").
 func ParseCPUList(list string) (CPUSet, error) { return topology.ParseList(list) }

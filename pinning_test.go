@@ -55,6 +55,33 @@ func TestFacadeRunFigure(t *testing.T) {
 	}
 }
 
+func TestFacadeRunSweep(t *testing.T) {
+	memo := NewTrialMemo()
+	cfg := ExperimentConfig{Quick: true, Seed: 5, Workers: 4, Memo: memo}
+	spec := SweepSpec{
+		Platforms: []PlatformSpec{{Kind: CN, Mode: Pinned}, {Kind: BM, Mode: Vanilla}},
+		Cores:     []int{4},
+		Workloads: []string{"ffmpeg"},
+		Reps:      2,
+	}
+	res, err := RunSweep(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells: %d", len(res.Cells))
+	}
+	if memo.Misses() != 4 {
+		t.Fatalf("memo misses: %d, want one per trial", memo.Misses())
+	}
+	if _, err := RunSweep(spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if memo.Misses() != 4 {
+		t.Fatal("repeat sweep must be served from the memo")
+	}
+}
+
 func TestFacadeCPUManager(t *testing.T) {
 	mgr, err := NewCPUManager(PaperHost(), CPUSet{})
 	if err != nil {
