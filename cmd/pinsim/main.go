@@ -16,6 +16,11 @@
 // Profiling (the paper's §III-A BCC methodology — cpudist/offcputime):
 //
 //	pinsim -profile -app cassandra -platform cn -mode vanilla -size xLarge
+//
+// Self-profiling (pprof captures of the simulator itself, for perf PRs):
+//
+//	pinsim -fig all -quick -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof pinsim cpu.out
 package main
 
 import (
@@ -26,8 +31,13 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/irqsim"
+	"repro/internal/profiling"
 	"repro/internal/topology"
 )
+
+// stopProfiles finishes any active pprof captures; fatalf routes through it
+// so a failed run still leaves a readable CPU profile behind.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -47,8 +57,17 @@ func main() {
 		plat      = flag.String("platform", "cn", "profiled platform: bm, vm, cn, vmcn")
 		mode      = flag.String("mode", "vanilla", "profiled mode: vanilla, pinned")
 		size      = flag.String("size", "xLarge", "profiled instance type (Table II name)")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprof, *memprof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers}
 	out := os.Stdout
@@ -154,11 +173,13 @@ func main() {
 
 	if !did {
 		flag.Usage()
+		stopProfiles()
 		os.Exit(2)
 	}
 }
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "pinsim: "+format+"\n", args...)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -24,8 +24,13 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/platform"
+	"repro/internal/profiling"
 	"repro/internal/topology"
 )
+
+// stopProfiles finishes any active pprof captures; fatalf routes through it
+// so a failed sweep still leaves a readable CPU profile behind.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -41,8 +46,17 @@ func main() {
 		host      = flag.String("host", "paper", "host topology: paper (112 CPUs) or small16")
 		format    = flag.String("format", "text", "output format: text, csv or json")
 		progress  = flag.Bool("progress", false, "report trial progress on stderr")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprof, *memprof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	cfg := experiments.Config{
 		Reps:    *reps,
@@ -167,5 +181,6 @@ func parseInts(name, s string) []int {
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "pinsweep: "+format+"\n", args...)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -106,7 +106,7 @@ type Group struct {
 	throttledAt    sim.Time
 	throttleSpread int             // spread snapshot at the throttle point
 	spread         topology.CPUSet // CPUs that ran group tasks this period
-	periodEvent    *sim.Event
+	periodTimer    *sim.Timer      // bandwidth-period tick; nil until first armed
 	onUnthrottle   func(churnPerThread sim.Time)
 	runnable       int     // runnable threads, maintained by the scheduler
 	live           int     // unfinished threads, maintained by the scheduler
@@ -173,12 +173,26 @@ func (g *Group) SetUnthrottleFn(fn func(churnPerThread sim.Time)) { g.onUnthrott
 // count.
 func (g *Group) SetRunnable(n int) { g.runnable = n }
 
+// AddRunnable adjusts the runnable-thread count by delta. The scheduler
+// calls it on every runnable transition, so it must stay allocation- and
+// lookup-free.
+func (g *Group) AddRunnable(delta int) { g.runnable += delta }
+
+// Runnable returns the scheduler-reported runnable-thread count.
+func (g *Group) Runnable() int { return g.runnable }
+
 // SetLive lets the scheduler report the group's unfinished-thread count.
 // Unthrottle churn is sized by it: threads blocked on IO at the period
 // boundary still resume onto cold caches and re-established IO channels
 // (§IV-C), so they pay the refill cost too, not just the currently-runnable
 // ones.
 func (g *Group) SetLive(n int) { g.live = n }
+
+// AddLive adjusts the unfinished-thread count by delta.
+func (g *Group) AddLive(delta int) { g.live += delta }
+
+// Live returns the scheduler-reported unfinished-thread count.
+func (g *Group) Live() int { return g.live }
 
 // SetChurnScale lets the scheduler report the group's working-set factor:
 // the per-thread refill cost of an unthrottle scales with how much state a
@@ -213,7 +227,7 @@ func (g *Group) AcctCost() sim.Time {
 
 // ensurePeriod lazily starts the bandwidth period timer.
 func (g *Group) ensurePeriod() {
-	if g.periodEvent != nil || g.Quota() == 0 {
+	if g.Quota() == 0 || (g.periodTimer != nil && g.periodTimer.Pending()) {
 		return
 	}
 	g.periodStart = g.ctl.eng.Now()
@@ -221,7 +235,12 @@ func (g *Group) ensurePeriod() {
 }
 
 func (g *Group) schedulePeriodRefresh() {
-	g.periodEvent = g.ctl.eng.At(g.periodStart+g.ctl.P.Period, g.refreshPeriod)
+	if g.periodTimer == nil {
+		// The callback is bound once; every later period tick reuses a
+		// pooled event slot with no per-period allocation.
+		g.periodTimer = g.ctl.eng.NewTimer(g.refreshPeriod)
+	}
+	g.periodTimer.ResetAt(g.periodStart + g.ctl.P.Period)
 }
 
 func (g *Group) refreshPeriod() {
@@ -247,7 +266,6 @@ func (g *Group) refreshPeriod() {
 		// No activity in the elapsed period and no debt: idle the timer, as
 		// the kernel's bandwidth slack timer does. The next Charge restarts
 		// the period clock via ensurePeriod.
-		g.periodEvent = nil
 		return
 	}
 	g.schedulePeriodRefresh()
@@ -325,9 +343,8 @@ func (g *Group) ThrottleCost() sim.Time {
 
 // Stop cancels the group's timers (end of run).
 func (g *Group) Stop() {
-	if g.periodEvent != nil {
-		g.ctl.eng.Cancel(g.periodEvent)
-		g.periodEvent = nil
+	if g.periodTimer != nil {
+		g.periodTimer.Stop()
 	}
 }
 

@@ -1,0 +1,140 @@
+// Command benchjson runs the repository's key micro- and macro-benchmarks
+// and writes their results (ns/op, B/op, allocs/op) as a stable JSON file,
+// so perf PRs can commit a baseline and later PRs can diff against it.
+//
+// Usage (from the repo root):
+//
+//	go run ./internal/devtools/benchjson                 # writes BENCH_PR2.json
+//	go run ./internal/devtools/benchjson -out bench.json -benchtime 2s
+//
+// The suite list is fixed to the benchmarks the perf acceptance criteria
+// track: the event-kernel and scheduler hot paths, CPU-set algebra, and one
+// end-to-end quick figure run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// suite is one `go test -bench` invocation: a package directory and the
+// benchmarks to run there.
+type suite struct {
+	pkg       string
+	pattern   string
+	benchtime string // overrides the global -benchtime when non-empty
+}
+
+var suites = []suite{
+	{pkg: ".", pattern: "^(BenchmarkEngineEvents|BenchmarkSchedulerSlice|BenchmarkCPUSetOps)$"},
+	// One full quick figure: the end-to-end number every micro-win must
+	// eventually show up in. A single iteration takes ~1.5s, so cap it.
+	{pkg: "./internal/experiments", pattern: "^BenchmarkQuickFig3Serial$", benchtime: "2x"},
+}
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the file layout of BENCH_PR2.json.
+type Report struct {
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8  123  456 ns/op  7 B/op  8 allocs/op`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_PR2.json", "output JSON path")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime for the micro suites")
+		count     = flag.Int("count", 1, "go test -count")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]Result{},
+	}
+	for _, s := range suites {
+		bt := s.benchtime
+		if bt == "" {
+			bt = *benchtime
+		}
+		args := []string{"test", "-run", "^$", "-bench", s.pattern,
+			"-benchmem", "-benchtime", bt, "-count", strconv.Itoa(*count), s.pkg}
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+		if err := cmd.Run(); err != nil {
+			fatalf("%s: %v", s.pkg, err)
+		}
+		if err := parseInto(rep.Benchmarks, buf.String()); err != nil {
+			fatalf("%s: %v", s.pkg, err)
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatalf("no benchmark results parsed")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// parseInto extracts every benchmark line of one `go test -bench` output.
+// Multiple -count runs of the same benchmark keep the best (lowest ns/op)
+// run, the usual noise-rejection rule for before/after comparisons.
+func parseInto(into map[string]Result, output string) error {
+	found := 0
+	for _, line := range strings.Split(output, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		r := Result{NsPerOp: ns}
+		if m[3] != "" {
+			r.BPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if prev, ok := into[name]; !ok || r.NsPerOp < prev.NsPerOp {
+			into[name] = r
+		}
+		found++
+	}
+	if found == 0 {
+		return fmt.Errorf("no benchmark lines in output:\n%s", output)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

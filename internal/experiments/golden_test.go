@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestFigAllQuickMatchesGolden locks the byte-exact output of
+// `pinsim -fig all -quick` (default seed 42) against the fingerprint
+// captured from the pre-optimization event kernel and runqueues. Any
+// change to event ordering, runqueue tie-breaks, RNG consumption or
+// rendering shows up here as a diff — determinism refactors must keep this
+// test green, and intentional model changes must regenerate the golden
+// file (`go build ./cmd/pinsim && ./pinsim -fig all -quick >
+// internal/experiments/testdata/fig_all_quick.golden`) and say so in the
+// PR.
+func TestFigAllQuickMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates six figures (~2s)")
+	}
+	golden, err := os.ReadFile("testdata/fig_all_quick.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := Config{Seed: 42, Quick: true}
+	for n := 3; n <= 8; n++ {
+		f, err := RunFigure(n, cfg)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		f.RenderText(&buf)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("-fig all -quick output diverged from the golden fingerprint\n got sha256 %s\nwant sha256 %s\nfirst divergence at byte %d",
+			shortHash(buf.Bytes()), shortHash(golden), firstDiff(buf.Bytes(), golden))
+	}
+}
+
+// TestFigAllQuickWorkerInvariant asserts the parallel runner cannot change
+// the golden fingerprint either: worker fan-out must be invisible in the
+// output bytes.
+func TestFigAllQuickWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates a figure twice")
+	}
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		f, err := RunFigure(3, Config{Seed: 42, Quick: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.RenderText(&buf)
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(1), render(8)) {
+		t.Fatal("worker count changed figure bytes")
+	}
+}
+
+func shortHash(b []byte) string {
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

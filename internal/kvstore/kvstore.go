@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrNotFound is returned by Get for missing keys.
@@ -72,7 +73,8 @@ type Store struct {
 	walBuf *bufio.Writer
 	closed bool
 
-	// Stats counters.
+	// Stats counters. Reads is updated atomically: Get holds only the read
+	// lock, so concurrent readers would otherwise race on the increment.
 	Writes, Reads, Flushes, Compactions, WALBytes int64
 }
 
@@ -216,7 +218,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	s.Reads++
+	atomic.AddInt64(&s.Reads, 1)
 	if e, ok := s.mem[key]; ok {
 		if e.del {
 			return nil, ErrNotFound

@@ -1,0 +1,48 @@
+// Package profiling wires -cpuprofile / -memprofile flags into the CLIs so
+// perf work can self-serve pprof captures of real figure and sweep runs
+// (`go tool pprof pinsim cpu.out`) without ad-hoc rebuilds.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a stop
+// function that finishes the CPU profile and, when memPath is non-empty,
+// writes a heap profile. Call stop exactly once, after the measured work —
+// with os.Exit in the path, defer alone is not enough, so CLIs route their
+// exits through the returned stop.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestAllocsSteadyStateSlices guards the scheduler's zero-alloc contract:
+// once runqueues, the event arena and per-task timers have warmed up, a
+// contended machine cycling through slices must not allocate per event.
+func TestAllocsSteadyStateSlices(t *testing.T) {
+	topo, err := topology.New("t", 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRig(topo, nil)
+	// Oversubscribe 8 CPUs with 24 spinners so every slice end reshuffles
+	// runqueues, exercising push/pick/preempt/balance continuously.
+	for i := 0; i < 24; i++ {
+		r.s.Spawn(TaskSpec{
+			Name:    "spin",
+			Program: Sequence(Compute(sim.FromSeconds(1000))),
+		}, 0)
+	}
+	// Warm up: arena growth, runqueue capacity, affinity caches.
+	for i := 0; i < 5000; i++ {
+		if !r.eng.Step() {
+			t.Fatal("queue drained during warmup")
+		}
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if !r.eng.Step() {
+			t.Fatal("queue drained during measurement")
+		}
+	})
+	if avg > 0.01 {
+		t.Fatalf("steady-state slice cycling allocates %.3f allocs/event, want 0", avg)
+	}
+}

@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"repro/internal/cgroups"
+	"repro/internal/sim"
+)
+
+// The runqueue layer replaces the seed's flat `[]*Task` per CPU (O(n) scans
+// for every pick/min/count, memmove deletes) with per-group indexed 4-ary
+// min-heaps:
+//
+//   - Ordering is (vruntime, rqSeq). rqSeq is a scheduler-global counter
+//     stamped at every enqueue, which reproduces the seed's tie-break
+//     (earliest-appended wins) exactly — required for byte-identical runs.
+//   - One subqueue per cgroup (index 0 = ungrouped). Throttling is a
+//     per-group property that flips outside the scheduler's control (the
+//     bandwidth period timer), so partitioning by group turns "skip
+//     throttled tasks" into "skip throttled subqueues" without any
+//     notification protocol: picks are O(groups · log n), counts O(groups).
+//   - Each subqueue's heap root is its cached min-vruntime; the queue-wide
+//     minimum is the best root.
+//   - Tasks carry their heap position (rqPos), so steal can unlink an
+//     arbitrary task in O(log n).
+//
+// The sift/remove logic mirrors the position-tracked 4-ary heap in
+// sim/engine.go, specialized to *Task instead of event slots. The
+// duplication is deliberate (shared helpers would put non-inlinable
+// callbacks on the hottest loops); fixes to one must be mirrored in the
+// other.
+
+// taskLess orders tasks by (vruntime, enqueue sequence).
+func taskLess(a, b *Task) bool {
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.rqSeq < b.rqSeq
+}
+
+// subQueue is the runqueue partition of one cgroup on one CPU.
+type subQueue struct {
+	g *cgroups.Group // nil for the ungrouped partition
+	h []*Task        // 4-ary min-heap by taskLess
+}
+
+// throttledQ reports whether the whole partition is banned from running.
+func (sq *subQueue) throttledQ() bool { return sq.g != nil && sq.g.Throttled() }
+
+func (sq *subQueue) push(t *Task) {
+	t.rqPos = int32(len(sq.h))
+	sq.h = append(sq.h, t)
+	sq.siftUp(int(t.rqPos))
+}
+
+func (sq *subQueue) siftUp(i int) {
+	t := sq.h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := sq.h[parent]
+		if !taskLess(t, p) {
+			break
+		}
+		sq.h[i] = p
+		p.rqPos = int32(i)
+		i = parent
+	}
+	sq.h[i] = t
+	t.rqPos = int32(i)
+}
+
+func (sq *subQueue) siftDown(i int) {
+	n := len(sq.h)
+	t := sq.h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if taskLess(sq.h[c], sq.h[best]) {
+				best = c
+			}
+		}
+		b := sq.h[best]
+		if !taskLess(b, t) {
+			break
+		}
+		sq.h[i] = b
+		b.rqPos = int32(i)
+		i = best
+	}
+	sq.h[i] = t
+	t.rqPos = int32(i)
+}
+
+// removeAt unlinks the task at heap position i and returns it.
+func (sq *subQueue) removeAt(i int) *Task {
+	t := sq.h[i]
+	n := len(sq.h) - 1
+	moved := sq.h[n]
+	sq.h[n] = nil
+	sq.h = sq.h[:n]
+	if i != n {
+		sq.h[i] = moved
+		moved.rqPos = int32(i)
+		sq.siftDown(i)
+		sq.siftUp(i)
+	}
+	t.rqPos = -1
+	return t
+}
+
+// rqPush enqueues a runnable task on c, stamping the global enqueue
+// sequence that preserves the seed scheduler's FIFO tie-break.
+func (s *Scheduler) rqPush(c *cpuRun, t *Task) {
+	t.rqSeq = s.rqSeq
+	s.rqSeq++
+	t.rqCPU = c.id
+	qi := int(t.qIdx)
+	for len(c.subs) <= qi {
+		c.subs = append(c.subs, subQueue{})
+	}
+	sq := &c.subs[qi]
+	if sq.g == nil {
+		sq.g = t.Spec.Group // no-op for the ungrouped partition (qIdx 0)
+	}
+	sq.push(t)
+}
+
+// pickLocal removes and returns the min-vruntime runnable task of c's queue.
+func (s *Scheduler) pickLocal(c *cpuRun) *Task {
+	var best *Task
+	var bestQ *subQueue
+	for i := range c.subs {
+		sq := &c.subs[i]
+		if len(sq.h) == 0 || sq.throttledQ() {
+			continue
+		}
+		if r := sq.h[0]; best == nil || taskLess(r, best) {
+			best, bestQ = r, sq
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	bestQ.removeAt(0)
+	best.rqCPU = -1
+	return best
+}
+
+// steal pulls a waiting runnable task from the most loaded other queue that
+// allows this CPU (idle balancing).
+func (s *Scheduler) steal(c *cpuRun) *Task {
+	var cand *Task
+	var candQ *subQueue
+	srcLoad := 0
+	for _, o := range s.cpus {
+		if o == c {
+			continue
+		}
+		load := 0
+		var best *Task
+		var bestQ *subQueue
+		for i := range o.subs {
+			sq := &o.subs[i]
+			if len(sq.h) == 0 || sq.throttledQ() {
+				continue
+			}
+			// Heap layout order is fine here: candidates are compared by
+			// the total (vruntime, rqSeq) order, so the scan result does
+			// not depend on traversal order.
+			for _, t := range sq.h {
+				if set, _ := s.cachedAffinity(t); !set.Contains(c.id) {
+					continue
+				}
+				load++
+				if best == nil || taskLess(t, best) {
+					best, bestQ = t, sq
+				}
+			}
+		}
+		if best != nil && load > srcLoad {
+			cand, candQ, srcLoad = best, bestQ, load
+		}
+	}
+	if cand == nil {
+		return nil
+	}
+	candQ.removeAt(int(cand.rqPos))
+	cand.rqCPU = -1
+	s.bd.Steals++
+	return cand
+}
+
+// minVruntime returns the smallest vruntime currently associated with c:
+// the running task or the best subqueue root (throttled partitions
+// included, matching queue membership semantics).
+func (s *Scheduler) minVruntime(c *cpuRun) sim.Time {
+	var mv sim.Time
+	seen := false
+	if c.current != nil {
+		mv = c.current.vruntime
+		seen = true
+	}
+	for i := range c.subs {
+		sq := &c.subs[i]
+		if len(sq.h) == 0 {
+			continue
+		}
+		if r := sq.h[0]; !seen || r.vruntime < mv {
+			mv = r.vruntime
+			seen = true
+		}
+	}
+	return mv
+}
+
+// hasRunnable reports whether any queued task of c may run right now.
+func (s *Scheduler) hasRunnable(c *cpuRun) bool {
+	for i := range c.subs {
+		sq := &c.subs[i]
+		if len(sq.h) > 0 && !sq.throttledQ() {
+			return true
+		}
+	}
+	return false
+}
+
+// runnableCount returns how many queued tasks of c may run right now.
+func (s *Scheduler) runnableCount(c *cpuRun) int {
+	n := 0
+	for i := range c.subs {
+		sq := &c.subs[i]
+		if len(sq.h) == 0 || sq.throttledQ() {
+			continue
+		}
+		n += len(sq.h)
+	}
+	return n
+}

@@ -73,10 +73,11 @@ type procKey struct {
 
 type cpuRun struct {
 	id           int
-	rq           []*Task
+	subs         []subQueue // runqueue, partitioned by cgroup (see runqueue.go)
 	current      *Task
 	lastTask     *Task
-	sliceEnd     *sim.Event
+	sliceTimer   *sim.Timer // fires sliceDone; bound once, zero alloc/slice
+	sliceEndAt   sim.Time   // planned end of the current slice
 	sliceStart   sim.Time
 	sliceOver    sim.Time // committed overhead portion of current slice
 	sliceWork    sim.Time // planned scaled work in current slice
@@ -85,21 +86,30 @@ type cpuRun struct {
 	pendingStall sim.Time // vCPU-wander stall charged at next dispatch
 }
 
+// procCount is the runnable-thread counter of one thread group, hung off
+// its member tasks so the dispatch path never touches a map.
+type procCount struct {
+	n int
+}
+
 // Scheduler simulates CFS over one machine.
 type Scheduler struct {
 	cfg  Config
 	eng  *sim.Engine
 	cpus []*cpuRun
 
-	tasks     []*Task
-	groups    map[*cgroups.Group][]*Task
-	groupRun  map[*cgroups.Group]int
-	groupLive map[*cgroups.Group]int
-	procRun   map[procKey]int
-	live      int
-	bd        Breakdown
-	curs      int // rotating placement cursor
-	completed []*Task
+	tasks []*Task
+	// groups and the maps below are spawn/throttle-time bookkeeping only;
+	// the dispatch path reads counters cached on Task and cgroups.Group.
+	groups      map[*cgroups.Group][]*Task
+	groupQIdx   map[*cgroups.Group]int32
+	procCtrs    map[procKey]*procCount
+	rqSeq       uint64 // global enqueue sequence (runqueue tie-break)
+	live        int
+	bd          Breakdown
+	curs        int // rotating placement cursor
+	completed   []*Task
+	wanderTimer *sim.Timer
 }
 
 // New returns a scheduler over eng with the given config.
@@ -117,14 +127,15 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 		cfg:       cfg,
 		eng:       eng,
 		groups:    make(map[*cgroups.Group][]*Task),
-		groupRun:  make(map[*cgroups.Group]int),
-		groupLive: make(map[*cgroups.Group]int),
-		procRun:   make(map[procKey]int),
+		groupQIdx: make(map[*cgroups.Group]int32),
+		procCtrs:  make(map[procKey]*procCount),
 	}
 	n := cfg.Topo.NumCPUs()
 	s.cpus = make([]*cpuRun, n)
 	for i := range s.cpus {
-		s.cpus[i] = &cpuRun{id: i}
+		c := &cpuRun{id: i}
+		c.sliceTimer = eng.NewTimer(func() { s.sliceDone(c) })
+		s.cpus[i] = c
 	}
 	if cfg.WanderStallRate > 0 && cfg.WanderStallCost > 0 {
 		s.scheduleWander()
@@ -136,11 +147,12 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 // random CPU accrues a stall, paid by the next dispatch there.
 func (s *Scheduler) scheduleWander() {
 	mean := sim.Time(float64(sim.Second) / (s.cfg.WanderStallRate * float64(len(s.cpus))))
-	s.eng.After(s.cfg.RNG.ExpDuration(mean), func() {
+	s.wanderTimer = s.eng.NewTimer(func() {
 		c := s.cpus[s.cfg.RNG.Intn(len(s.cpus))]
 		c.pendingStall += s.cfg.WanderStallCost
-		s.scheduleWander()
+		s.wanderTimer.Reset(s.cfg.RNG.ExpDuration(mean))
 	})
+	s.wanderTimer.Reset(s.cfg.RNG.ExpDuration(mean))
 }
 
 // Breakdown returns the accumulated overhead meter.
@@ -157,7 +169,7 @@ func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
 	if spec.Program == nil {
 		panic("sched: task without program")
 	}
-	t := &Task{ID: len(s.tasks), Spec: spec, lastCPU: -1, rqCPU: -1, state: stateNew, pendingMsgFromCPU: -1}
+	t := &Task{ID: len(s.tasks), Spec: spec, lastCPU: -1, rqCPU: -1, rqPos: -1, state: stateNew, pendingMsgFromCPU: -1}
 	s.tasks = append(s.tasks, t)
 	s.live++
 	if g := spec.Group; g != nil {
@@ -165,8 +177,17 @@ func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
 		if len(s.groups[g]) == 1 {
 			s.registerGroup(g)
 		}
-		s.groupLive[g]++
-		g.SetLive(s.groupLive[g])
+		t.qIdx = s.groupQIdx[g]
+		if spec.Proc > 0 {
+			key := procKey{g, spec.Proc}
+			ctr := s.procCtrs[key]
+			if ctr == nil {
+				ctr = &procCount{}
+				s.procCtrs[key] = ctr
+			}
+			t.procCtr = ctr
+		}
+		g.AddLive(1)
 		// Keep the group's churn working-set factor at the mean of its
 		// members (§IV-C: the unthrottle refill cost tracks how much state
 		// the threads pull back into cache).
@@ -185,6 +206,8 @@ func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
 }
 
 func (s *Scheduler) registerGroup(g *cgroups.Group) {
+	// Subqueue index 0 is the ungrouped partition; groups start at 1.
+	s.groupQIdx[g] = int32(len(s.groupQIdx)) + 1
 	g.SetUnthrottleFn(func(churn sim.Time) {
 		for _, t := range s.groups[g] {
 			switch t.state {
@@ -220,27 +243,26 @@ func churnWSScale(ws float64) float64 {
 }
 
 // updateRunnable maintains the group-wide and per-thread-group runnable
-// counts (runnable = wants CPU, i.e. runnable or running).
+// counts (runnable = wants CPU, i.e. runnable or running). Both counters
+// hang off structs the dispatch path already holds — no map lookups.
 func (s *Scheduler) updateRunnable(t *Task, delta int) {
 	g := t.Spec.Group
 	if g == nil {
 		return
 	}
-	s.groupRun[g] += delta
-	g.SetRunnable(s.groupRun[g])
-	if t.Spec.Proc > 0 {
-		s.procRun[procKey{g, t.Spec.Proc}] += delta
+	g.AddRunnable(delta)
+	if t.procCtr != nil {
+		t.procCtr.n += delta
 	}
 }
 
 // procOversubscription returns how many runnable threads of t's thread group
 // exist per CPU of this machine (1 for a lone thread on an idle machine).
 func (s *Scheduler) procOversubscription(t *Task) float64 {
-	if t.Spec.Group == nil || t.Spec.Proc <= 0 {
+	if t.procCtr == nil {
 		return 0
 	}
-	n := s.procRun[procKey{t.Spec.Group, t.Spec.Proc}]
-	return float64(n) / float64(len(s.cpus))
+	return float64(t.procCtr.n) / float64(len(s.cpus))
 }
 
 // effAffinity resolves the CPUs a task may use: its own affinity intersected
@@ -283,7 +305,8 @@ func (s *Scheduler) startProgram(t *Task, homeCPU int) {
 			ch := s.cfg.IRQ.Channel(a.Channel)
 			lat := s.cfg.RNG.Jitter(sim.Time(float64(a.Latency)*s.cfg.IOScale), s.cfg.Params.WakeJitter)
 			delay := s.cfg.IRQ.CompletionDelay(ch, s.eng.Now(), lat, s.cfg.IOScale)
-			s.eng.After(delay, func() { s.ioComplete(t, ch) })
+			t.wakeCh = ch
+			s.armWake(t, delay)
 			return
 		case ActSend:
 			if a.To == nil {
@@ -322,7 +345,8 @@ func (s *Scheduler) startProgram(t *Task, homeCPU int) {
 			}
 			t.state = stateBlockedIO
 			s.emit(TraceBlock, t, -1, BlockSleep)
-			s.eng.After(a.Dur, func() { s.wakeFromBlock(t) })
+			t.wakeCh = nil
+			s.armWake(t, a.Dur)
 			return
 		case ActDone:
 			s.finish(t)
@@ -340,10 +364,26 @@ func (s *Scheduler) finish(t *Task) {
 	s.completed = append(s.completed, t)
 	s.live--
 	if g := t.Spec.Group; g != nil {
-		s.groupLive[g]--
-		g.SetLive(s.groupLive[g])
+		g.AddLive(-1)
 	}
 	s.emit(TraceFinish, t, -1, BlockNone)
+}
+
+// armWake schedules t's block-expiry wakeup (IO completion when t.wakeCh is
+// set, plain sleep wake otherwise) on the task's pooled timer: the callback
+// is bound once per task, so steady-state IO pays no closure allocation.
+func (s *Scheduler) armWake(t *Task, d sim.Time) {
+	if t.wakeTimer == nil {
+		t.wakeTimer = s.eng.NewTimer(func() {
+			if ch := t.wakeCh; ch != nil {
+				t.wakeCh = nil
+				s.ioComplete(t, ch)
+			} else {
+				s.wakeFromBlock(t)
+			}
+		})
+	}
+	t.wakeTimer.Reset(d)
 }
 
 // makeRunnable enqueues a task ready to compute. homeCPU >= 0 keeps the task
@@ -352,9 +392,12 @@ func (s *Scheduler) makeRunnable(t *Task, homeCPU int) {
 	t.state = stateRunnable
 	s.updateRunnable(t, 1)
 	var c *cpuRun
-	if homeCPU >= 0 && s.effAffinity(t).Contains(homeCPU) {
-		c = s.cpus[homeCPU]
-	} else {
+	if homeCPU >= 0 {
+		if set, _ := s.cachedAffinity(t); set.Contains(homeCPU) {
+			c = s.cpus[homeCPU]
+		}
+	}
+	if c == nil {
 		c = s.cpus[s.placeTask(t)]
 		s.bd.Wakeups++
 	}
@@ -363,34 +406,16 @@ func (s *Scheduler) makeRunnable(t *Task, homeCPU int) {
 	if mv := s.minVruntime(c); t.vruntime < mv {
 		t.vruntime = mv
 	}
-	t.rqCPU = c.id
-	c.rq = append(c.rq, t)
+	s.rqPush(c, t)
 	if c.current == nil {
 		s.dispatch(c)
 		return
 	}
 	// Wakeup preemption (check_preempt_wakeup): a long uncontended slice
 	// must yield promptly once someone else wants the CPU.
-	if c.sliceEnd != nil && c.sliceEnd.At()-s.eng.Now() > s.cfg.Params.MinGranularity {
+	if c.sliceEndAt-s.eng.Now() > s.cfg.Params.MinGranularity {
 		s.preempt(c)
 	}
-}
-
-// minVruntime returns the smallest vruntime currently associated with c.
-func (s *Scheduler) minVruntime(c *cpuRun) sim.Time {
-	var mv sim.Time
-	seen := false
-	if c.current != nil {
-		mv = c.current.vruntime
-		seen = true
-	}
-	for _, t := range c.rq {
-		if !seen || t.vruntime < mv {
-			mv = t.vruntime
-			seen = true
-		}
-	}
-	return mv
 }
 
 func (s *Scheduler) ioComplete(t *Task, ch *irqsim.Channel) {
@@ -436,87 +461,9 @@ func (s *Scheduler) deliver(from *Task, to *Task, bytes int64, senderCPU int) {
 }
 
 // ---- dispatching ------------------------------------------------------
-
-func (s *Scheduler) hasRunnable(c *cpuRun) bool {
-	for _, t := range c.rq {
-		if t.state == stateRunnable && !s.throttled(t) {
-			return true
-		}
-	}
-	return false
-}
-
-func (s *Scheduler) throttled(t *Task) bool {
-	g := t.Spec.Group
-	return g != nil && g.Throttled()
-}
-
-// pickLocal removes and returns the min-vruntime runnable task of c's queue.
-func (s *Scheduler) pickLocal(c *cpuRun) *Task {
-	best := -1
-	for i, t := range c.rq {
-		if t.state != stateRunnable || s.throttled(t) {
-			continue
-		}
-		if best < 0 || t.vruntime < c.rq[best].vruntime {
-			best = i
-		}
-	}
-	if best < 0 {
-		return nil
-	}
-	t := c.rq[best]
-	c.rq = append(c.rq[:best], c.rq[best+1:]...)
-	t.rqCPU = -1
-	return t
-}
-
-// steal pulls a waiting runnable task from the most loaded other queue that
-// allows this CPU (idle balancing).
-func (s *Scheduler) steal(c *cpuRun) *Task {
-	var srcCPU, srcIdx, srcLoad = -1, -1, 0
-	for _, o := range s.cpus {
-		if o == c {
-			continue
-		}
-		load := 0
-		cand := -1
-		for i, t := range o.rq {
-			if t.state != stateRunnable || s.throttled(t) {
-				continue
-			}
-			if !s.effAffinity(t).Contains(c.id) {
-				continue
-			}
-			load++
-			if cand < 0 || t.vruntime < o.rq[cand].vruntime {
-				cand = i
-			}
-		}
-		if cand >= 0 && load > srcLoad {
-			srcCPU, srcIdx, srcLoad = o.id, cand, load
-		}
-	}
-	if srcCPU < 0 {
-		return nil
-	}
-	o := s.cpus[srcCPU]
-	t := o.rq[srcIdx]
-	o.rq = append(o.rq[:srcIdx], o.rq[srcIdx+1:]...)
-	t.rqCPU = -1
-	s.bd.Steals++
-	return t
-}
-
-func (s *Scheduler) runnableCount(c *cpuRun) int {
-	n := 0
-	for _, t := range c.rq {
-		if t.state == stateRunnable && !s.throttled(t) {
-			n++
-		}
-	}
-	return n
-}
+//
+// pickLocal, steal, hasRunnable, runnableCount and minVruntime live in
+// runqueue.go, on the indexed per-group runqueues.
 
 func (s *Scheduler) smtScale(c *cpuRun) float64 {
 	if s.cfg.Topo.ThreadsPerCore <= 1 || s.cfg.Params.SMTPenalty <= 0 {
@@ -683,7 +630,8 @@ func (s *Scheduler) startSlice(c *cpuRun, t *Task) {
 	c.sliceWork = work
 	c.sliceScale = scale
 	c.sliceFull = full
-	c.sliceEnd = s.eng.After(occ, func() { s.sliceDone(c) })
+	c.sliceEndAt = now + occ
+	c.sliceTimer.Reset(occ)
 }
 
 // sliceDone finishes the planned slice of c.current.
@@ -696,7 +644,7 @@ func (s *Scheduler) preempt(c *cpuRun) {
 	if c.current == nil {
 		return
 	}
-	s.eng.Cancel(c.sliceEnd)
+	c.sliceTimer.Stop()
 	elapsed := s.eng.Now() - c.sliceStart
 	work := elapsed - c.sliceOver
 	if work < 0 {
@@ -741,7 +689,6 @@ func (s *Scheduler) endSlice(c *cpuRun, workScaled sim.Time, full bool) {
 	t.lastRanAt = now
 	c.lastTask = t
 	c.current = nil
-	c.sliceEnd = nil
 	s.emit(TraceRunEnd, t, c.id, BlockNone)
 
 	g := t.Spec.Group
@@ -766,12 +713,11 @@ func (s *Scheduler) endSlice(c *cpuRun, workScaled sim.Time, full bool) {
 				dst = best
 			}
 		}
-		t.rqCPU = dst.id
-		dst.rq = append(dst.rq, t)
+		s.rqPush(dst, t)
 		if dst != c {
 			if dst.current == nil {
 				s.dispatch(dst)
-			} else if dst.sliceEnd != nil && dst.sliceEnd.At()-now > s.cfg.Params.MinGranularity {
+			} else if dst.sliceEndAt-now > s.cfg.Params.MinGranularity {
 				s.preempt(dst)
 			}
 		}

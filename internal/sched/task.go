@@ -152,7 +152,19 @@ type Task struct {
 	lastCPU   int
 	lastRanAt sim.Time
 	curCPU    int
-	rqCPU     int // runqueue currently holding the task (-1 = none)
+	rqCPU     int    // runqueue currently holding the task (-1 = none)
+	rqPos     int32  // heap position inside its subqueue (-1 = not queued)
+	rqSeq     uint64 // global enqueue sequence; runqueue FIFO tie-break
+	qIdx      int32  // subqueue index of the task's cgroup (0 = ungrouped)
+
+	// procCtr is the shared runnable-thread counter of the task's thread
+	// group, resolved once at spawn so the dispatch path skips the map.
+	procCtr *procCount
+
+	// wakeTimer fires block expiries (IO completion when wakeCh is set,
+	// sleep wake otherwise); bound once per task, pooled per event.
+	wakeTimer *sim.Timer
+	wakeCh    *irqsim.Channel
 
 	// pending overhead to charge at next dispatch (wakeup path costs).
 	pendingOverhead sim.Time

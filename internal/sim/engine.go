@@ -16,10 +16,21 @@
 // and panic on concurrent entry; the scheduling calls (At, After, Cancel)
 // are intentionally unguarded because event callbacks invoke them
 // re-entrantly from inside Step — the race detector covers those.
+//
+// # Allocation model
+//
+// The event queue is a pooled, index-based 4-ary min-heap specialized to
+// (time, sequence) keys: event state lives in a flat slot arena that is
+// recycled through a free list, so scheduling an event allocates nothing
+// once the arena has warmed up. The only per-event allocation left is the
+// caller's closure, and Timer removes even that for the recurring patterns
+// (slice timers, IO completions): bind the callback once, Reset forever.
+// Slots are identified by EventID handles carrying a generation counter,
+// which makes Cancel on an already-fired or already-canceled event a safe
+// no-op without keeping the dead slot alive.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 )
@@ -56,49 +67,25 @@ func (t Time) String() string {
 	return fmt.Sprintf("%dns", int64(t))
 }
 
-// Event is a scheduled callback. Events are ordered by time; ties are broken
-// by insertion sequence so runs are fully deterministic.
-type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // heap index; -1 when not queued
-	canceled bool
-}
+// EventID is a handle to a scheduled event. The zero EventID refers to no
+// event; Cancel of a zero, fired, or already-canceled handle is a no-op.
+// Handles encode a slot index plus a generation counter, so they stay safe
+// to hold after the event fires and its slot is recycled.
+type EventID uint64
 
-// At reports the time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// None is the zero EventID: a handle to no event.
+const None EventID = 0
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+func packID(idx, gen uint32) EventID { return EventID(uint64(gen)<<32 | uint64(idx)) }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// eventSlot is pooled event state. Slots are recycled through the free
+// list; gen increments at every release so stale EventIDs never match.
+type eventSlot struct {
+	at  Time
+	seq uint64
+	fn  func()
+	gen uint32
+	pos int32 // index into Engine.order; -1 when not queued
 }
 
 // Engine is a discrete-event simulation executor. The zero value is not
@@ -108,7 +95,9 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now       Time
 	seq       uint64
-	queue     eventHeap
+	slots     []eventSlot
+	free      []uint32
+	order     []uint32 // 4-ary min-heap of slot indices, keyed by (at, seq)
 	processed uint64
 	// running guards the executor entry points against concurrent use from
 	// a second goroutine (or re-entrant Step/Run from inside a callback).
@@ -131,45 +120,233 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of events currently queued (including canceled
-// events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.order) }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// ---- slot pool ---------------------------------------------------------
+
+func (e *Engine) allocSlot() uint32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.slots = append(e.slots, eventSlot{gen: 1})
+	return uint32(len(e.slots) - 1)
+}
+
+// releaseSlot retires a fired or canceled slot: the generation bump
+// invalidates every outstanding handle before the free list reuses it.
+func (e *Engine) releaseSlot(idx uint32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.pos = -1
+	s.gen++
+	e.free = append(e.free, idx)
+}
+
+// slotOf resolves a live handle, or nil if the event fired, was canceled,
+// or never existed.
+func (e *Engine) slotOf(id EventID) *eventSlot {
+	idx := uint32(id)
+	if id == None || int(idx) >= len(e.slots) {
+		return nil
+	}
+	s := &e.slots[idx]
+	if s.gen != uint32(id>>32) || s.pos < 0 {
+		return nil
+	}
+	return s
+}
+
+// ---- 4-ary heap --------------------------------------------------------
+//
+// Keys are (at, seq); seq is the global schedule counter, so ties resolve
+// in insertion order and runs are fully deterministic. A 4-ary layout
+// halves the tree depth of a binary heap and keeps the children of one
+// node on a single cache line of indices.
+//
+// sched/runqueue.go carries a sibling of this position-tracked 4-ary heap
+// specialized to *Task. The duplication is deliberate — a shared helper
+// would need non-inlinable less/position callbacks on the hottest loops —
+// but it means heap-logic fixes must be mirrored there.
+
+func (e *Engine) less(a, b uint32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) heapPush(idx uint32) {
+	e.slots[idx].pos = int32(len(e.order))
+	e.order = append(e.order, idx)
+	e.siftUp(len(e.order) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	idx := e.order[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := e.order[parent]
+		if !e.less(idx, p) {
+			break
+		}
+		e.order[i] = p
+		e.slots[p].pos = int32(i)
+		i = parent
+	}
+	e.order[i] = idx
+	e.slots[idx].pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.order)
+	idx := e.order[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(e.order[c], e.order[best]) {
+				best = c
+			}
+		}
+		b := e.order[best]
+		if !e.less(b, idx) {
+			break
+		}
+		e.order[i] = b
+		e.slots[b].pos = int32(i)
+		i = best
+	}
+	e.order[i] = idx
+	e.slots[idx].pos = int32(i)
+}
+
+// heapRemove unlinks the element at heap position i.
+func (e *Engine) heapRemove(i int) {
+	n := len(e.order) - 1
+	moved := e.order[n]
+	e.order = e.order[:n]
+	if i == n {
+		return
+	}
+	e.order[i] = moved
+	e.slots[moved].pos = int32(i)
+	e.siftDown(i)
+	e.siftUp(i)
+}
+
+// ---- scheduling --------------------------------------------------------
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	idx := e.allocSlot()
+	s := &e.slots[idx]
+	s.at = t
+	s.seq = e.seq
+	s.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.heapPush(idx)
+	return packID(idx, s.gen)
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) EventID {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel marks an event so it will not fire. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+// Cancel removes a scheduled event so it will not fire. Canceling a zero
+// handle, an already-fired event or an already-canceled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	s := e.slotOf(id)
+	if s == nil {
 		return
 	}
-	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
-	}
+	pos := int(s.pos)
+	e.heapRemove(pos)
+	e.releaseSlot(uint32(id))
 }
+
+// EventTime reports when a scheduled event will fire; ok is false when the
+// handle no longer refers to a queued event.
+func (e *Engine) EventTime(id EventID) (at Time, ok bool) {
+	s := e.slotOf(id)
+	if s == nil {
+		return 0, false
+	}
+	return s.at, true
+}
+
+// ---- timers ------------------------------------------------------------
+
+// Timer is a reusable scheduled callback bound to one Engine. It exists so
+// recurring reschedule patterns pay zero allocations per event: the
+// callback closure is built once at NewTimer, and Reset/ResetAt recycle a
+// pooled event slot. A Timer is single-shot per arm (fire once, then
+// Pending reports false) and, like its Engine, goroutine-confined.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	id  EventID
+}
+
+// NewTimer returns an unarmed timer that will run fn each time it fires.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
+	}
+	return &Timer{eng: e, fn: fn}
+}
+
+// Reset arms the timer to fire d after the current time, replacing any
+// pending arm.
+func (tm *Timer) Reset(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	tm.ResetAt(tm.eng.now + d)
+}
+
+// ResetAt arms the timer to fire at absolute time t, replacing any pending
+// arm.
+func (tm *Timer) ResetAt(t Time) {
+	tm.eng.Cancel(tm.id)
+	tm.id = tm.eng.At(t, tm.fn)
+}
+
+// Stop disarms the timer. Stopping an unarmed or fired timer is a no-op.
+func (tm *Timer) Stop() {
+	tm.eng.Cancel(tm.id)
+	tm.id = None
+}
+
+// Pending reports whether the timer is armed and has not fired.
+func (tm *Timer) Pending() bool { return tm.eng.slotOf(tm.id) != nil }
+
+// When reports the pending fire time; ok is false when the timer is not
+// armed.
+func (tm *Timer) When() (at Time, ok bool) { return tm.eng.EventTime(tm.id) }
+
+// ---- execution ---------------------------------------------------------
 
 // Step executes the next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
@@ -179,20 +356,30 @@ func (e *Engine) Step() bool {
 }
 
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at < e.now {
-			panic("sim: event queue went backwards")
-		}
-		e.now = ev.at
-		e.processed++
-		ev.fn()
-		return true
+	if len(e.order) == 0 {
+		return false
 	}
-	return false
+	idx := e.order[0]
+	s := &e.slots[idx]
+	if s.at < e.now {
+		panic("sim: event queue went backwards")
+	}
+	e.now = s.at
+	fn := s.fn
+	// Retire the slot before running fn so the callback can immediately
+	// recycle it for whatever it schedules next.
+	n := len(e.order) - 1
+	moved := e.order[n]
+	e.order = e.order[:n]
+	if n > 0 {
+		e.order[0] = moved
+		e.slots[moved].pos = 0
+		e.siftDown(0)
+	}
+	e.releaseSlot(idx)
+	e.processed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or maxEvents have been
@@ -217,16 +404,7 @@ func (e *Engine) Run(maxEvents uint64) uint64 {
 func (e *Engine) RunUntil(deadline Time) {
 	e.enter("RunUntil")
 	defer e.leave()
-	for len(e.queue) > 0 {
-		// Peek.
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > deadline {
-			break
-		}
+	for len(e.order) > 0 && e.slots[e.order[0]].at <= deadline {
 		e.step()
 	}
 	if e.now < deadline {

@@ -51,16 +51,39 @@ func TestEngineCancel(t *testing.T) {
 	eng := NewEngine()
 	fired := false
 	ev := eng.At(Millisecond, func() { fired = true })
+	if at, ok := eng.EventTime(ev); !ok || at != Millisecond {
+		t.Fatalf("EventTime = %v,%v, want 1ms,true", at, ok)
+	}
 	eng.Cancel(ev)
 	eng.Run(0)
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("event not marked canceled")
+	if _, ok := eng.EventTime(ev); ok {
+		t.Fatal("canceled event still reports a fire time")
 	}
 	eng.Cancel(ev) // double cancel is a no-op
-	eng.Cancel(nil)
+	eng.Cancel(None)
+}
+
+func TestEngineStaleHandleAfterFire(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.At(Millisecond, func() {})
+	eng.Run(0)
+	if _, ok := eng.EventTime(ev); ok {
+		t.Fatal("fired event still reports a fire time")
+	}
+	// The slot is recycled; the stale handle must not cancel its new tenant.
+	fired := false
+	ev2 := eng.At(2*Millisecond, func() { fired = true })
+	eng.Cancel(ev)
+	if _, ok := eng.EventTime(ev2); !ok {
+		t.Fatal("stale Cancel hit a recycled slot")
+	}
+	eng.Run(0)
+	if !fired {
+		t.Fatal("recycled event lost")
+	}
 }
 
 func TestEngineCancelMiddleOfQueue(t *testing.T) {

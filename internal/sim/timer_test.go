@@ -1,0 +1,147 @@
+package sim
+
+import "testing"
+
+func TestTimerFiresAndRearms(t *testing.T) {
+	eng := NewEngine()
+	var fired []Time
+	var tm *Timer
+	tm = eng.NewTimer(func() {
+		fired = append(fired, eng.Now())
+		if len(fired) < 3 {
+			tm.Reset(Millisecond)
+		}
+	})
+	if tm.Pending() {
+		t.Fatal("fresh timer pending")
+	}
+	tm.Reset(Millisecond)
+	if at, ok := tm.When(); !ok || at != Millisecond {
+		t.Fatalf("When = %v,%v", at, ok)
+	}
+	eng.Run(0)
+	if len(fired) != 3 || fired[0] != Millisecond || fired[2] != 3*Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("exhausted timer pending")
+	}
+}
+
+func TestTimerResetReplacesPendingArm(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	tm := eng.NewTimer(func() { count++ })
+	tm.Reset(Millisecond)
+	tm.Reset(5 * Millisecond) // replaces, never duplicates
+	eng.RunUntil(2 * Millisecond)
+	if count != 0 {
+		t.Fatal("replaced arm fired")
+	}
+	eng.Run(0)
+	if count != 1 {
+		t.Fatalf("fired %d times, want 1", count)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	tm := eng.NewTimer(func() { count++ })
+	tm.Reset(Millisecond)
+	tm.Stop()
+	tm.Stop() // double stop is a no-op
+	eng.Run(0)
+	if count != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Reset(Millisecond)
+	eng.Run(0)
+	if count != 1 {
+		t.Fatal("timer unusable after Stop")
+	}
+}
+
+func TestTimerOrderMatchesAt(t *testing.T) {
+	// A Timer's arm consumes the same (time, seq) key an At call would, so
+	// mixing timers and one-shot events keeps the deterministic tie order.
+	eng := NewEngine()
+	var got []int
+	tm := eng.NewTimer(func() { got = append(got, 1) })
+	tm.Reset(Millisecond)
+	eng.At(Millisecond, func() { got = append(got, 2) })
+	eng.Run(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("tie order = %v, want [1 2]", got)
+	}
+}
+
+// ---- allocation guards (the kernel's zero-alloc contract) ---------------
+
+// nopFn lives outside the measured closures so the measured calls carry a
+// preexisting func value, like the scheduler's pooled callbacks do.
+var nopFn = func() {}
+
+func TestAllocsPerEventAfter(t *testing.T) {
+	eng := NewEngine()
+	// Warm the slot arena and heap capacity.
+	for i := 0; i < 64; i++ {
+		eng.After(Microsecond, nopFn)
+	}
+	eng.Run(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		eng.After(Microsecond, nopFn)
+		eng.Step()
+	})
+	if avg > 0 {
+		t.Fatalf("Engine.After allocates %.2f allocs/event in steady state, want 0", avg)
+	}
+}
+
+func TestAllocsPerEventAt(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 64; i++ {
+		eng.After(Microsecond, nopFn)
+	}
+	eng.Run(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		eng.At(eng.Now()+Microsecond, nopFn)
+		eng.Step()
+	})
+	if avg > 0 {
+		t.Fatalf("Engine.At allocates %.2f allocs/event in steady state, want 0", avg)
+	}
+}
+
+func TestAllocsPerEventTimerReset(t *testing.T) {
+	eng := NewEngine()
+	tm := eng.NewTimer(nopFn)
+	for i := 0; i < 64; i++ {
+		tm.Reset(Microsecond)
+		eng.Step()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		tm.Reset(Microsecond)
+		eng.Step()
+	})
+	if avg > 0 {
+		t.Fatalf("Timer.Reset allocates %.2f allocs/event in steady state, want 0", avg)
+	}
+}
+
+func TestSlotPoolReuse(t *testing.T) {
+	eng := NewEngine()
+	const rounds = 10_000
+	for i := 0; i < rounds; i++ {
+		eng.After(Microsecond, nopFn)
+		eng.Step()
+	}
+	// Sequential schedule/fire must keep the arena at O(1) slots, not grow
+	// it per event.
+	if n := len(eng.slots); n > 8 {
+		t.Fatalf("slot arena grew to %d slots for sequential events, want O(1)", n)
+	}
+	if eng.Processed() != rounds {
+		t.Fatalf("processed %d, want %d", eng.Processed(), rounds)
+	}
+}

@@ -19,8 +19,32 @@ const setWords = MaxCPUs / 64
 // CPUSet is a fixed-size bitmask of logical CPU ids. The zero value is the
 // empty set. CPUSet is a value type: methods that modify it take a pointer
 // receiver; set-algebra methods return new sets.
+//
+// A set carries a high-word hint so algebra and scans on realistic 8–112
+// CPU machines touch one or two words instead of all 16. Compare sets with
+// Equal, never with ==: two equal sets may carry different hints.
 type CPUSet struct {
 	bits [setWords]uint64
+	// hi is the number of significant words: an upper bound such that
+	// bits[i] == 0 for all i >= hi. It is a hint, not an exact population
+	// bound — Remove never shrinks it — so words below hi may be zero.
+	hi int8
+}
+
+// maxHi returns the larger significant-word count of two sets.
+func maxHi(s, o CPUSet) int8 {
+	if s.hi >= o.hi {
+		return s.hi
+	}
+	return o.hi
+}
+
+// minHi returns the smaller significant-word count of two sets.
+func minHi(s, o CPUSet) int8 {
+	if s.hi <= o.hi {
+		return s.hi
+	}
+	return o.hi
 }
 
 // NewCPUSet returns a set containing the given CPUs.
@@ -46,29 +70,36 @@ func (s *CPUSet) Add(cpu int) {
 	if cpu < 0 || cpu >= MaxCPUs {
 		panic(fmt.Sprintf("topology: cpu %d out of range", cpu))
 	}
-	s.bits[cpu/64] |= 1 << uint(cpu%64)
+	w := cpu / 64
+	s.bits[w] |= 1 << uint(cpu%64)
+	if int8(w) >= s.hi {
+		s.hi = int8(w) + 1
+	}
 }
 
-// Remove deletes cpu from the set.
+// Remove deletes cpu from the set. Out-of-range ids panic, exactly like
+// Add: silently ignoring them would let a model bug pass as a no-op.
 func (s *CPUSet) Remove(cpu int) {
 	if cpu < 0 || cpu >= MaxCPUs {
-		return
+		panic(fmt.Sprintf("topology: cpu %d out of range", cpu))
 	}
 	s.bits[cpu/64] &^= 1 << uint(cpu%64)
 }
 
-// Contains reports whether cpu is in the set.
+// Contains reports whether cpu is in the set; any out-of-range id is
+// simply not a member.
 func (s CPUSet) Contains(cpu int) bool {
-	if cpu < 0 || cpu >= MaxCPUs {
+	w := cpu / 64
+	if cpu < 0 || w >= int(s.hi) {
 		return false
 	}
-	return s.bits[cpu/64]&(1<<uint(cpu%64)) != 0
+	return s.bits[w]&(1<<uint(cpu%64)) != 0
 }
 
 // Count returns the number of CPUs in the set.
 func (s CPUSet) Count() int {
 	n := 0
-	for _, w := range s.bits {
+	for _, w := range s.bits[:s.hi] {
 		n += bits.OnesCount64(w)
 	}
 	return n
@@ -76,7 +107,7 @@ func (s CPUSet) Count() int {
 
 // IsEmpty reports whether the set has no CPUs.
 func (s CPUSet) IsEmpty() bool {
-	for _, w := range s.bits {
+	for _, w := range s.bits[:s.hi] {
 		if w != 0 {
 			return false
 		}
@@ -85,12 +116,22 @@ func (s CPUSet) IsEmpty() bool {
 }
 
 // Equal reports whether two sets contain exactly the same CPUs.
-func (s CPUSet) Equal(o CPUSet) bool { return s.bits == o.bits }
+func (s CPUSet) Equal(o CPUSet) bool {
+	// Words beyond each set's hint are zero by invariant, so comparing up
+	// to the larger hint covers the full mask.
+	for i := int8(0); i < maxHi(s, o); i++ {
+		if s.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Union returns s ∪ o.
 func (s CPUSet) Union(o CPUSet) CPUSet {
 	var r CPUSet
-	for i := range s.bits {
+	r.hi = maxHi(s, o)
+	for i := int8(0); i < r.hi; i++ {
 		r.bits[i] = s.bits[i] | o.bits[i]
 	}
 	return r
@@ -99,7 +140,8 @@ func (s CPUSet) Union(o CPUSet) CPUSet {
 // Intersect returns s ∩ o.
 func (s CPUSet) Intersect(o CPUSet) CPUSet {
 	var r CPUSet
-	for i := range s.bits {
+	r.hi = minHi(s, o)
+	for i := int8(0); i < r.hi; i++ {
 		r.bits[i] = s.bits[i] & o.bits[i]
 	}
 	return r
@@ -108,7 +150,8 @@ func (s CPUSet) Intersect(o CPUSet) CPUSet {
 // Difference returns s \ o.
 func (s CPUSet) Difference(o CPUSet) CPUSet {
 	var r CPUSet
-	for i := range s.bits {
+	r.hi = s.hi
+	for i := int8(0); i < r.hi; i++ {
 		r.bits[i] = s.bits[i] &^ o.bits[i]
 	}
 	return r
@@ -116,7 +159,7 @@ func (s CPUSet) Difference(o CPUSet) CPUSet {
 
 // IsSubsetOf reports whether every CPU in s is also in o.
 func (s CPUSet) IsSubsetOf(o CPUSet) bool {
-	for i := range s.bits {
+	for i := int8(0); i < s.hi; i++ {
 		if s.bits[i]&^o.bits[i] != 0 {
 			return false
 		}
@@ -126,7 +169,7 @@ func (s CPUSet) IsSubsetOf(o CPUSet) bool {
 
 // First returns the lowest CPU id in the set, or -1 if empty.
 func (s CPUSet) First() int {
-	for i, w := range s.bits {
+	for i, w := range s.bits[:s.hi] {
 		if w != 0 {
 			return i*64 + bits.TrailingZeros64(w)
 		}
@@ -140,16 +183,16 @@ func (s CPUSet) Next(cpu int) int {
 	if start < 0 {
 		start = 0
 	}
-	if start >= MaxCPUs {
+	if start >= int(s.hi)*64 {
 		return -1
 	}
 	w := s.bits[start/64] >> uint(start%64)
 	if w != 0 {
 		return start + bits.TrailingZeros64(w)
 	}
-	for i := start/64 + 1; i < setWords; i++ {
+	for i := int8(start/64) + 1; i < s.hi; i++ {
 		if s.bits[i] != 0 {
-			return i*64 + bits.TrailingZeros64(s.bits[i])
+			return int(i)*64 + bits.TrailingZeros64(s.bits[i])
 		}
 	}
 	return -1

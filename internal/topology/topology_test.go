@@ -21,9 +21,15 @@ func TestCPUSetBasics(t *testing.T) {
 	if s.Contains(3) || s.Count() != 1 {
 		t.Fatal("remove broken")
 	}
-	s.Remove(-1) // out of range: no-op
 	if s.Contains(-1) {
 		t.Fatal("negative membership")
+	}
+	// Contains is total: any out-of-range id is a non-member, never a
+	// crash (ids far past MaxCPUs once overflowed the high-word hint).
+	for _, cpu := range []int{MaxCPUs, 8191, 8192, 16384, 1 << 30} {
+		if s.Contains(cpu) {
+			t.Fatalf("Contains(%d) on out-of-range id", cpu)
+		}
 	}
 }
 
@@ -35,6 +41,52 @@ func TestCPUSetAddOutOfRangePanics(t *testing.T) {
 	}()
 	var s CPUSet
 	s.Add(MaxCPUs)
+}
+
+// Remove mirrors Add: out-of-range ids are model bugs and must not pass
+// silently as no-ops.
+func TestCPUSetRemoveOutOfRangePanics(t *testing.T) {
+	for _, cpu := range []int{-1, MaxCPUs} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Remove(%d) should panic", cpu)
+				}
+			}()
+			var s CPUSet
+			s.Remove(cpu)
+		}()
+	}
+}
+
+// The high-word hint is an optimization detail that must never leak into
+// semantics: sets built by different operation orders (and so carrying
+// different hints) must still compare Equal and agree on every query.
+func TestCPUSetHintInvariance(t *testing.T) {
+	a := NewCPUSet(3)
+	b := NewCPUSet(3, 900)
+	b.Remove(900) // b's hint stays wide; contents equal a
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("hint leaked into Equal")
+	}
+	if b.Count() != 1 || b.First() != 3 || b.Next(3) != -1 {
+		t.Fatalf("wide-hint set misbehaves: %v", b)
+	}
+	if got := a.Union(b); !got.Equal(NewCPUSet(3)) {
+		t.Fatalf("union = %v", got)
+	}
+	if got := b.Difference(a); !got.IsEmpty() {
+		t.Fatalf("difference = %v", got)
+	}
+	if got := b.Intersect(a); !got.Equal(a) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if !b.IsSubsetOf(a) || !a.IsSubsetOf(b) {
+		t.Fatal("subset with differing hints broken")
+	}
+	if b.String() != "3" {
+		t.Fatalf("String = %q", b.String())
+	}
 }
 
 func TestCPUSetAlgebra(t *testing.T) {
