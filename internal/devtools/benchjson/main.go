@@ -4,12 +4,21 @@
 //
 // Usage (from the repo root):
 //
-//	go run ./internal/devtools/benchjson                 # writes BENCH_PR2.json
+//	go run ./internal/devtools/benchjson                 # writes BENCH_PR3.json
 //	go run ./internal/devtools/benchjson -out bench.json -benchtime 2s
 //
+//	# CI regression gate (what .github/workflows/ci.yml runs): measure once,
+//	# then fail if anything regressed >30% ns/op against either committed
+//	# baseline. The freshest baseline doubles as the machine-speed
+//	# calibration for the stale one. -compare without an explicit -out never
+//	# overwrites the committed baseline.
+//	go run ./internal/devtools/benchjson -out bench-ci.json -benchtime 0.3s -count 3 \
+//	    -compare BENCH_PR2.json -calibrate BENCH_PR3.json
+//	go run ./internal/devtools/benchjson -in bench-ci.json -compare BENCH_PR3.json
+//
 // The suite list is fixed to the benchmarks the perf acceptance criteria
-// track: the event-kernel and scheduler hot paths, CPU-set algebra, and one
-// end-to-end quick figure run.
+// track: the event-kernel, scheduler and steal hot paths, CPU-set algebra,
+// the trace-collector pipeline, and one end-to-end quick figure run.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,7 +44,10 @@ type suite struct {
 }
 
 var suites = []suite{
-	{pkg: ".", pattern: "^(BenchmarkEngineEvents|BenchmarkSchedulerSlice|BenchmarkCPUSetOps)$"},
+	{pkg: ".", pattern: "^(BenchmarkEngineEvents|BenchmarkSchedulerSlice|BenchmarkCPUSetOps|BenchmarkTraceCollector)$"},
+	// The idle-balancing fast path: one pick on a busy two-LLC host, and
+	// the empty-world probe the group-load index short-circuits.
+	{pkg: "./internal/sched", pattern: "^(BenchmarkStealScan|BenchmarkStealMiss)$"},
 	// One full quick figure: the end-to-end number every micro-win must
 	// eventually show up in. A single iteration takes ~1.5s, so cap it.
 	{pkg: "./internal/experiments", pattern: "^BenchmarkQuickFig3Serial$", benchtime: "2x"},
@@ -59,16 +72,51 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) n
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_PR2.json", "output JSON path")
+		out       = flag.String("out", "BENCH_PR3.json", "output JSON path (empty = don't write)")
+		in        = flag.String("in", "", "reuse results from a previous -out JSON instead of running benchmarks")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime for the micro suites")
 		count     = flag.Int("count", 1, "go test -count")
+		compare   = flag.String("compare", "", "baseline JSON to diff against; regressions fail the run")
+		calibrate = flag.String("calibrate", "", "same-code baseline JSON used to estimate the machine-speed factor for -compare")
+		tolerance = flag.Float64("tolerance", 0.30, "ns/op regression fraction tolerated by -compare")
 	)
 	flag.Parse()
+	// Refreshing the committed baseline and gating against one are separate
+	// intents: when -compare is requested and -out was not given explicitly,
+	// don't write — otherwise a casual `benchjson -compare ...` would clobber
+	// the committed BENCH_PR3.json with this machine's numbers.
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if *compare != "" && !outSet {
+		*out = ""
+	}
 
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]Result{},
+	}
+	if *in != "" {
+		// Reuse a previous run's measurements (e.g. the CI gate diffing one
+		// measurement pass against two baselines).
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fatalf("in: %v", err)
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fatalf("in %s: %v", *in, err)
+		}
+		if len(rep.Benchmarks) == 0 {
+			fatalf("in %s: no benchmarks — the gate would pass vacuously", *in)
+		}
+		if *compare != "" && !compareAgainst(rep, *compare, *calibrate, *tolerance) {
+			os.Exit(1)
+		}
+		return
 	}
 	for _, s := range suites {
 		bt := s.benchtime
@@ -92,15 +140,111 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fatalf("no benchmark results parsed")
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	}
+	if *compare != "" {
+		if !compareAgainst(rep, *compare, *calibrate, *tolerance) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareAgainst diffs this run's ns/op against a committed baseline file
+// and reports whether the run is acceptable: every benchmark present in
+// both must stay within (1 + tolerance) × baseline ns/op, after dividing
+// out the machine-speed factor. The baseline was captured on one specific
+// machine while CI runners vary widely in single-core speed, so absolute
+// ns/op comparisons would gate on hardware, not code.
+//
+// The factor comes from the calibration file when given: a baseline
+// captured from the *same code* (the freshest committed BENCH_*.json), so
+// the now/calibration ratios measure machine speed alone, uncontaminated
+// by code improvements since an older baseline. Without a calibration
+// file the factor falls back to the now/base ratios of the comparison
+// itself — correct when the baseline is same-code, but unable to tell a
+// slow runner from non-uniform code speedups against a stale baseline.
+// Either way the factor is the lower-quartile ratio clamped to at least
+// 1: a uniform slowdown (a slower runner) moves the quartile and is
+// absorbed, a genuine regression — even one hitting half the suite —
+// leaves the quartile anchored at the unregressed benchmarks and still
+// fails, and the clamp keeps code-side wins from inflating the bar. With
+// fewer than three shared benchmarks there is no pack to infer speed
+// from and raw ratios are used. Benchmarks present on one side only are
+// listed informationally and never fail the gate.
+func compareAgainst(rep Report, path, calibratePath string, tolerance float64) bool {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("marshal: %v", err)
+		fatalf("compare: %v", err)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatalf("compare %s: %v", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	calib := &base
+	if calibratePath != "" {
+		data, err := os.ReadFile(calibratePath)
+		if err != nil {
+			fatalf("calibrate: %v", err)
+		}
+		var c Report
+		if err := json.Unmarshal(data, &c); err != nil {
+			fatalf("calibrate %s: %v", calibratePath, err)
+		}
+		calib = &c
+	}
+	names := make([]string, 0, len(rep.Benchmarks))
+	var ratios []float64
+	for name := range rep.Benchmarks {
+		names = append(names, name)
+		if ref, inCalib := calib.Benchmarks[name]; inCalib && ref.NsPerOp > 0 {
+			ratios = append(ratios, rep.Benchmarks[name].NsPerOp/ref.NsPerOp)
+		}
+	}
+	sort.Strings(names)
+	scale := 1.0
+	if len(ratios) >= 3 {
+		sort.Float64s(ratios)
+		if q := ratios[len(ratios)/4]; q > 1 {
+			scale = q
+		}
+	}
+	ok := true
+	fmt.Printf("benchjson: comparing against %s (tolerance +%.0f%% ns/op, machine factor %.2fx)\n",
+		path, tolerance*100, scale)
+	fmt.Printf("%-24s %14s %14s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
+	for _, name := range names {
+		now := rep.Benchmarks[name]
+		old, inBase := base.Benchmarks[name]
+		if !inBase {
+			fmt.Printf("%-24s %14s %14.1f %8s\n", name, "-", now.NsPerOp, "new")
+			continue
+		}
+		delta := now.NsPerOp/old.NsPerOp - 1
+		verdict := fmt.Sprintf("%+.1f%%", delta*100)
+		if now.NsPerOp/old.NsPerOp > scale*(1+tolerance) {
+			verdict += " REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-24s %14.1f %14.1f %8s\n", name, old.NsPerOp, now.NsPerOp, verdict)
+	}
+	for name := range base.Benchmarks {
+		if _, stillRun := rep.Benchmarks[name]; !stillRun {
+			fmt.Printf("%-24s (baseline only; not run)\n", name)
+		}
+	}
+	if !ok {
+		fmt.Printf("benchjson: ns/op regression beyond +%.0f%% — failing\n", tolerance*100)
+	}
+	return ok
 }
 
 // parseInto extracts every benchmark line of one `go test -bench` output.

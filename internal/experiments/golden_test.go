@@ -26,7 +26,9 @@ func TestFigAllQuickMatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	cfg := Config{Seed: 42, Quick: true}
+	// Workers: 1 pins the legacy serial path; TestFigAllQuickWorkerInvariant
+	// covers the parallel runner at 2 and 8 workers against the same bytes.
+	cfg := Config{Seed: 42, Quick: true, Workers: 1}
 	for n := 3; n <= 8; n++ {
 		f, err := RunFigure(n, cfg)
 		if err != nil {
@@ -41,23 +43,32 @@ func TestFigAllQuickMatchesGolden(t *testing.T) {
 }
 
 // TestFigAllQuickWorkerInvariant asserts the parallel runner cannot change
-// the golden fingerprint either: worker fan-out must be invisible in the
-// output bytes.
+// the golden fingerprint either: the full `-fig all -quick` byte stream —
+// which exercises the steal-domain fast path under every platform series —
+// must match the committed golden file at 2 and 8 workers just as the
+// serial path does (workers=1 ≡ golden is already established by
+// TestFigAllQuickMatchesGolden, so it is not re-rendered here).
 func TestFigAllQuickWorkerInvariant(t *testing.T) {
 	if testing.Short() {
-		t.Skip("regenerates a figure twice")
+		t.Skip("regenerates six figures per worker count")
 	}
-	render := func(workers int) []byte {
+	golden, err := os.ReadFile("testdata/fig_all_quick.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
 		var buf bytes.Buffer
-		f, err := RunFigure(3, Config{Seed: 42, Quick: true, Workers: workers})
-		if err != nil {
-			t.Fatal(err)
+		for n := 3; n <= 8; n++ {
+			f, err := RunFigure(n, Config{Seed: 42, Quick: true, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d figure %d: %v", workers, n, err)
+			}
+			f.RenderText(&buf)
 		}
-		f.RenderText(&buf)
-		return buf.Bytes()
-	}
-	if !bytes.Equal(render(1), render(8)) {
-		t.Fatal("worker count changed figure bytes")
+		if !bytes.Equal(buf.Bytes(), golden) {
+			t.Fatalf("workers=%d diverged from the golden fingerprint\n got sha256 %s\nwant sha256 %s\nfirst divergence at byte %d",
+				workers, shortHash(buf.Bytes()), shortHash(golden), firstDiff(buf.Bytes(), golden))
+		}
 	}
 }
 

@@ -160,7 +160,7 @@ func runTrial(cfg Config, host *topology.Topology, spec platform.Spec, w workloa
 // time limit and the workload's concrete parameters (%+v covers Quick-mode
 // scaling, which shrinks workload fields rather than setting a flag).
 func trialKey(cfg Config, host *topology.Topology, spec platform.Spec, w workload.Workload, memGB int, seed uint64) uint64 {
-	fp := fmt.Sprintf("%d|%+v|%+v|%+v|%d|%d|%s:%+v",
-		seed, spec, *host, *cfg.HV, cfg.TimeLimit, memGB, w.Name(), w)
+	fp := fmt.Sprintf("%d|%+v|%s|%+v|%d|%d|%s:%+v",
+		seed, spec, host.Fingerprint(), *cfg.HV, cfg.TimeLimit, memGB, w.Name(), w)
 	return cache.HashKey(fp)
 }

@@ -2,9 +2,10 @@ package kvstore
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // StressConfig mirrors cassandra-stress (§III-B4): Ops operations issued by
@@ -109,7 +110,7 @@ func Stress(s *Store, cfg StressConfig) (StressResult, error) {
 	wg.Wait()
 
 	res := StressResult{Ops: cfg.Ops, Elapsed: time.Since(start)}
-	lats := make([]time.Duration, 0, cfg.Ops)
+	lats := make([]float64, 0, cfg.Ops)
 	var sum time.Duration
 	for _, o := range outcomes {
 		if o.err {
@@ -121,13 +122,15 @@ func Stress(s *Store, cfg StressConfig) (StressResult, error) {
 		} else {
 			res.ReadCount++
 		}
-		lats = append(lats, o.lat)
+		lats = append(lats, float64(o.lat))
 		sum += o.lat
 	}
 	if len(lats) > 0 {
 		res.MeanOp = sum / time.Duration(len(lats))
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		res.P99 = lats[len(lats)*99/100]
+		// Nearest-rank P99 (stats' definition), replacing the previous
+		// len*99/100 index; for measured wall-clock latencies the
+		// one-rank difference is noise.
+		res.P99 = time.Duration(stats.Percentiles(lats, 99)[0])
 	}
 	return res, nil
 }

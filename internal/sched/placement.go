@@ -2,12 +2,29 @@ package sched
 
 import "repro/internal/topology"
 
+// affEntry is one interned effective-affinity set with its slice expansion.
+type affEntry struct {
+	set   topology.CPUSet
+	slice []int
+}
+
 // cachedAffinity memoizes the effective-affinity set and slice of a task
-// (affinities never change during a run).
+// (affinities never change during a run). Distinct sets are interned
+// scheduler-wide: a run has a handful of masks (all CPUs, each group's
+// cpuset) shared by hundreds of tasks, so the Slice expansion is computed
+// once per mask instead of once per task.
 func (s *Scheduler) cachedAffinity(t *Task) (topology.CPUSet, []int) {
 	if t.affCache == nil {
-		t.affCacheSet = s.effAffinity(t)
-		t.affCache = t.affCacheSet.Slice()
+		set := s.effAffinity(t)
+		for i := range s.affIntern {
+			if e := &s.affIntern[i]; e.set.Equal(set) {
+				t.affCacheSet, t.affCache = e.set, e.slice
+				return t.affCacheSet, t.affCache
+			}
+		}
+		sl := set.Slice()
+		s.affIntern = append(s.affIntern, affEntry{set: set, slice: sl})
+		t.affCacheSet, t.affCache = set, sl
 	}
 	return t.affCacheSet, t.affCache
 }
@@ -24,15 +41,12 @@ func (s *Scheduler) loadOf(cpu int) int {
 }
 
 func (s *Scheduler) siblingIdle(cpu int) bool {
-	idle := true
-	s.cfg.Topo.SiblingsOf(cpu).ForEach(func(sib int) bool {
-		if sib != cpu && s.cpus[sib].current != nil {
-			idle = false
+	for _, sib := range s.tix.Siblings(cpu) {
+		if s.cpus[sib].current != nil {
 			return false
 		}
-		return true
-	})
-	return idle
+	}
+	return true
 }
 
 // placeTask implements wake-up placement, a simplified wake_affine +

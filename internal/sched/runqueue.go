@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math/bits"
+
 	"repro/internal/cgroups"
 	"repro/internal/sim"
 )
@@ -115,7 +117,8 @@ func (sq *subQueue) removeAt(i int) *Task {
 }
 
 // rqPush enqueues a runnable task on c, stamping the global enqueue
-// sequence that preserves the seed scheduler's FIFO tie-break.
+// sequence that preserves the seed scheduler's FIFO tie-break, and advances
+// the per-CPU / per-socket / per-group queued-load indexes steal prunes on.
 func (s *Scheduler) rqPush(c *cpuRun, t *Task) {
 	t.rqSeq = s.rqSeq
 	s.rqSeq++
@@ -129,6 +132,17 @@ func (s *Scheduler) rqPush(c *cpuRun, t *Task) {
 		sq.g = t.Spec.Group // no-op for the ungrouped partition (qIdx 0)
 	}
 	sq.push(t)
+	c.queued++
+	s.socketQueued[s.tix.Socket(c.id)]++
+	s.groupQueued[qi]++
+}
+
+// rqUnlinked retires the queued-load accounting of a task just removed from
+// c's runqueue (pickLocal or steal).
+func (s *Scheduler) rqUnlinked(c *cpuRun, t *Task) {
+	c.queued--
+	s.socketQueued[s.tix.Socket(c.id)]--
+	s.groupQueued[t.qIdx]--
 }
 
 // pickLocal removes and returns the min-vruntime runnable task of c's queue.
@@ -148,19 +162,53 @@ func (s *Scheduler) pickLocal(c *cpuRun) *Task {
 		return nil
 	}
 	bestQ.removeAt(0)
+	s.rqUnlinked(c, best)
 	best.rqCPU = -1
 	return best
 }
 
 // steal pulls a waiting runnable task from the most loaded other queue that
 // allows this CPU (idle balancing).
+//
+// The pick is defined exactly as the seed's full scan: the winner is the
+// victim CPU with the highest load (queued tasks allowed on the thief, not
+// throttled), load ties resolving toward the lowest victim id, and the
+// stolen task is that victim's (vruntime, rqSeq) minimum among allowed
+// tasks. The fast path reproduces that pick while touching almost nothing:
+//
+//   - the per-group global queued index bails out in O(groups) when no
+//     group has queued, unthrottled tasks anywhere (by far the common case:
+//     steal runs on an idle CPU);
+//   - steal domains are walked nearest-first (own socket's SMT siblings and
+//     LLC first, then remote sockets) and a socket with no queued tasks is
+//     skipped in one compare;
+//   - a victim whose raw queue depth cannot beat the current best
+//     (load ≤ best, or equal with a higher id) is skipped without touching
+//     its heaps — queue depth bounds affinity-filtered load from above.
 func (s *Scheduler) steal(c *cpuRun) *Task {
+	stealable := false
+	for qi, n := range s.groupQueued {
+		if n == 0 {
+			continue
+		}
+		if g := s.qGroups[qi]; g != nil && g.Throttled() {
+			continue
+		}
+		stealable = true
+		break
+	}
+	if !stealable {
+		return nil
+	}
 	var cand *Task
 	var candQ *subQueue
-	srcLoad := 0
-	for _, o := range s.cpus {
-		if o == c {
-			continue
+	var candCPU *cpuRun
+	bestLoad := 0
+	bestID := int(^uint(0) >> 1)
+	scan := func(o *cpuRun) {
+		q := int(o.queued)
+		if q == 0 || q < bestLoad || (q == bestLoad && o.id > bestID) {
+			return // cannot beat the current best pick
 		}
 		load := 0
 		var best *Task
@@ -183,17 +231,56 @@ func (s *Scheduler) steal(c *cpuRun) *Task {
 				}
 			}
 		}
-		if best != nil && load > srcLoad {
-			cand, candQ, srcLoad = best, bestQ, load
+		if best != nil && (load > bestLoad || (load == bestLoad && o.id < bestID)) {
+			cand, candQ, candCPU = best, bestQ, o
+			bestLoad, bestID = load, o.id
+		}
+	}
+	mySock := s.tix.Socket(c.id)
+	if s.socketQueued[mySock] != 0 {
+		// The nearest-first order's leading segment is exactly the rest of
+		// this CPU's socket: SMT siblings, then LLC mates.
+		own := s.tix.StealOrder(c.id)[:len(s.tix.SocketCPUs(mySock))-1]
+		for _, o := range own {
+			scan(s.cpus[o])
+		}
+	}
+	for sk := 0; sk < s.tix.NumSockets(); sk++ {
+		if sk == mySock || s.socketQueued[sk] == 0 {
+			continue
+		}
+		for _, o := range s.tix.SocketCPUs(sk) {
+			scan(s.cpus[o])
 		}
 	}
 	if cand == nil {
 		return nil
 	}
 	candQ.removeAt(int(cand.rqPos))
+	s.rqUnlinked(candCPU, cand)
 	cand.rqCPU = -1
 	s.bd.Steals++
 	return cand
+}
+
+// markBusy clears a CPU's idle-mask bit at dispatch.
+func (s *Scheduler) markBusy(cpu int) { s.idleMask[cpu>>6] &^= 1 << uint(cpu&63) }
+
+// markIdle sets a CPU's idle-mask bit when its slice retires.
+func (s *Scheduler) markIdle(cpu int) { s.idleMask[cpu>>6] |= 1 << uint(cpu&63) }
+
+// forEachIdle visits currently idle CPUs in ascending id order. The mask is
+// re-read per word, so a visit that dispatches work onto its own CPU does
+// not disturb the remaining iteration (dispatching CPU i never busies CPU
+// j != i).
+func (s *Scheduler) forEachIdle(fn func(c *cpuRun)) {
+	for w, word := range s.idleMask {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			fn(s.cpus[w<<6|b])
+		}
+	}
 }
 
 // minVruntime returns the smallest vruntime currently associated with c:

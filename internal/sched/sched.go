@@ -74,9 +74,10 @@ type procKey struct {
 type cpuRun struct {
 	id           int
 	subs         []subQueue // runqueue, partitioned by cgroup (see runqueue.go)
+	queued       int32      // total tasks across subs (throttled included)
 	current      *Task
 	lastTask     *Task
-	sliceTimer   *sim.Timer // fires sliceDone; bound once, zero alloc/slice
+	sliceTimer   *sim.Timer // fires sliceDone; bound at first dispatch, zero alloc/slice
 	sliceEndAt   sim.Time   // planned end of the current slice
 	sliceStart   sim.Time
 	sliceOver    sim.Time // committed overhead portion of current slice
@@ -96,6 +97,7 @@ type procCount struct {
 type Scheduler struct {
 	cfg  Config
 	eng  *sim.Engine
+	tix  *topology.Index // precomputed siblings/distance/steal-domain tables
 	cpus []*cpuRun
 
 	tasks []*Task
@@ -110,6 +112,23 @@ type Scheduler struct {
 	curs        int // rotating placement cursor
 	completed   []*Task
 	wanderTimer *sim.Timer
+
+	// Dispatch fast-path indexes (see runqueue.go): the idle-CPU bitmask,
+	// per-socket queued-task counts, and the per-group global queued-task
+	// counts (indexed by subqueue index; 0 = ungrouped) that let steal skip
+	// empty steal domains and bail out when nothing is stealable.
+	idleMask     []uint64
+	socketQueued []int32
+	groupQueued  []int32
+	qGroups      []*cgroups.Group // subqueue index -> group (nil at 0)
+
+	// affIntern dedups effective-affinity sets: tasks overwhelmingly share
+	// a handful of masks (all CPUs, the group cpuset), so their Slice
+	// expansions are computed once per distinct set instead of per task.
+	affIntern []affEntry
+	// taskArena slab-allocates Task structs (tasks live for the whole run,
+	// so a bump allocator needs no free path).
+	taskArena []Task
 }
 
 // New returns a scheduler over eng with the given config.
@@ -126,17 +145,28 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:       cfg,
 		eng:       eng,
+		tix:       cfg.Topo.Index(),
 		groups:    make(map[*cgroups.Group][]*Task),
 		groupQIdx: make(map[*cgroups.Group]int32),
 		procCtrs:  make(map[procKey]*procCount),
 	}
 	n := cfg.Topo.NumCPUs()
+	// One backing array for all cpuRun state; slice timers bind lazily at a
+	// CPU's first dispatch, so schedulers over mostly-idle hosts (a small
+	// container on the 112-CPU paper host) construct in a few allocations.
+	backing := make([]cpuRun, n)
 	s.cpus = make([]*cpuRun, n)
-	for i := range s.cpus {
-		c := &cpuRun{id: i}
-		c.sliceTimer = eng.NewTimer(func() { s.sliceDone(c) })
-		s.cpus[i] = c
+	for i := range backing {
+		backing[i].id = i
+		s.cpus[i] = &backing[i]
 	}
+	s.idleMask = make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		s.idleMask[i>>6] |= 1 << uint(i&63)
+	}
+	s.socketQueued = make([]int32, s.tix.NumSockets())
+	s.groupQueued = make([]int32, 1, 8)
+	s.qGroups = make([]*cgroups.Group, 1, 8)
 	if cfg.WanderStallRate > 0 && cfg.WanderStallCost > 0 {
 		s.scheduleWander()
 	}
@@ -169,7 +199,8 @@ func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
 	if spec.Program == nil {
 		panic("sched: task without program")
 	}
-	t := &Task{ID: len(s.tasks), Spec: spec, lastCPU: -1, rqCPU: -1, rqPos: -1, state: stateNew, pendingMsgFromCPU: -1}
+	t := s.newTask()
+	*t = Task{ID: len(s.tasks), Spec: spec, lastCPU: -1, rqCPU: -1, rqPos: -1, state: stateNew, pendingMsgFromCPU: -1}
 	s.tasks = append(s.tasks, t)
 	s.live++
 	if g := spec.Group; g != nil {
@@ -205,9 +236,31 @@ func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
 	return t
 }
 
+// newTask bump-allocates a Task from the arena slab. Blocks start small —
+// many schedulers (idle guests, tiny deployments) only ever spawn a
+// handful of tasks — and grow geometrically with the task population.
+func (s *Scheduler) newTask() *Task {
+	if len(s.taskArena) == 0 {
+		block := 8
+		if n := len(s.tasks); n > block {
+			block = n
+			if block > 128 {
+				block = 128
+			}
+		}
+		s.taskArena = make([]Task, block)
+	}
+	t := &s.taskArena[0]
+	s.taskArena = s.taskArena[1:]
+	return t
+}
+
 func (s *Scheduler) registerGroup(g *cgroups.Group) {
-	// Subqueue index 0 is the ungrouped partition; groups start at 1.
+	// Subqueue index 0 is the ungrouped partition; groups start at 1. The
+	// global queued-load index grows in lockstep with the qIdx assignment.
 	s.groupQIdx[g] = int32(len(s.groupQIdx)) + 1
+	s.groupQueued = append(s.groupQueued, 0)
+	s.qGroups = append(s.qGroups, g)
 	g.SetUnthrottleFn(func(churn sim.Time) {
 		for _, t := range s.groups[g] {
 			switch t.state {
@@ -219,12 +272,14 @@ func (s *Scheduler) registerGroup(g *cgroups.Group) {
 				t.pendingChurn = churn
 			}
 		}
-		// Kick idle CPUs so the refreshed group resumes.
-		for _, c := range s.cpus {
-			if c.current == nil && s.hasRunnable(c) {
+		// Kick idle CPUs so the refreshed group resumes; the idle bitmask
+		// walks straight to them in ascending id order, exactly like the
+		// full scan it replaces.
+		s.forEachIdle(func(c *cpuRun) {
+			if s.hasRunnable(c) {
 				s.dispatch(c)
 			}
-		}
+		})
 	})
 }
 
@@ -469,16 +524,12 @@ func (s *Scheduler) smtScale(c *cpuRun) float64 {
 	if s.cfg.Topo.ThreadsPerCore <= 1 || s.cfg.Params.SMTPenalty <= 0 {
 		return 1
 	}
-	busy := false
-	s.cfg.Topo.SiblingsOf(c.id).ForEach(func(sib int) bool {
-		if sib != c.id && s.cpus[sib].current != nil {
-			busy = true
-			return false
+	// Precomputed sibling list: one slice read per hardware thread instead
+	// of a CPUSet walk through an iterator closure.
+	for _, sib := range s.tix.Siblings(c.id) {
+		if s.cpus[sib].current != nil {
+			return 1 + s.cfg.Params.SMTPenalty
 		}
-		return true
-	})
-	if busy {
-		return 1 + s.cfg.Params.SMTPenalty
 	}
 	return 1
 }
@@ -625,6 +676,10 @@ func (s *Scheduler) startSlice(c *cpuRun, t *Task) {
 	t.curCPU = c.id
 	s.emit(TraceRunStart, t, c.id, BlockNone)
 	c.current = t
+	s.markBusy(c.id)
+	if c.sliceTimer == nil {
+		c.sliceTimer = s.eng.NewTimer(func() { s.sliceDone(c) })
+	}
 	c.sliceStart = now
 	c.sliceOver = occ - work
 	c.sliceWork = work
@@ -689,6 +744,7 @@ func (s *Scheduler) endSlice(c *cpuRun, workScaled sim.Time, full bool) {
 	t.lastRanAt = now
 	c.lastTask = t
 	c.current = nil
+	s.markIdle(c.id)
 	s.emit(TraceRunEnd, t, c.id, BlockNone)
 
 	g := t.Spec.Group

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// busyStealRig stuffs a 2-socket × 4-core × 2-thread host (two LLC steal
+// domains) with queued tasks on both sockets so every steal does real
+// domain walking, group filtering and affinity checks.
+func busyStealRig(t testing.TB) (*stealRig, []*Task) {
+	topo, err := topology.New("steal-alloc", 2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := &stealRig{r: newRig(topo, nil)}
+	g := sr.r.cg.NewGroup("g", 0, topology.CPUSet{})
+	var tasks []*Task
+	us := func(n int64) sim.Time { return sim.Time(n) * sim.Microsecond }
+	for i := 0; i < 12; i++ {
+		cpu := []int{1, 1, 3, 5, 9, 11}[i%6]
+		var grp = g
+		if i%3 == 0 {
+			grp = nil
+		}
+		tasks = append(tasks, sr.queue(cpu, us(int64(i)), grp, topology.CPUSet{}))
+	}
+	return sr, tasks
+}
+
+// TestAllocsStealPathSteadyState guards the dispatch/steal fast path's
+// zero-alloc contract on a busy multi-LLC topology: once affinity slices
+// are interned and heaps are sized, stealing (and requeueing) allocates
+// nothing.
+func TestAllocsStealPathSteadyState(t *testing.T) {
+	sr, _ := busyStealRig(t)
+	s := sr.r.s
+	thief := s.cpus[14] // idle CPU on socket 1, cross-LLC from most victims
+	// Warm up: every queue touched, every affinity cached.
+	for i := 0; i < 32; i++ {
+		st := s.steal(thief)
+		if st == nil {
+			t.Fatal("busy rig must always yield a steal")
+		}
+		s.rqPush(s.cpus[1], st)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		st := s.steal(thief)
+		s.rqPush(s.cpus[1], st)
+	}); n != 0 {
+		t.Fatalf("steal+requeue allocates %v per run, want 0", n)
+	}
+}
+
+// BenchmarkStealScan measures one idle-balancing pick on the busy
+// multi-LLC rig (steal + requeue, so the queues never drain).
+func BenchmarkStealScan(b *testing.B) {
+	sr, _ := busyStealRig(b)
+	s := sr.r.s
+	thief := s.cpus[14]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := s.steal(thief)
+		s.rqPush(s.cpus[1], st)
+	}
+}
+
+// BenchmarkStealMiss measures the common case: an idle CPU probing an
+// empty world (every queue drained) — the group-load index early-out.
+func BenchmarkStealMiss(b *testing.B) {
+	topo, err := topology.New("steal-miss", 2, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr := &stealRig{r: newRig(topo, nil)}
+	s := sr.r.s
+	thief := s.cpus[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.steal(thief) != nil {
+			b.Fatal("world must be empty")
+		}
+	}
+}

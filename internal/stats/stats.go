@@ -87,16 +87,40 @@ func Median(xs []float64) float64 {
 	}
 	c := append([]float64(nil), xs...)
 	sort.Float64s(c)
-	n := len(c)
-	if n%2 == 1 {
-		return c[n/2]
+	return MedianSorted(c)
+}
+
+// MedianSorted returns the median of an already-sorted sample without
+// copying or re-sorting it.
+func MedianSorted(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
 	}
-	return (c[n/2-1] + c[n/2]) / 2
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
 // Percentile returns the p-th percentile (0..100) by nearest-rank.
+//
+// Each call copies and sorts the sample; callers that need several
+// quantiles of the same sample should use Percentiles (one sort) or sort
+// once themselves and use PercentileSorted.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return PercentileSorted(c, p)
+}
+
+// PercentileSorted returns the p-th nearest-rank percentile of an
+// already-sorted sample without copying or re-sorting it.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
 		return 0
 	}
 	if p < 0 {
@@ -105,13 +129,28 @@ func Percentile(xs []float64, p float64) float64 {
 	if p > 100 {
 		p = 100
 	}
-	c := append([]float64(nil), xs...)
-	sort.Float64s(c)
-	rank := int(math.Ceil(p/100*float64(len(c)))) - 1
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return c[rank]
+	return sorted[rank]
+}
+
+// Percentiles returns the nearest-rank percentiles of xs for every p in
+// ps, copying and sorting the sample exactly once. This is the helper the
+// report paths use for "median / p95 / p99 / max" style summary lines,
+// which previously re-copied and re-sorted per quantile.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 || len(ps) == 0 {
+		return out
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	for i, p := range ps {
+		out[i] = PercentileSorted(c, p)
+	}
+	return out
 }
 
 // Overlaps reports whether two 95% CIs overlap — the paper's "no

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -124,5 +125,49 @@ func TestSummaryProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Percentiles must agree with per-call Percentile while sorting only once,
+// leave the input untouched, and handle empty/degenerate inputs.
+func TestPercentilesMultiHelper(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8, 6, 4, 0}
+	orig := append([]float64(nil), xs...)
+	ps := []float64{0, 25, 50, 90, 95, 99, 100, 150, -5}
+	got := Percentiles(xs, ps...)
+	for i, p := range ps {
+		if want := Percentile(xs, p); got[i] != want {
+			t.Fatalf("Percentiles[%v] = %v, want %v", p, got[i], want)
+		}
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("Percentiles must not mutate its input")
+		}
+	}
+	if out := Percentiles(nil, 50, 99); out[0] != 0 || out[1] != 0 {
+		t.Fatalf("empty sample percentiles %v", out)
+	}
+	if out := Percentiles(xs); len(out) != 0 {
+		t.Fatalf("no requested quantiles must yield empty, got %v", out)
+	}
+}
+
+// The Sorted variants must match their copying counterparts on sorted input.
+func TestSortedVariantsMatch(t *testing.T) {
+	for _, xs := range [][]float64{{4}, {2, 1}, {5, 3, 1}, {8, 6, 4, 2, 0, 9, 7, 5, 3, 1}} {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if MedianSorted(sorted) != Median(xs) {
+			t.Fatalf("MedianSorted(%v) != Median", xs)
+		}
+		for _, p := range []float64{0, 10, 50, 90, 100} {
+			if PercentileSorted(sorted, p) != Percentile(xs, p) {
+				t.Fatalf("PercentileSorted(%v, %v) != Percentile", xs, p)
+			}
+		}
+	}
+	if MedianSorted(nil) != 0 || PercentileSorted(nil, 50) != 0 {
+		t.Fatal("empty sorted samples must yield 0")
 	}
 }

@@ -1,0 +1,149 @@
+package topology
+
+// Index is the precomputed lookup side of a Topology: per-CPU sibling lists,
+// socket/core tables, the full CPU→CPU distance matrix and nearest-first
+// steal-domain orders. It exists so per-dispatch scheduler paths (SMT
+// contention checks, idle balancing, migration-cost classification) read
+// flat arrays instead of re-deriving division/modulo arithmetic or walking
+// CPUSet iterators with callback closures.
+//
+// Topologies built through New carry their Index from construction, so
+// sharing a *Topology across worker goroutines is safe. Literal-constructed
+// Topology values (tests, ad-hoc tools) build the Index on first use via
+// Topology.Index, which is NOT safe to race — construct through New anywhere
+// concurrency is involved.
+type Index struct {
+	topo *Topology
+	n    int
+
+	socketOf []int16 // logical CPU -> socket
+	coreOf   []int16 // logical CPU -> global physical core
+
+	// siblings[cpu] lists the *other* hardware threads of cpu's physical
+	// core, ascending (empty when ThreadsPerCore == 1).
+	siblings [][]int16
+	// socketCPUs[socket] lists the socket's logical CPUs, ascending.
+	socketCPUs [][]int16
+	// dist is the flattened n×n distance matrix: dist[a*n+b].
+	dist []uint8
+	// stealOrder[cpu] lists every other CPU nearest-first: SMT siblings,
+	// then the rest of cpu's socket (its LLC/steal domain), then remote
+	// sockets in ascending socket order, ascending CPU id within each tier.
+	stealOrder [][]int16
+	// socketStart[s] is the first logical CPU id of socket s; sockets are
+	// contiguous id ranges in this enumeration.
+	socketStart []int16
+}
+
+// buildIndex computes the full Index for t.
+func buildIndex(t *Topology) *Index {
+	n := t.NumCPUs()
+	ix := &Index{
+		topo:        t,
+		n:           n,
+		socketOf:    make([]int16, n),
+		coreOf:      make([]int16, n),
+		siblings:    make([][]int16, n),
+		socketCPUs:  make([][]int16, t.Sockets),
+		dist:        make([]uint8, n*n),
+		stealOrder:  make([][]int16, n),
+		socketStart: make([]int16, t.Sockets),
+	}
+	perSocket := t.CoresPerSocket * t.ThreadsPerCore
+	// One backing array per table keeps the index a handful of allocations.
+	sibBack := make([]int16, 0, n*(t.ThreadsPerCore-1))
+	sockBack := make([]int16, n)
+	orderBack := make([]int16, 0, n*(n-1))
+	for c := 0; c < n; c++ {
+		ix.socketOf[c] = int16(c / perSocket)
+		ix.coreOf[c] = int16(c / t.ThreadsPerCore)
+	}
+	for s := 0; s < t.Sockets; s++ {
+		lo, hi := s*perSocket, (s+1)*perSocket
+		ix.socketStart[s] = int16(lo)
+		for c := lo; c < hi; c++ {
+			sockBack[c] = int16(c)
+		}
+		ix.socketCPUs[s] = sockBack[lo:hi:hi]
+	}
+	for c := 0; c < n; c++ {
+		coreLo := int(ix.coreOf[c]) * t.ThreadsPerCore
+		start := len(sibBack)
+		for s := coreLo; s < coreLo+t.ThreadsPerCore; s++ {
+			if s != c {
+				sibBack = append(sibBack, int16(s))
+			}
+		}
+		ix.siblings[c] = sibBack[start:len(sibBack):len(sibBack)]
+		for o := 0; o < n; o++ {
+			ix.dist[c*n+o] = uint8(ix.distanceSlow(c, o))
+		}
+		// Nearest-first order: siblings, same-socket, remote sockets.
+		ostart := len(orderBack)
+		orderBack = append(orderBack, ix.siblings[c]...)
+		mySock := int(ix.socketOf[c])
+		for _, o := range ix.socketCPUs[mySock] {
+			if int(o) != c && int(ix.coreOf[o]) != int(ix.coreOf[c]) {
+				orderBack = append(orderBack, o)
+			}
+		}
+		for s := 0; s < t.Sockets; s++ {
+			if s == mySock {
+				continue
+			}
+			orderBack = append(orderBack, ix.socketCPUs[s]...)
+		}
+		ix.stealOrder[c] = orderBack[ostart:len(orderBack):len(orderBack)]
+	}
+	return ix
+}
+
+// distanceSlow classifies distance from the raw tables (used while the
+// matrix is being filled).
+func (ix *Index) distanceSlow(a, b int) Distance {
+	switch {
+	case a == b:
+		return SameCPU
+	case ix.coreOf[a] == ix.coreOf[b]:
+		return SMTSibling
+	case ix.socketOf[a] == ix.socketOf[b]:
+		return SameSocket
+	default:
+		return CrossSocket
+	}
+}
+
+// NumCPUs returns the indexed CPU count.
+func (ix *Index) NumCPUs() int { return ix.n }
+
+// Socket returns the socket of a logical CPU.
+func (ix *Index) Socket(cpu int) int { return int(ix.socketOf[cpu]) }
+
+// NumSockets returns the socket count.
+func (ix *Index) NumSockets() int { return len(ix.socketCPUs) }
+
+// Siblings returns the other hardware threads sharing cpu's physical core,
+// ascending. The returned slice is shared — callers must not modify it.
+func (ix *Index) Siblings(cpu int) []int16 { return ix.siblings[cpu] }
+
+// SocketCPUs returns the logical CPUs of one socket, ascending. Shared;
+// read-only.
+func (ix *Index) SocketCPUs(socket int) []int16 { return ix.socketCPUs[socket] }
+
+// Distance returns the precomputed distance class between two CPUs.
+func (ix *Index) Distance(a, b int) Distance { return Distance(ix.dist[a*ix.n+b]) }
+
+// StealOrder returns every CPU other than cpu, nearest-first (SMT siblings,
+// then the same LLC/socket, then remote sockets). Shared; read-only.
+func (ix *Index) StealOrder(cpu int) []int16 { return ix.stealOrder[cpu] }
+
+// Index returns the topology's precomputed index, building it on first use.
+// Topologies from New are pre-indexed and therefore safe to share across
+// goroutines; a literal-constructed Topology builds lazily and must not race
+// its first Index call.
+func (t *Topology) Index() *Index {
+	if t.idx == nil {
+		t.idx = buildIndex(t)
+	}
+	return t.idx
+}

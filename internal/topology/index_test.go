@@ -1,0 +1,139 @@
+package topology
+
+import "testing"
+
+// indexTopos is the cross-check matrix: SMT and non-SMT, single- and
+// multi-socket, including the paper host.
+func indexTopos(t *testing.T) []*Topology {
+	t.Helper()
+	var out []*Topology
+	for _, dims := range [][3]int{{1, 1, 1}, {1, 4, 1}, {1, 4, 2}, {2, 3, 2}, {4, 14, 2}} {
+		topo, err := New("ix", dims[0], dims[1], dims[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, topo)
+	}
+	return out
+}
+
+func TestIndexMatchesDerivations(t *testing.T) {
+	for _, topo := range indexTopos(t) {
+		ix := topo.Index()
+		n := topo.NumCPUs()
+		if ix.NumCPUs() != n || ix.NumSockets() != topo.Sockets {
+			t.Fatalf("%v: index dims %d/%d", topo, ix.NumCPUs(), ix.NumSockets())
+		}
+		for a := 0; a < n; a++ {
+			if ix.Socket(a) != a/(topo.CoresPerSocket*topo.ThreadsPerCore) {
+				t.Fatalf("%v: socketOf(%d)", topo, a)
+			}
+			// Siblings = SiblingsOf minus self, ascending.
+			want := topo.SiblingsOf(a).Slice()
+			var got []int
+			for _, s := range ix.Siblings(a) {
+				got = append(got, int(s))
+			}
+			wi := 0
+			for _, w := range want {
+				if w == a {
+					continue
+				}
+				if wi >= len(got) || got[wi] != w {
+					t.Fatalf("%v: siblings(%d) = %v, want %v\\{%d}", topo, a, got, want, a)
+				}
+				wi++
+			}
+			if wi != len(got) {
+				t.Fatalf("%v: siblings(%d) has extras: %v", topo, a, got)
+			}
+			for b := 0; b < n; b++ {
+				slow := Distance(0)
+				switch {
+				case a == b:
+					slow = SameCPU
+				case a/topo.ThreadsPerCore == b/topo.ThreadsPerCore:
+					slow = SMTSibling
+				case ix.Socket(a) == ix.Socket(b):
+					slow = SameSocket
+				default:
+					slow = CrossSocket
+				}
+				if d := ix.Distance(a, b); d != slow {
+					t.Fatalf("%v: dist(%d,%d) = %v, want %v", topo, a, b, d, slow)
+				}
+				if d := topo.DistanceBetween(a, b); d != slow {
+					t.Fatalf("%v: DistanceBetween(%d,%d) = %v, want %v", topo, a, b, d, slow)
+				}
+			}
+		}
+		for s := 0; s < topo.Sockets; s++ {
+			want := topo.SocketCPUs(s).Slice()
+			got := ix.SocketCPUs(s)
+			if len(got) != len(want) {
+				t.Fatalf("%v: socketCPUs(%d) len", topo, s)
+			}
+			for i := range want {
+				if int(got[i]) != want[i] {
+					t.Fatalf("%v: socketCPUs(%d)[%d] = %d, want %d", topo, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIndexStealOrder checks every steal order is a nearest-first
+// permutation of all other CPUs: distances are non-decreasing along the
+// walk and ids ascend within each distance tier.
+func TestIndexStealOrder(t *testing.T) {
+	for _, topo := range indexTopos(t) {
+		ix := topo.Index()
+		n := topo.NumCPUs()
+		for c := 0; c < n; c++ {
+			order := ix.StealOrder(c)
+			if len(order) != n-1 {
+				t.Fatalf("%v: stealOrder(%d) covers %d CPUs, want %d", topo, c, len(order), n-1)
+			}
+			seen := map[int]bool{c: true}
+			prev := Distance(-1)
+			prevID := -1
+			for _, o16 := range order {
+				o := int(o16)
+				if seen[o] {
+					t.Fatalf("%v: stealOrder(%d) repeats %d", topo, c, o)
+				}
+				seen[o] = true
+				d := ix.Distance(c, o)
+				if d < prev {
+					t.Fatalf("%v: stealOrder(%d) distance regressed at %d (%v after %v)", topo, c, o, d, prev)
+				}
+				if d == prev && o < prevID {
+					t.Fatalf("%v: stealOrder(%d) ids not ascending within tier at %d", topo, c, o)
+				}
+				prev, prevID = d, o
+			}
+		}
+	}
+}
+
+// TestIndexLazyBuildOnLiteral: a literal Topology (no New) still answers
+// through the slow paths and builds its index on demand.
+func TestIndexLazyBuildOnLiteral(t *testing.T) {
+	topo := &Topology{Name: "lit", Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 2}
+	if topo.idx != nil {
+		t.Fatal("literal topology must start unindexed")
+	}
+	if d := topo.DistanceBetween(0, 1); d != SMTSibling {
+		t.Fatalf("slow-path distance %v", d)
+	}
+	if s := topo.Socket(5); s != 1 {
+		t.Fatalf("slow-path socket %d", s)
+	}
+	ix := topo.Index()
+	if ix == nil || topo.idx == nil {
+		t.Fatal("Index() must build lazily")
+	}
+	if d := topo.DistanceBetween(0, 1); d != SMTSibling {
+		t.Fatalf("indexed distance %v", d)
+	}
+}

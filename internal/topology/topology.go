@@ -48,6 +48,10 @@ type Topology struct {
 	LLCMB float64
 	// ClockGHz is the nominal core clock; informational.
 	ClockGHz float64
+
+	// idx is the precomputed lookup index (see index.go). New builds it
+	// eagerly; literal-constructed topologies get it lazily via Index().
+	idx *Index
 }
 
 // New returns a validated topology.
@@ -63,6 +67,9 @@ func New(name string, sockets, coresPerSocket, threadsPerCore int) (*Topology, e
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	// Pre-build the index here, before the topology can be shared: lazy
+	// builds on a *Topology* used by several worker goroutines would race.
+	t.idx = buildIndex(t)
 	return t, nil
 }
 
@@ -89,6 +96,9 @@ func (t *Topology) AllCPUs() CPUSet { return Range(0, t.NumCPUs()-1) }
 
 // Socket returns the socket index of a logical CPU.
 func (t *Topology) Socket(cpu int) int {
+	if ix := t.idx; ix != nil && cpu >= 0 && cpu < ix.n {
+		return int(ix.socketOf[cpu])
+	}
 	return cpu / (t.CoresPerSocket * t.ThreadsPerCore)
 }
 
@@ -115,6 +125,9 @@ func (t *Topology) SocketCPUs(socket int) CPUSet {
 
 // DistanceBetween classifies the distance between two logical CPUs.
 func (t *Topology) DistanceBetween(a, b int) Distance {
+	if ix := t.idx; ix != nil && a >= 0 && b >= 0 && a < ix.n && b < ix.n {
+		return Distance(ix.dist[a*ix.n+b])
+	}
 	switch {
 	case a == b:
 		return SameCPU
@@ -195,6 +208,15 @@ func (t *Topology) InterleavedCPUs(n int) CPUSet {
 		}
 	}
 	return s
+}
+
+// Fingerprint is a stable, value-only serialization of the topology for
+// memoization keys: everything a simulation result can depend on, and
+// nothing else (in particular not the index pointer, which differs per
+// instance).
+func (t *Topology) Fingerprint() string {
+	return fmt.Sprintf("%s/%dx%dx%d/llc%g/clk%g",
+		t.Name, t.Sockets, t.CoresPerSocket, t.ThreadsPerCore, t.LLCMB, t.ClockGHz)
 }
 
 // String describes the topology.

@@ -12,6 +12,11 @@ import (
 // KeyFn maps a task to the aggregation key its samples are filed under.
 // BCC tools aggregate by process name or cgroup; the default key is the
 // task's cgroup name, falling back to "host" for ungrouped tasks.
+//
+// The collector calls the KeyFn exactly once per task — at the task's first
+// event — and works with the interned key id from then on, so a KeyFn that
+// formats or concatenates strings costs one allocation per task, never one
+// per event.
 type KeyFn func(t *sched.Task) string
 
 // DefaultKey groups samples by cgroup name ("host" when ungrouped).
@@ -33,9 +38,16 @@ func ByTaskName(t *sched.Task) string {
 	return t.Spec.Name
 }
 
+// nBlockKinds is the size of the per-reason off-CPU table (BlockNone..
+// BlockSleep).
+const nBlockKinds = int(sched.BlockSleep) + 1
+
 // taskTrack is the per-task state machine stitching trace events into
-// on-CPU and off-CPU intervals.
+// on-CPU and off-CPU intervals. It carries the task's interned key id and
+// caches the histogram pointers it records into, so the steady-state event
+// path does no map lookups and no allocation.
 type taskTrack struct {
+	keyID        uint32
 	lastRunStart sim.Time
 	lastRunEnd   sim.Time
 	running      bool
@@ -43,11 +55,29 @@ type taskTrack struct {
 	offReason    sched.BlockKind // why the task went off-CPU (BlockNone = runqueue)
 	wokenAt      sim.Time
 	hasWake      bool
+
+	on   *Hist // cached OnCPU[key]
+	runq *Hist // cached RunqLatency[key]
+	off  [nBlockKinds]*Hist
+}
+
+// keySlot is the per-key histogram table, indexed by interned key id.
+type keySlot struct {
+	on   *Hist
+	runq *Hist
+	off  [nBlockKinds]*Hist
 }
 
 // Collector subscribes to a scheduler's tracepoint stream and builds the
 // paper's two BCC instruments plus per-CPU busy time. Attach its Fn to
 // sched.Config.Trace (or machine.Config.Trace) before the run.
+//
+// Internally the collector is allocation-free in steady state: keys are
+// interned to dense ids once per task, histograms live in pooled slabs and
+// are addressed through slice tables, and per-CPU busy time is a flat
+// array. The exported maps below are views populated at intern time (they
+// hold the same *Hist pointers the fast path records into), so existing
+// consumers keep working unchanged.
 type Collector struct {
 	Key KeyFn
 
@@ -61,13 +91,49 @@ type Collector struct {
 	// dispatch of the woken task.
 	RunqLatency map[string]*Hist
 
-	cpuBusy   map[int]sim.Time
-	tracks    map[*sched.Task]*taskTrack
-	throttles map[string]uint64
-	first     sim.Time
-	last      sim.Time
-	seen      bool
-	events    uint64
+	keyIDs map[string]uint32
+	keys   []string  // key id -> key string
+	slots  []keySlot // key id -> histogram table
+	hists  histPool
+	tracks trackPool
+
+	trackOf   map[*sched.Task]*taskTrack
+	lastTask  *sched.Task // one-entry track cache: events arrive in bursts
+	lastTrack *taskTrack
+
+	cpuBusy    []sim.Time
+	cpuTouched []bool
+	throttles  map[string]uint64
+	first      sim.Time
+	last       sim.Time
+	seen       bool
+	events     uint64
+}
+
+// histPool slab-allocates histograms: new keys appear a handful of times
+// per run, and the pool keeps them from costing one heap object each.
+type histPool struct{ block []Hist }
+
+func (p *histPool) get() *Hist {
+	if len(p.block) == 0 {
+		p.block = make([]Hist, 16)
+	}
+	h := &p.block[0]
+	p.block = p.block[1:]
+	h.Unit = sim.Microsecond
+	return h
+}
+
+// trackPool slab-allocates per-task tracks the same way.
+type trackPool struct{ block []taskTrack }
+
+func (p *trackPool) get() *taskTrack {
+	if len(p.block) == 0 {
+		p.block = make([]taskTrack, 64)
+	}
+	t := &p.block[0]
+	p.block = p.block[1:]
+	return t
 }
 
 // NewCollector returns an empty collector aggregating by key (nil =
@@ -81,8 +147,8 @@ func NewCollector(key KeyFn) *Collector {
 		OnCPU:       make(map[string]*Hist),
 		OffCPU:      make(map[string]map[sched.BlockKind]*Hist),
 		RunqLatency: make(map[string]*Hist),
-		cpuBusy:     make(map[int]sim.Time),
-		tracks:      make(map[*sched.Task]*taskTrack),
+		keyIDs:      make(map[string]uint32),
+		trackOf:     make(map[*sched.Task]*taskTrack),
 		throttles:   make(map[string]uint64),
 	}
 }
@@ -107,52 +173,109 @@ func (c *Collector) Throttles() map[string]uint64 {
 
 // CPUBusy returns the accumulated on-CPU time per CPU id.
 func (c *Collector) CPUBusy() map[int]sim.Time {
-	out := make(map[int]sim.Time, len(c.cpuBusy))
-	for k, v := range c.cpuBusy {
-		out[k] = v
+	out := make(map[int]sim.Time)
+	for id, touched := range c.cpuTouched {
+		if touched {
+			out[id] = c.cpuBusy[id]
+		}
 	}
 	return out
 }
 
-func (c *Collector) track(t *sched.Task) *taskTrack {
-	tr := c.tracks[t]
-	if tr == nil {
-		tr = &taskTrack{}
-		c.tracks[t] = tr
+// internKey resolves a key string to its dense id, registering it (and its
+// exported-map view slots) on first sight.
+func (c *Collector) internKey(key string) uint32 {
+	if id, ok := c.keyIDs[key]; ok {
+		return id
 	}
+	id := uint32(len(c.keys))
+	c.keyIDs[key] = id
+	c.keys = append(c.keys, key)
+	c.slots = append(c.slots, keySlot{})
+	return id
+}
+
+// track resolves the per-task state, interning the task's key on first
+// sight (the only place the KeyFn runs).
+func (c *Collector) track(t *sched.Task) *taskTrack {
+	if t == c.lastTask {
+		return c.lastTrack
+	}
+	tr := c.trackOf[t]
+	if tr == nil {
+		tr = c.tracks.get()
+		tr.keyID = c.internKey(c.Key(t))
+		c.trackOf[t] = tr
+	}
+	c.lastTask, c.lastTrack = t, tr
 	return tr
 }
 
-func (c *Collector) onCPUHist(key string) *Hist {
-	h := c.OnCPU[key]
-	if h == nil {
-		h = NewHist(0)
-		c.OnCPU[key] = h
+// onCPUHist resolves (and caches on the track) the key's cpudist histogram.
+func (c *Collector) onCPUHist(tr *taskTrack) *Hist {
+	if tr.on != nil {
+		return tr.on
 	}
-	return h
+	slot := &c.slots[tr.keyID]
+	if slot.on == nil {
+		slot.on = c.hists.get()
+		c.OnCPU[c.keys[tr.keyID]] = slot.on
+	}
+	tr.on = slot.on
+	return slot.on
 }
 
-func (c *Collector) offCPUHist(key string, reason sched.BlockKind) *Hist {
-	m := c.OffCPU[key]
-	if m == nil {
-		m = make(map[sched.BlockKind]*Hist)
-		c.OffCPU[key] = m
+func (c *Collector) offCPUHist(tr *taskTrack, reason sched.BlockKind) *Hist {
+	if int(reason) >= nBlockKinds {
+		// A kind beyond the table means the sched.BlockKind enum grew
+		// without nBlockKinds following; silently re-filing the samples
+		// would corrupt the offcputime report.
+		panic(fmt.Sprintf("trace: BlockKind %d outside the off-CPU table — update nBlockKinds", reason))
 	}
-	h := m[reason]
-	if h == nil {
-		h = NewHist(0)
-		m[reason] = h
+	if h := tr.off[reason]; h != nil {
+		return h
 	}
-	return h
+	slot := &c.slots[tr.keyID]
+	if slot.off[reason] == nil {
+		slot.off[reason] = c.hists.get()
+		key := c.keys[tr.keyID]
+		m := c.OffCPU[key]
+		if m == nil {
+			m = make(map[sched.BlockKind]*Hist)
+			c.OffCPU[key] = m
+		}
+		m[reason] = slot.off[reason]
+	}
+	tr.off[reason] = slot.off[reason]
+	return slot.off[reason]
 }
 
-func (c *Collector) runqHist(key string) *Hist {
-	h := c.RunqLatency[key]
-	if h == nil {
-		h = NewHist(0)
-		c.RunqLatency[key] = h
+func (c *Collector) runqHist(tr *taskTrack) *Hist {
+	if tr.runq != nil {
+		return tr.runq
 	}
-	return h
+	slot := &c.slots[tr.keyID]
+	if slot.runq == nil {
+		slot.runq = c.hists.get()
+		c.RunqLatency[c.keys[tr.keyID]] = slot.runq
+	}
+	tr.runq = slot.runq
+	return slot.runq
+}
+
+// addCPUBusy accumulates on-CPU time into the flat per-CPU table, growing
+// it to the highest CPU id seen (growth is bounded by the host size, so it
+// stops allocating almost immediately).
+func (c *Collector) addCPUBusy(cpu int, d sim.Time) {
+	if cpu < 0 {
+		return
+	}
+	for cpu >= len(c.cpuBusy) {
+		c.cpuBusy = append(c.cpuBusy, 0)
+		c.cpuTouched = append(c.cpuTouched, false)
+	}
+	c.cpuBusy[cpu] += d
+	c.cpuTouched[cpu] = true
 }
 
 func (c *Collector) handle(ev sched.TraceEvent) {
@@ -172,15 +295,14 @@ func (c *Collector) handle(ev sched.TraceEvent) {
 	if t == nil {
 		return
 	}
-	key := c.Key(t)
 	tr := c.track(t)
 	switch ev.Kind {
 	case sched.TraceRunStart:
 		if tr.everRan && !tr.running {
-			c.offCPUHist(key, tr.offReason).Record(ev.At - tr.lastRunEnd)
+			c.offCPUHist(tr, tr.offReason).Record(ev.At - tr.lastRunEnd)
 		}
 		if tr.hasWake {
-			c.runqHist(key).Record(ev.At - tr.wokenAt)
+			c.runqHist(tr).Record(ev.At - tr.wokenAt)
 			tr.hasWake = false
 		}
 		tr.running = true
@@ -190,8 +312,8 @@ func (c *Collector) handle(ev sched.TraceEvent) {
 	case sched.TraceRunEnd:
 		if tr.running {
 			d := ev.At - tr.lastRunStart
-			c.onCPUHist(key).Record(d)
-			c.cpuBusy[ev.CPU] += d
+			c.onCPUHist(tr).Record(d)
+			c.addCPUBusy(ev.CPU, d)
 			tr.running = false
 			tr.lastRunEnd = ev.At
 		}
@@ -256,10 +378,11 @@ func (c *Collector) reportUtilization(w io.Writer) {
 	}
 	span := c.last - c.first
 	var ids []int
-	for id := range c.cpuBusy {
-		ids = append(ids, id)
+	for id, touched := range c.cpuTouched {
+		if touched {
+			ids = append(ids, id)
+		}
 	}
-	sort.Ints(ids)
 	var total sim.Time
 	for _, id := range ids {
 		total += c.cpuBusy[id]

@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // LoadConfig mirrors the paper's JMeter setup: Requests simultaneous web
@@ -81,22 +82,25 @@ func RunLoad(baseURL string, cfg LoadConfig) (LoadResult, error) {
 	wg.Wait()
 
 	res := LoadResult{Requests: cfg.Requests, Elapsed: time.Since(start)}
-	ok := make([]time.Duration, 0, cfg.Requests)
+	ok := make([]float64, 0, cfg.Requests)
 	var sum time.Duration
 	for i, l := range lats {
 		if errs[i] {
 			res.Errors++
 			continue
 		}
-		ok = append(ok, l)
+		ok = append(ok, float64(l))
 		sum += l
 	}
 	if len(ok) > 0 {
 		res.Mean = sum / time.Duration(len(ok))
-		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
-		res.Median = ok[len(ok)/2]
-		res.P95 = ok[len(ok)*95/100]
-		res.Max = ok[len(ok)-1]
+		// Quantiles follow stats' nearest-rank definition (ceil(p·n)-th
+		// sample), not the previous ad-hoc index arithmetic — with real
+		// network latencies the one-rank shift is immaterial.
+		qs := stats.Percentiles(ok, 50, 95, 100)
+		res.Median = time.Duration(qs[0])
+		res.P95 = time.Duration(qs[1])
+		res.Max = time.Duration(qs[2])
 	}
 	return res, nil
 }
