@@ -5,6 +5,9 @@
 //
 //	pinsim -fig 3          # print Figure 3 as a text table
 //	pinsim -fig all        # print every figure
+//	pinsim -list           # list every registered scenario
+//	pinsim -fig fig6-large # any registered scenario runs by name
+//	pinsim -scenario run.json   # run a user-defined scenario from JSON
 //	pinsim -table 2        # print Table II
 //	pinsim -chr            # print the §IV-A CHR band analysis
 //	pinsim -decompose 3    # print the §IV PTO/PSO split of Figure 3
@@ -41,7 +44,9 @@ var stopProfiles = func() {}
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "figure to regenerate: 3..8 or 'all'")
+		fig       = flag.String("fig", "", "scenario to regenerate: 3..8, 'all', or any registered name (see -list)")
+		scenario  = flag.String("scenario", "", "run a user-defined scenario from a JSON spec file")
+		list      = flag.Bool("list", false, "list the registered scenarios and exit")
 		table     = flag.Int("table", 0, "table to print: 1..3")
 		chr       = flag.Bool("chr", false, "run the §IV-A CHR band analysis")
 		decompose = flag.Int("decompose", 0, "PTO/PSO decomposition of a figure (3..6)")
@@ -87,42 +92,57 @@ func main() {
 		}
 	}
 
+	render := func(f experiments.Figure) {
+		if *csv {
+			f.RenderCSV(out)
+		} else {
+			f.RenderText(out)
+		}
+		if *breakdown {
+			f.RenderBreakdown(out)
+		}
+	}
+
+	if *list {
+		did = true
+		for _, sc := range experiments.Scenarios() {
+			fmt.Fprintf(out, "%-12s %s\n", sc.Name, sc.Description)
+		}
+	}
+
 	if *fig != "" {
 		did = true
-		render := func(f experiments.Figure) {
-			if *csv {
-				f.RenderCSV(out)
-			} else {
-				f.RenderText(out)
+		var names []string
+		if *fig == "all" {
+			names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+		} else {
+			name := *fig
+			// Bare figure numbers keep working: "3" means "fig3".
+			if _, err := strconv.Atoi(name); err == nil {
+				name = "fig" + name
 			}
-			if *breakdown {
-				f.RenderBreakdown(out)
-			}
+			names = []string{name}
 		}
-		var figs []int
-		switch *fig {
-		case "all":
-			figs = []int{3, 4, 5, 6, 7, 8}
-		case "net":
-			f, err := experiments.RunFigNet(cfg)
+		for _, name := range names {
+			f, err := experiments.RunRegistered(name, cfg)
 			if err != nil {
-				fatalf("figure net: %v", err)
-			}
-			render(f)
-		default:
-			n, err := strconv.Atoi(*fig)
-			if err != nil {
-				fatalf("bad -fig %q: %v", *fig, err)
-			}
-			figs = []int{n}
-		}
-		for _, n := range figs {
-			f, err := experiments.RunFigure(n, cfg)
-			if err != nil {
-				fatalf("figure %d: %v", n, err)
+				fatalf("%v", err)
 			}
 			render(f)
 		}
+	}
+
+	if *scenario != "" {
+		did = true
+		sc, err := experiments.ResolveScenario(*scenario)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f, err := experiments.RunScenario(cfg, sc)
+		if err != nil {
+			fatalf("scenario %s: %v", sc.Name, err)
+		}
+		render(f)
 	}
 
 	if *chr {

@@ -13,11 +13,15 @@
 //	pinsweep -host small16                       # CHR against the 16-core host
 //	pinsweep -format csv                         # or json, text (default)
 //	pinsweep -quick -workers 4 -progress
+//	pinsweep -scenario fig7                      # run a registered scenario instead
+//	pinsweep -scenario run.json                  # or a user-defined JSON spec
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -44,6 +48,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink workloads for a fast pass")
 		workers   = flag.Int("workers", 0, "trial fan-out (0 = GOMAXPROCS, 1 = serial)")
 		host      = flag.String("host", "paper", "host topology: paper (112 CPUs) or small16")
+		scenario  = flag.String("scenario", "", "run a registered scenario (by name) or a JSON spec file instead of a grid sweep")
 		format    = flag.String("format", "text", "output format: text, csv or json")
 		progress  = flag.Bool("progress", false, "report trial progress on stderr")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -81,6 +86,11 @@ func main() {
 		}
 	}
 
+	if *scenario != "" {
+		runScenario(cfg, *scenario, *format)
+		return
+	}
+
 	spec := experiments.SweepSpec{
 		Platforms: parsePlatforms(*platforms, *modes),
 		Cores:     parseInts("cores", *cores),
@@ -93,18 +103,40 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	switch *format {
+	render(*format, res.RenderText, res.RenderCSV, res)
+}
+
+// render is the single -format dispatch for both result shapes (sweep and
+// scenario): aligned text, CSV, or indented JSON of jsonVal.
+func render(format string, text, csv func(w io.Writer), jsonVal any) {
+	switch format {
 	case "text":
-		res.RenderText(os.Stdout)
+		text(os.Stdout)
 	case "csv":
-		res.RenderCSV(os.Stdout)
+		csv(os.Stdout)
 	case "json":
-		if err := res.RenderJSON(os.Stdout); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonVal); err != nil {
 			fatalf("json: %v", err)
 		}
 	default:
-		fatalf("unknown -format %q (have text, csv, json)", *format)
+		fatalf("unknown -format %q (have text, csv, json)", format)
 	}
+}
+
+// runScenario resolves -scenario (registered name or JSON spec file, see
+// experiments.ResolveScenario) and renders the resulting figure.
+func runScenario(cfg experiments.Config, nameOrPath, format string) {
+	sc, err := experiments.ResolveScenario(nameOrPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := experiments.RunScenario(cfg, sc)
+	if err != nil {
+		fatalf("scenario %s: %v", sc.Name, err)
+	}
+	render(format, f.RenderText, f.RenderCSV, f)
 }
 
 // parsePlatforms crosses the -platforms and -modes axes into specs. Empty

@@ -16,9 +16,19 @@
 //	    -compare BENCH_PR2.json -calibrate BENCH_PR3.json
 //	go run ./internal/devtools/benchjson -in bench-ci.json -compare BENCH_PR3.json
 //
+//	# Scenario dispatch gate: the declarative engine's per-figure dispatch
+//	# machinery (registry lookup, validation, workload resolution,
+//	# fingerprint — BenchmarkScenarioDispatch) must cost <5% of the
+//	# same-run end-to-end figure time. Same-run, µs-vs-ms: immune to
+//	# cross-machine macro-benchmark noise, and missing names fail loudly.
+//	go run ./internal/devtools/benchjson -in bench-ci.json \
+//	    -fraction ScenarioDispatch=QuickFig3Serial:0.05
+//
 // The suite list is fixed to the benchmarks the perf acceptance criteria
 // track: the event-kernel, scheduler and steal hot paths, CPU-set algebra,
-// the trace-collector pipeline, and one end-to-end quick figure run.
+// the trace-collector pipeline, the end-to-end quick figure run
+// (QuickFig3Serial, now registry-driven like every figure) and the
+// scenario-dispatch machinery (ScenarioDispatch).
 package main
 
 import (
@@ -49,8 +59,12 @@ var suites = []suite{
 	// the empty-world probe the group-load index short-circuits.
 	{pkg: "./internal/sched", pattern: "^(BenchmarkStealScan|BenchmarkStealMiss)$"},
 	// One full quick figure: the end-to-end number every micro-win must
-	// eventually show up in. A single iteration takes ~1.5s, so cap it.
-	{pkg: "./internal/experiments", pattern: "^BenchmarkQuickFig3Serial$", benchtime: "2x"},
+	// eventually show up in. Six iterations (~150ms) per sample keep the
+	// macro measurement's noise inside the 30% baseline gates.
+	{pkg: "./internal/experiments", pattern: "^BenchmarkQuickFig3Serial$", benchtime: "6x"},
+	// The declarative engine's dispatch machinery alone (no trials): the
+	// -fraction gate holds it under 5% of the same-run QuickFig3Serial.
+	{pkg: "./internal/experiments", pattern: "^BenchmarkScenarioDispatch$"},
 }
 
 // Result is one benchmark's parsed measurements.
@@ -79,8 +93,13 @@ func main() {
 		compare   = flag.String("compare", "", "baseline JSON to diff against; regressions fail the run")
 		calibrate = flag.String("calibrate", "", "same-code baseline JSON used to estimate the machine-speed factor for -compare")
 		tolerance = flag.Float64("tolerance", 0.30, "ns/op regression fraction tolerated by -compare")
+		fracList  = flag.String("fraction", "", "comma list of small=big:frac assertions — measured 'small' ns/op must stay ≤ frac × measured 'big' ns/op (same run); names absent from the measurements fail loudly")
 	)
 	flag.Parse()
+	fractions, err := parseFractions(*fracList)
+	if err != nil {
+		fatalf("fraction: %v", err)
+	}
 	// Refreshing the committed baseline and gating against one are separate
 	// intents: when -compare is requested and -out was not given explicitly,
 	// don't write — otherwise a casual `benchjson -compare ...` would clobber
@@ -113,7 +132,11 @@ func main() {
 		if len(rep.Benchmarks) == 0 {
 			fatalf("in %s: no benchmarks — the gate would pass vacuously", *in)
 		}
+		ok := checkFractions(rep, fractions)
 		if *compare != "" && !compareAgainst(rep, *compare, *calibrate, *tolerance) {
+			ok = false
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -151,11 +174,77 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 	}
-	if *compare != "" {
-		if !compareAgainst(rep, *compare, *calibrate, *tolerance) {
-			os.Exit(1)
+	ok := checkFractions(rep, fractions)
+	if *compare != "" && !compareAgainst(rep, *compare, *calibrate, *tolerance) {
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// fractionCheck asserts one benchmark stays a small fraction of another in
+// the same measurement run (the scenario-dispatch gate).
+type fractionCheck struct {
+	small, big string
+	frac       float64
+}
+
+// parseFractions parses "small=big:frac,...".
+func parseFractions(s string) ([]fractionCheck, error) {
+	var out []fractionCheck
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		small, rest, ok := strings.Cut(item, "=")
+		big, fracStr, ok2 := strings.Cut(rest, ":")
+		if !ok || !ok2 || small == "" || big == "" {
+			return nil, fmt.Errorf("bad -fraction %q (want small=big:frac)", item)
+		}
+		frac, err := strconv.ParseFloat(fracStr, 64)
+		if err != nil || frac <= 0 || frac >= 1 {
+			return nil, fmt.Errorf("bad -fraction %q: frac must be in (0, 1)", item)
+		}
+		out = append(out, fractionCheck{small: small, big: big, frac: frac})
+	}
+	return out, nil
+}
+
+// checkFractions applies the -fraction assertions to one run's
+// measurements. Both names must be present — a renamed or dropped
+// benchmark fails the gate instead of silently vacating it.
+func checkFractions(rep Report, checks []fractionCheck) bool {
+	ok := true
+	for _, c := range checks {
+		small, haveSmall := rep.Benchmarks[c.small]
+		big, haveBig := rep.Benchmarks[c.big]
+		switch {
+		case !haveSmall || !haveBig:
+			fmt.Printf("benchjson: fraction %s=%s:%.2f — benchmark missing from measurements (have %s) — failing\n",
+				c.small, c.big, c.frac, strings.Join(sortedNames(rep.Benchmarks), ", "))
+			ok = false
+		case big.NsPerOp <= 0 || small.NsPerOp > c.frac*big.NsPerOp:
+			fmt.Printf("benchjson: fraction gate %s (%.0f ns/op) > %.0f%% of %s (%.0f ns/op) — failing\n",
+				c.small, small.NsPerOp, c.frac*100, c.big, big.NsPerOp)
+			ok = false
+		default:
+			fmt.Printf("benchjson: fraction gate %s (%.0f ns/op) ≤ %.0f%% of %s (%.0f ns/op) — ok (%.3f%%)\n",
+				c.small, small.NsPerOp, c.frac*100, c.big, big.NsPerOp, 100*small.NsPerOp/big.NsPerOp)
 		}
 	}
+	return ok
+}
+
+// sortedNames lists a measurement map's keys, sorted.
+func sortedNames(m map[string]Result) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // compareAgainst diffs this run's ns/op against a committed baseline file

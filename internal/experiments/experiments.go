@@ -135,7 +135,9 @@ type Config struct {
 	// Memo, when non-nil, caches per-trial results keyed by a hash of the
 	// trial's configuration fingerprint and seed. Repeated or overlapping
 	// runs that share a memo skip every already-simulated trial. Ignored
-	// while MutateHost is set.
+	// while MutateHost is set — setting both logs a one-line warning (once
+	// per process) instead of failing, since a MutateHost ablation run may
+	// legitimately reuse a Config that carries a memo.
 	Memo *TrialMemo
 	// Progress, when non-nil, is called after each completed trial with
 	// (done, total) — the long-sweep progress hook. Calls are serialized by
@@ -184,8 +186,13 @@ type Cell struct {
 // SeriesResult is one legend entry across the x-axis.
 type SeriesResult struct {
 	Label string
-	Spec  platform.Spec
-	Cells []Cell
+	// Spec is the canned platform identity of the series; meaningful only
+	// when HasPlatform is set (a stack-only scenario series has no canned
+	// identity, and the zero Spec would otherwise read as Vanilla BM).
+	Spec platform.Spec
+	// HasPlatform records whether Spec carries a real platform identity.
+	HasPlatform bool
+	Cells       []Cell
 }
 
 // Figure is a rendered experiment: series × x-labels of Cells.
@@ -208,85 +215,50 @@ func seedFor(base uint64, parts ...uint64) uint64 {
 	return sim.Substream(base, parts...)
 }
 
-// runOne deploys spec on host, spawns w and runs to completion, returning
-// the workload metric in seconds and the machine's overhead breakdown.
-func runOne(cfg Config, host *topology.Topology, spec platform.Spec, w workload.Workload, memGB int, seed uint64) (float64, sched.Breakdown, error) {
+// runStack deploys a stack on host, spawns each tenant's workload and runs
+// the machine to completion, returning the workload metric in seconds (the
+// mean across tenants for multi-tenant stacks) and the machine's overhead
+// breakdown.
+func runStack(cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) (float64, sched.Breakdown, error) {
 	hostCfg := machine.HostDefaults(host, seed)
 	if cfg.MutateHost != nil {
 		cfg.MutateHost(&hostCfg)
 	}
-	d, err := platform.Deploy(spec, hostCfg, *cfg.HV, seed)
+	d, err := platform.DeployStack(stack, size, hostCfg, *cfg.HV, seed)
 	if err != nil {
 		return 0, sched.Breakdown{}, err
 	}
-	env := workload.EnvFor(d.M, d.Group, d.Affinity, spec.Cores)
-	if memGB > 0 {
-		env.MemGB = memGB
+	// ws is either one shared workload for every tenant, or exactly one per
+	// tenant slot; RunScenario pads per-tenant lists to the tenant count,
+	// and this boundary enforces the invariant rather than trusting it.
+	if len(ws) == 0 {
+		return 0, sched.Breakdown{}, fmt.Errorf("experiments: trial has no workloads")
 	}
-	inst := w.Spawn(env)
+	if len(ws) > 1 && len(ws) != len(d.Tenants) {
+		return 0, sched.Breakdown{}, fmt.Errorf("experiments: %d workloads for %d tenant slot(s)",
+			len(ws), len(d.Tenants))
+	}
+	insts := make([]workload.Instance, len(d.Tenants))
+	for ti, slot := range d.Tenants {
+		env := workload.EnvFor(d.M, slot.Group, slot.Affinity, slot.Cores)
+		if memGB > 0 {
+			env.MemGB = memGB
+		}
+		w := ws[0]
+		if len(ws) > 1 {
+			w = ws[ti]
+		}
+		insts[ti] = w.Spawn(env)
+	}
 	res := d.M.Run(cfg.TimeLimit)
 	if res.TimedOut {
 		return cfg.TimeLimit.Seconds(), res.Breakdown, nil
 	}
-	return inst.Metric(res), res.Breakdown, nil
-}
-
-// runMatrix runs the standard seven series over the given instances. The
-// (series, instance, rep) grid is flattened into independent trials and
-// fanned across cfg.Workers goroutines; each trial's seed is derived from
-// its grid coordinates alone, and results land in index-addressed slots, so
-// the assembled Figure is bit-identical at any worker count.
-func runMatrix(cfg Config, id, title, metric string, instances []InstanceType,
-	mkWorkload func(it InstanceType) workload.Workload, reps int) (Figure, error) {
-	cfg = cfg.withDefaults()
-	fig := Figure{
-		ID:          id,
-		Title:       title,
-		Metric:      metric,
-		XTitle:      "Instance Types",
-		BaselineIdx: -1,
+	var sum float64
+	for _, inst := range insts {
+		sum += inst.Metric(res)
 	}
-	for _, it := range instances {
-		fig.XLabels = append(fig.XLabels, it.Name)
-	}
-	series := platform.StandardSeries()
-	nI, nR := len(instances), reps
-	results := make([]TrialResult, len(series)*nI*nR)
-	err := forEachTrial(cfg, len(results), func(i int) error {
-		si, ii, rep := i/(nI*nR), i/nR%nI, i%nR
-		it := instances[ii]
-		spec := platform.Spec{Kind: series[si].Kind, Mode: series[si].Mode, Cores: it.Cores}
-		seed := seedFor(cfg.Seed, uint64(si), uint64(ii), uint64(rep))
-		r, err := runTrial(cfg, cfg.Host, spec, mkWorkload(it), it.MemGB, seed)
-		if err != nil {
-			return fmt.Errorf("%s %s %s: %w", id, spec.Label(), it.Name, err)
-		}
-		results[i] = r
-		return nil
-	})
-	if err != nil {
-		return Figure{}, err
-	}
-	for si, sk := range series {
-		spec := platform.Spec{Kind: sk.Kind, Mode: sk.Mode}
-		sr := SeriesResult{Label: spec.Label(), Spec: spec}
-		if sk.Kind == platform.BM {
-			fig.BaselineIdx = si
-		}
-		for ii := range instances {
-			vals := make([]float64, 0, nR)
-			var bd sched.Breakdown
-			for rep := 0; rep < nR; rep++ {
-				r := results[(si*nI+ii)*nR+rep]
-				vals = append(vals, r.Metric)
-				bd = r.Breakdown // last repetition, as in the serial path
-			}
-			sr.Cells = append(sr.Cells, Cell{Summary: stats.Summarize(vals), Breakdown: bd})
-		}
-		fig.Series = append(fig.Series, sr)
-	}
-	fig.computeRatios(cfg)
-	return fig, nil
+	return sum / float64(len(insts)), res.Breakdown, nil
 }
 
 // computeRatios fills per-cell overhead ratios against the BM series and

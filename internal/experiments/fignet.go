@@ -1,26 +1,7 @@
 package experiments
 
-import "repro/internal/workload"
-
 // RunFigNet is the extension experiment implementing the paper's first
 // future-work item (§VI): the impact of *network* overhead across the
-// execution platforms. The workload is a disk-free two-tier microservice
-// (workload.Microservice): every platform difference comes from the NIC
-// IRQ path, the intra-host RPC transport (native vs container bridge vs
-// hypervisor shared memory) and the virtio-net overlay. Run with
-// `pinsim -fig net`; reproduced by BenchmarkFigNetMicroservice.
-func RunFigNet(cfg Config) (Figure, error) {
-	cfg = cfg.withDefaults()
-	return runMatrix(cfg, "figN1",
-		"Extension: network-bound microservice across execution platforms",
-		"Average Response Time (s)",
-		Instances("xLarge", "16xLarge"),
-		func(InstanceType) workload.Workload {
-			w := workload.DefaultMicroservice()
-			if cfg.Quick {
-				w.Requests /= 4
-			}
-			return w
-		},
-		cfg.reps(6))
-}
+// execution platforms — registered as the "net" scenario (builtin.go). Run
+// with `pinsim -fig net`; reproduced by BenchmarkFigNetMicroservice.
+func RunFigNet(cfg Config) (Figure, error) { return RunRegistered("net", cfg) }

@@ -1,11 +1,16 @@
 package experiments
 
+// The paper's figures are data, not code: each is a Scenario registered in
+// builtin.go and executed by the generic scenario engine (scenario.go).
+// The RunFigN functions remain as thin registry dispatches for library
+// callers and the historical tests; there is no per-figure execution logic
+// left here.
+
 import (
 	"fmt"
 
 	"repro/internal/platform"
 	"repro/internal/stats"
-	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -20,221 +25,34 @@ func transcodeFor(cfg Config, segments int) workload.Transcode {
 	return w
 }
 
-// RunFig3 reproduces Fig 3: FFmpeg execution time across execution platforms
-// and instance types Large..4×Large (FFmpeg uses at most 16 cores).
-func RunFig3(cfg Config) (Figure, error) {
-	cfg = cfg.withDefaults()
-	return runMatrix(cfg, "fig3",
-		"FFmpeg execution time on different execution platforms",
-		"Average Execution Time (s)",
-		Instances("Large", "4xLarge"),
-		func(InstanceType) workload.Workload { return transcodeFor(cfg, 1) },
-		cfg.reps(20))
-}
+// RunFig3 reproduces Fig 3 (see the "fig3" scenario registration).
+func RunFig3(cfg Config) (Figure, error) { return RunRegistered("fig3", cfg) }
 
-// RunFig4 reproduces Fig 4: MPI Search execution time, ×Large..16×Large.
-func RunFig4(cfg Config) (Figure, error) {
-	cfg = cfg.withDefaults()
-	mk := func(InstanceType) workload.Workload {
-		w := workload.DefaultMPISearch()
-		if cfg.Quick {
-			w.Rounds /= 8
-			w.TotalCompute /= 8
-			w.ScatterBytes /= 8
-		}
-		return w
-	}
-	return runMatrix(cfg, "fig4",
-		"MPI Search execution time on different execution platforms",
-		"Average Execution Time (s)",
-		Instances("xLarge", "16xLarge"), mk, cfg.reps(20))
-}
+// RunFig4 reproduces Fig 4 (see the "fig4" scenario registration).
+func RunFig4(cfg Config) (Figure, error) { return RunRegistered("fig4", cfg) }
 
-// RunFig5 reproduces Fig 5: mean response time of 1,000 WordPress requests,
-// ×Large..16×Large, 6 repetitions.
-func RunFig5(cfg Config) (Figure, error) {
-	cfg = cfg.withDefaults()
-	mk := func(InstanceType) workload.Workload {
-		w := workload.DefaultWeb()
-		if cfg.Quick {
-			w.Requests /= 4
-		}
-		return w
-	}
-	return runMatrix(cfg, "fig5",
-		"Mean response time of 1,000 web processes (WordPress)",
-		"Average Execution Time (s)",
-		Instances("xLarge", "16xLarge"), mk, cfg.reps(6))
-}
+// RunFig5 reproduces Fig 5 (see the "fig5" scenario registration).
+func RunFig5(cfg Config) (Figure, error) { return RunRegistered("fig5", cfg) }
 
-// RunFig6 reproduces Fig 6: mean response time of 1,000 Cassandra
-// operations, ×Large..16×Large (Large thrashes and is charted out-of-range).
-// Quick mode keeps the full operation count: shrinking it would lighten the
-// overload regime that defines the figure, and the run is cheap anyway.
-func RunFig6(cfg Config) (Figure, error) {
-	cfg = cfg.withDefaults()
-	mk := func(InstanceType) workload.Workload {
-		return workload.DefaultNoSQL()
-	}
-	return runMatrix(cfg, "fig6",
-		"Mean execution time of Cassandra workload",
-		"Average Execution Time (s)",
-		Instances("xLarge", "16xLarge"), mk, cfg.reps(20))
-}
+// RunFig6 reproduces Fig 6 (see the "fig6" scenario registration).
+func RunFig6(cfg Config) (Figure, error) { return RunRegistered("fig6", cfg) }
 
 // RunFig6Large runs the excluded Large instance of the Cassandra experiment
-// to demonstrate the thrash regime the paper reports as "out of range".
-func RunFig6Large(cfg Config) (Figure, error) {
-	cfg = cfg.withDefaults()
-	mk := func(InstanceType) workload.Workload {
-		return workload.DefaultNoSQL()
-	}
-	return runMatrix(cfg, "fig6-large",
-		"Cassandra on the overloaded Large instance (thrash regime)",
-		"Average Execution Time (s)",
-		Instances("Large", "Large"), mk, cfg.reps(5))
-}
+// (see the "fig6-large" scenario registration).
+func RunFig6Large(cfg Config) (Figure, error) { return RunRegistered("fig6-large", cfg) }
 
-// RunFig7 reproduces Fig 7: the CHR experiment — the same 16-core container
-// (4×Large) on a 16-core host (CHR=1) vs. the 112-core host (CHR=0.14),
-// plus the bare-metal reference on each host.
-func RunFig7(cfg Config) (Figure, error) {
-	cfg = cfg.withDefaults()
-	reps := cfg.reps(20)
-	hosts := []struct {
-		label string
-		topo  *topology.Topology
-	}{
-		{"16 cores", topology.SmallHost16()},
-		{"112 cores", topology.PaperHost()},
-	}
-	series := []platform.Spec{
-		{Kind: platform.CN, Mode: platform.Vanilla, Cores: 16},
-		{Kind: platform.CN, Mode: platform.Pinned, Cores: 16},
-		{Kind: platform.BM, Mode: platform.Vanilla, Cores: 16},
-	}
-	fig := Figure{
-		ID:          "fig7",
-		Title:       "Impact of CHR: a 4xLarge container on 16- vs 112-core hosts",
-		Metric:      "Average Execution Time (s)",
-		XTitle:      "Hosts with Different Number of Cores",
-		BaselineIdx: 2,
-	}
-	for _, h := range hosts {
-		fig.XLabels = append(fig.XLabels, h.label)
-	}
-	w := transcodeFor(cfg, 1)
-	nH := len(hosts)
-	results := make([]TrialResult, len(series)*nH*reps)
-	err := forEachTrial(cfg, len(results), func(i int) error {
-		si, hi, rep := i/(nH*reps), i/reps%nH, i%reps
-		seed := seedFor(cfg.Seed, 7, uint64(si), uint64(hi), uint64(rep))
-		r, err := runTrial(cfg, hosts[hi].topo, series[si], w, 64, seed)
-		if err != nil {
-			return fmt.Errorf("fig7 %s on %s: %w", series[si].Label(), hosts[hi].label, err)
-		}
-		results[i] = r
-		return nil
-	})
-	if err != nil {
-		return Figure{}, err
-	}
-	for si, spec := range series {
-		sr := SeriesResult{Label: spec.Label(), Spec: spec}
-		for hi := range hosts {
-			var vals []float64
-			var bd = Cell{}
-			for rep := 0; rep < reps; rep++ {
-				r := results[(si*nH+hi)*reps+rep]
-				vals = append(vals, r.Metric)
-				bd.Breakdown = r.Breakdown
-			}
-			bd.Summary = stats.Summarize(vals)
-			sr.Cells = append(sr.Cells, bd)
-		}
-		fig.Series = append(fig.Series, sr)
-	}
-	fig.computeRatios(cfg)
-	return fig, nil
-}
+// RunFig7 reproduces Fig 7 (see the "fig7" scenario registration).
+func RunFig7(cfg Config) (Figure, error) { return RunRegistered("fig7", cfg) }
 
-// RunFig8 reproduces Fig 8: multitasking impact — transcoding one 30-second
-// video vs. 30 one-second videos in parallel on a 4×Large container.
-func RunFig8(cfg Config) (Figure, error) {
-	cfg = cfg.withDefaults()
-	reps := cfg.reps(20)
-	cases := []struct {
-		label    string
-		segments int
-	}{
-		{"1 Large Task", 1},
-		{"30 Small Tasks", 30},
-	}
-	series := []platform.Spec{
-		{Kind: platform.CN, Mode: platform.Vanilla, Cores: 16},
-		{Kind: platform.CN, Mode: platform.Pinned, Cores: 16},
-	}
-	fig := Figure{
-		ID:          "fig8",
-		Title:       "Impact of the number of processes on a 4xLarge CN instance",
-		Metric:      "Average Execution Time (s)",
-		XTitle:      "Different number of processes running on CN platforms",
-		BaselineIdx: -1,
-	}
-	for _, c := range cases {
-		fig.XLabels = append(fig.XLabels, c.label)
-	}
-	nC := len(cases)
-	results := make([]TrialResult, len(series)*nC*reps)
-	err := forEachTrial(cfg, len(results), func(i int) error {
-		si, ci, rep := i/(nC*reps), i/reps%nC, i%reps
-		seed := seedFor(cfg.Seed, 8, uint64(si), uint64(ci), uint64(rep))
-		w := transcodeFor(cfg, cases[ci].segments)
-		r, err := runTrial(cfg, cfg.Host, series[si], w, 64, seed)
-		if err != nil {
-			return fmt.Errorf("fig8 %s %s: %w", series[si].Label(), cases[ci].label, err)
-		}
-		results[i] = r
-		return nil
-	})
-	if err != nil {
-		return Figure{}, err
-	}
-	for si, spec := range series {
-		sr := SeriesResult{Label: spec.Label(), Spec: spec}
-		for ci := range cases {
-			var vals []float64
-			var cell Cell
-			for rep := 0; rep < reps; rep++ {
-				r := results[(si*nC+ci)*reps+rep]
-				vals = append(vals, r.Metric)
-				cell.Breakdown = r.Breakdown
-			}
-			cell.Summary = stats.Summarize(vals)
-			sr.Cells = append(sr.Cells, cell)
-		}
-		fig.Series = append(fig.Series, sr)
-	}
-	return fig, nil
-}
+// RunFig8 reproduces Fig 8 (see the "fig8" scenario registration).
+func RunFig8(cfg Config) (Figure, error) { return RunRegistered("fig8", cfg) }
 
-// RunFigure dispatches by figure number 3..8.
+// RunFigure dispatches by figure number 3..8 through the scenario registry.
 func RunFigure(n int, cfg Config) (Figure, error) {
-	switch n {
-	case 3:
-		return RunFig3(cfg)
-	case 4:
-		return RunFig4(cfg)
-	case 5:
-		return RunFig5(cfg)
-	case 6:
-		return RunFig6(cfg)
-	case 7:
-		return RunFig7(cfg)
-	case 8:
-		return RunFig8(cfg)
+	if n < 3 || n > 8 {
+		return Figure{}, fmt.Errorf("experiments: no figure %d (have 3..8)", n)
 	}
-	return Figure{}, fmt.Errorf("experiments: no figure %d (have 3..8)", n)
+	return RunRegistered(fmt.Sprintf("fig%d", n), cfg)
 }
 
 // CHRBand is the §IV-A result for one application class: the CHR range in
@@ -255,6 +73,7 @@ type CHRBand struct {
 // the bracketing CHR band.
 func RunCHRSweep(cfg Config) ([]CHRBand, error) {
 	cfg = cfg.withDefaults()
+	warnMemoMutateHost(cfg)
 	reps := cfg.reps(5)
 	type app struct {
 		name      string
@@ -298,7 +117,8 @@ func RunCHRSweep(cfg Config) ([]CHRBand, error) {
 				kind, rep := kinds[i/reps], i%reps
 				seed := seedFor(cfg.Seed, 40, uint64(ai), uint64(ii), uint64(kind), uint64(rep))
 				spec := platform.Spec{Kind: kind, Mode: platform.Vanilla, Cores: it.Cores}
-				r, err := runTrial(cfg, cfg.Host, spec, a.mk(it), it.MemGB, seed)
+				r, err := runTrial(cfg, cfg.Host, spec.Stack(), it.Cores,
+					[]workload.Workload{a.mk(it)}, it.MemGB, seed)
 				if err != nil {
 					return err
 				}

@@ -37,30 +37,16 @@ type ProfileResult struct {
 	Channels []*irqsim.Channel
 }
 
-// ParsePlatform maps a CLI platform name to its Kind.
+// ParsePlatform maps a CLI platform name to its Kind (one name-to-enum
+// mapping for the whole repo: platform.ParseKind).
 func ParsePlatform(s string) (platform.Kind, error) {
-	switch strings.ToLower(s) {
-	case "bm":
-		return platform.BM, nil
-	case "vm":
-		return platform.VM, nil
-	case "cn":
-		return platform.CN, nil
-	case "vmcn":
-		return platform.VMCN, nil
-	}
-	return 0, fmt.Errorf("experiments: unknown platform %q (bm, vm, cn, vmcn)", s)
+	return platform.ParseKind(s)
 }
 
-// ParseMode maps a CLI mode name to its Mode.
+// ParseMode maps a CLI mode name to its Mode (delegating to the repo-wide
+// mapping, platform.ParseMode; the empty string means vanilla).
 func ParseMode(s string) (platform.Mode, error) {
-	switch strings.ToLower(s) {
-	case "vanilla", "":
-		return platform.Vanilla, nil
-	case "pinned":
-		return platform.Pinned, nil
-	}
-	return 0, fmt.Errorf("experiments: unknown mode %q (vanilla, pinned)", s)
+	return platform.ParseMode(s)
 }
 
 // WorkloadFor returns the named application's default workload, scaled for

@@ -1,0 +1,144 @@
+package experiments
+
+// The scenario registry: a name-indexed catalog of runnable scenarios. The
+// paper's figures register themselves at init (builtin.go); library users
+// register their own with RegisterScenario; the CLIs dispatch -fig /
+// -scenario through RunRegistered, so every experiment — canned or
+// user-defined — runs the same engine.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/platform"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Scenario{}
+)
+
+// RegisterScenario validates sc and adds it to the registry. Registering a
+// name twice is an error — scenarios are identities, not defaults to
+// override.
+func RegisterScenario(sc Scenario) error {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[sc.Name]; dup {
+		return fmt.Errorf("experiments: scenario %q already registered", sc.Name)
+	}
+	// Store a detached copy: the caller retains its slices and pointers,
+	// and later mutation of those must not rewrite the registration.
+	registry[sc.Name] = sc.detach()
+	return nil
+}
+
+// MustRegisterScenario is RegisterScenario for init-time registration.
+func MustRegisterScenario(sc Scenario) {
+	if err := RegisterScenario(sc); err != nil {
+		panic(err)
+	}
+}
+
+// ScenarioNames returns every registered name, sorted.
+func ScenarioNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// detach deep-copies a scenario so registry lookups hand out values whose
+// mutation — through any slice, pointer or raw-JSON field — cannot corrupt
+// the stored registration (scenarios are identities; see RegisterScenario).
+func (s Scenario) detach() Scenario {
+	s.SeedTag = append([]uint64(nil), s.SeedTag...)
+	s.Workload = s.Workload.clone()
+	series := make([]ScenarioSeries, len(s.Series))
+	for i, se := range s.Series {
+		if se.Platform != nil {
+			p := *se.Platform
+			se.Platform = &p
+		}
+		se.Stack.Layers = append([]platform.Layer(nil), se.Stack.Layers...)
+		se.Stack.Tenants = append([]platform.TenantSpec(nil), se.Stack.Tenants...)
+		if se.TenantWorkloads != nil {
+			tws := make([]WorkloadSpec, len(se.TenantWorkloads))
+			for ti, tw := range se.TenantWorkloads {
+				tws[ti] = *tw.clone()
+			}
+			se.TenantWorkloads = tws
+		}
+		series[i] = se
+	}
+	s.Series = series
+	cells := make([]ScenarioCell, len(s.Cells))
+	for i, c := range s.Cells {
+		c.Workload = c.Workload.clone()
+		cells[i] = c
+	}
+	s.Cells = cells
+	return s
+}
+
+// Scenarios returns every registered scenario in sorted-name order.
+func Scenarios() []Scenario {
+	names := ScenarioNames()
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Scenario, 0, len(names))
+	for _, name := range names {
+		out = append(out, registry[name].detach())
+	}
+	return out
+}
+
+// ScenarioByName looks a scenario up.
+func ScenarioByName(name string) (Scenario, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	sc, ok := registry[name]
+	return sc.detach(), ok
+}
+
+// UnknownScenarioError is the lookup failure every caller should surface:
+// it carries the sorted list of registered names.
+func UnknownScenarioError(name string) error {
+	return fmt.Errorf("experiments: unknown scenario %q (registered: %s)",
+		name, strings.Join(ScenarioNames(), ", "))
+}
+
+// RunRegistered runs the named scenario; unknown names fail with the
+// sorted registry listing.
+func RunRegistered(name string, cfg Config) (Figure, error) {
+	sc, ok := ScenarioByName(name)
+	if !ok {
+		return Figure{}, UnknownScenarioError(name)
+	}
+	return RunScenario(cfg, sc)
+}
+
+// ResolveScenario is the CLI -scenario resolution policy, shared by pinsim
+// and pinsweep: a registered name first, a JSON spec file second (so a
+// stray filename cannot shadow a registered scenario); an argument that is
+// neither fails with the sorted registry listing.
+func ResolveScenario(nameOrPath string) (Scenario, error) {
+	if sc, ok := ScenarioByName(nameOrPath); ok {
+		return sc, nil
+	}
+	if _, err := os.Stat(nameOrPath); err != nil {
+		return Scenario{}, UnknownScenarioError(nameOrPath)
+	}
+	return LoadScenario(nameOrPath)
+}

@@ -11,7 +11,10 @@ package experiments
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -134,19 +137,19 @@ func forEachTrial(cfg Config, n int, run func(i int) error) error {
 	return firstErr
 }
 
-// runTrial is runOne behind the memo: on a hit the simulation is skipped
+// runTrial is runStack behind the memo: on a hit the simulation is skipped
 // entirely and the cached result replayed. Trials with a MutateHost hook
 // bypass the memo — an arbitrary function cannot be fingerprinted.
-func runTrial(cfg Config, host *topology.Topology, spec platform.Spec, w workload.Workload, memGB int, seed uint64) (TrialResult, error) {
+func runTrial(cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) (TrialResult, error) {
 	if cfg.Memo == nil || cfg.MutateHost != nil {
-		v, bd, err := runOne(cfg, host, spec, w, memGB, seed)
+		v, bd, err := runStack(cfg, host, stack, size, ws, memGB, seed)
 		return TrialResult{Metric: v, Breakdown: bd}, err
 	}
-	key := trialKey(cfg, host, spec, w, memGB, seed)
+	key := trialKey(cfg, host, stack, size, ws, memGB, seed)
 	if r, ok := cfg.Memo.Get(key); ok {
 		return r, nil
 	}
-	v, bd, err := runOne(cfg, host, spec, w, memGB, seed)
+	v, bd, err := runStack(cfg, host, stack, size, ws, memGB, seed)
 	if err != nil {
 		return TrialResult{}, err
 	}
@@ -155,12 +158,38 @@ func runTrial(cfg Config, host *topology.Topology, spec platform.Spec, w workloa
 	return r, nil
 }
 
-// trialKey fingerprints everything runOne's result depends on: the seed,
-// the deployment spec, the host topology, the hypervisor calibration, the
-// time limit and the workload's concrete parameters (%+v covers Quick-mode
-// scaling, which shrinks workload fields rather than setting a flag).
-func trialKey(cfg Config, host *topology.Topology, spec platform.Spec, w workload.Workload, memGB int, seed uint64) uint64 {
-	fp := fmt.Sprintf("%d|%+v|%s|%+v|%d|%d|%s:%+v",
-		seed, spec, host.Fingerprint(), *cfg.HV, cfg.TimeLimit, memGB, w.Name(), w)
+// trialKey fingerprints everything runStack's result depends on: the seed,
+// the stack and instance size, the host topology, the hypervisor
+// calibration, the time limit and every tenant workload's concrete
+// parameters (%+v covers Quick-mode scaling, which shrinks workload fields
+// rather than setting a flag; workload parameter structs are value-only, so
+// the formatting is stable).
+func trialKey(cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) uint64 {
+	var wfp strings.Builder
+	for _, w := range ws {
+		fmt.Fprintf(&wfp, "%s:%+v;", w.Name(), w)
+	}
+	fp := fmt.Sprintf("%d|%s#%d|%s|%+v|%d|%d|%s",
+		seed, stack.Fingerprint(), size, host.Fingerprint(), *cfg.HV, cfg.TimeLimit, memGB, wfp.String())
 	return cache.HashKey(fp)
+}
+
+// memoMutateWarn emits the one-line notice that Config.MutateHost disables
+// Config.Memo, once per process; memoMutateWarnOut is a test seam.
+var (
+	memoMutateOnce    sync.Once
+	memoMutateWarnOut io.Writer = os.Stderr
+)
+
+// warnMemoMutateHost surfaces the documented MutateHost/Memo interaction
+// instead of silently ignoring the memo: every experiment entry point calls
+// it before fanning trials out.
+func warnMemoMutateHost(cfg Config) {
+	if cfg.Memo == nil || cfg.MutateHost == nil {
+		return
+	}
+	memoMutateOnce.Do(func() {
+		fmt.Fprintln(memoMutateWarnOut,
+			"experiments: warning: Config.MutateHost is set, so Config.Memo is ignored — an arbitrary host mutation cannot be fingerprinted into a cache key")
+	})
 }

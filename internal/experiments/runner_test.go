@@ -153,6 +153,40 @@ func BenchmarkQuickFig3Serial(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioDispatch measures everything the declarative engine
+// adds on top of raw trial execution for one figure run: registry lookup,
+// defaulting, validation, per-cell workload resolution (JSON overlay
+// included) and the spec fingerprint. The trials themselves are identical
+// either way (RunFigN is RunRegistered now), so this — not a second full
+// figure run — is the dispatch overhead. The CI gate asserts it stays
+// under 5% of the same-run QuickFig3Serial figure time (benchjson
+// -fraction), which both proves the "<5% dispatch tax" claim structurally
+// and catches anyone later making scenario interpretation expensive.
+func BenchmarkScenarioDispatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, ok := ScenarioByName("fig3")
+		if !ok {
+			b.Fatal("fig3 not registered")
+		}
+		sc = sc.withDefaults()
+		if err := sc.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range sc.Cells {
+			ws := c.Workload
+			if ws == nil {
+				ws = sc.Workload
+			}
+			if _, err := ws.Resolve(true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if sc.Fingerprint() == "" {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}
+
 func BenchmarkQuickFig3Parallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := RunFig3(Config{Quick: true, Reps: 2, Seed: 1234, Workers: 0}); err != nil {

@@ -35,6 +35,11 @@ func FigureSamples(f Figure, class core.AppClass, hostCPUs int) ([]model.Sample,
 		if si == f.BaselineIdx {
 			continue
 		}
+		// Stack-only scenario series carry no canned platform identity;
+		// their zero Spec would masquerade as Vanilla BM in the model fit.
+		if !s.HasPlatform {
+			continue
+		}
 		for ci, cell := range s.Cells {
 			if ci >= len(f.XLabels) || cell.OutOfRange || cell.Ratio <= 0 {
 				continue

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -23,55 +22,30 @@ import (
 )
 
 // WorkloadNames are the workload classes a sweep can request, in Table I
-// order. Each accepts the aliases listed by canonicalWorkload.
-var WorkloadNames = []string{"ffmpeg", "mpi", "wordpress", "cassandra"}
+// order plus the §VI network extension. Each accepts the aliases the driver
+// registry lists (workload.CanonicalDriver).
+var WorkloadNames = []string{"ffmpeg", "mpi", "wordpress", "cassandra", "microservice"}
 
-// canonicalWorkload maps a workload name or alias to its canonical sweep
+// canonicalWorkload maps a workload name or alias to its canonical driver
 // name. Everything downstream of the user-typed string — cell identity,
 // seed derivation, memo keys — uses the canonical name, so "web" and
 // "wordpress" describe the same cell and share simulations.
 func canonicalWorkload(name string) (string, error) {
-	switch strings.ToLower(name) {
-	case "ffmpeg", "transcode":
-		return "ffmpeg", nil
-	case "mpi", "openmpi":
-		return "mpi", nil
-	case "wordpress", "web":
-		return "wordpress", nil
-	case "cassandra", "nosql":
-		return "cassandra", nil
-	}
-	return "", fmt.Errorf("experiments: unknown workload %q (have %s)",
-		name, strings.Join(WorkloadNames, ", "))
+	return workload.CanonicalDriver(name)
 }
 
-// workloadByName builds a named workload class, applying the same
-// Quick-mode scaling the corresponding figure uses.
+// workloadByName builds a named workload class with its default driver
+// parameters, applying the same Quick-mode scaling the corresponding
+// figure uses.
 func workloadByName(cfg Config, name string) (workload.Workload, error) {
-	canon, err := canonicalWorkload(name)
+	d, err := workload.NewDriver(name)
 	if err != nil {
 		return nil, err
 	}
-	switch canon {
-	case "ffmpeg":
-		return transcodeFor(cfg, 1), nil
-	case "mpi":
-		w := workload.DefaultMPISearch()
-		if cfg.Quick {
-			w.Rounds /= 8
-			w.TotalCompute /= 8
-			w.ScatterBytes /= 8
-		}
-		return w, nil
-	case "wordpress":
-		w := workload.DefaultWeb()
-		if cfg.Quick {
-			w.Requests /= 4
-		}
-		return w, nil
-	default: // "cassandra"
-		return workload.DefaultNoSQL(), nil
+	if cfg.Quick {
+		d = d.ScaleQuick()
 	}
+	return d, nil
 }
 
 // SweepSpec defines a sweep grid: the cross product of every non-empty
@@ -154,6 +128,7 @@ type SweepResult struct {
 // bit-identical for any Config.Workers and any memo state.
 func Sweep(cfg Config, spec SweepSpec) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
+	warnMemoMutateHost(cfg)
 	spec = spec.withDefaults(cfg)
 
 	type cellPlan struct {
@@ -208,7 +183,8 @@ func Sweep(cfg Config, spec SweepSpec) (*SweepResult, error) {
 			uint64(pc.cell.Spec.Kind), uint64(pc.cell.Spec.Mode),
 			uint64(pc.cell.Cores), uint64(pc.cell.MemGB),
 			workloadTag(pc.cell.Workload), uint64(rep))
-		r, err := runTrial(cfg, cfg.Host, pc.cell.Spec, pc.w, pc.cell.MemGB, seed)
+		r, err := runTrial(cfg, cfg.Host, pc.cell.Spec.Stack(), pc.cell.Cores,
+			[]workload.Workload{pc.w}, pc.cell.MemGB, seed)
 		if err != nil {
 			return fmt.Errorf("sweep %s %s %dc/%dGB: %w",
 				pc.cell.Platform, pc.cell.Workload, pc.cell.Cores, pc.cell.MemGB, err)

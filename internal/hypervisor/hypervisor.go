@@ -128,32 +128,61 @@ func GuestTopology(spec VMSpec) (*topology.Topology, error) {
 // inherits the host's calibration (scheduler/cache/cgroup/IRQ params and
 // channels) with the virtualization overlay applied.
 func NewGuest(host machine.Config, spec VMSpec, p Params, seed uint64) (*machine.Machine, error) {
-	gtopo, err := GuestTopology(spec)
+	cfg, err := GuestConfig(host, spec, p, seed)
 	if err != nil {
 		return nil, err
+	}
+	return machine.New(cfg)
+}
+
+// GuestConfig derives the guest machine configuration for spec without
+// building the machine. It is the composable form of NewGuest: because the
+// result is itself a machine.Config, it can serve as the "host" of a further
+// GuestConfig call, which is how platform stacks express nested
+// virtualization (a VM inside a VM). Multiplicative and additive costs
+// compound across levels — compute tax on compute tax, a virtio overlay per
+// paravirtual hop, the physical host's NUMA spread all the way down — so a
+// deeper stack is strictly more expensive, while a single level reproduces
+// the historical overlay exactly (the physical host's ComputeTax is 1 and
+// its virtio costs are 0).
+func GuestConfig(host machine.Config, spec VMSpec, p Params, seed uint64) (machine.Config, error) {
+	gtopo, err := GuestTopology(spec)
+	if err != nil {
+		return machine.Config{}, err
 	}
 	cfg := host // copy calibration
 	cfg.Name = "vm-" + spec.Name
 	cfg.Topo = gtopo
 	cfg.Seed = seed
-	cfg.ComputeTax = p.CPUTax
-	// Guest memory is backed by host pages spread across the host's NUMA
-	// nodes; the interleave penalty follows the *host* socket count.
-	cfg.NUMASockets = host.Topo.Sockets
+	cfg.ComputeTax = host.ComputeTax * p.CPUTax
+	// Guest memory is backed by host pages spread across the *physical*
+	// host's NUMA nodes; the interleave penalty follows that socket count
+	// through every nesting level (a guest host already carries it in
+	// NUMASockets; a physical host derives it from its topology).
+	cfg.NUMASockets = host.NUMASockets
+	if cfg.NUMASockets == 0 {
+		cfg.NUMASockets = host.Topo.Sockets
+	}
 	cfg.IOScale = host.IOScale * p.IOScale
-	cfg.VirtioExtra = p.VirtioExtra
-	cfg.VirtioMiss = p.VirtioMiss
-	if spec.Pinned {
-		cfg.VirtioMissProb = 0
-		cfg.WanderStallRate = 0
-		cfg.WanderStallCost = 0
-	} else {
-		cfg.VirtioMissProb = p.VirtioMissProb
+	cfg.VirtioExtra = host.VirtioExtra + p.VirtioExtra
+	cfg.VirtioMiss = host.VirtioMiss + p.VirtioMiss
+	// Wander overheads compose across nesting levels: pinning THIS guest's
+	// vCPUs (to the CPUs of the level beneath) adds no wander of its own,
+	// but cannot undo an outer vanilla level's vCPUs floating on physical
+	// cores — so the pinned branch inherits the host-side values untouched
+	// (zero for physical hosts, reproducing the historical single-level
+	// behavior). A vanilla level adds its own wander on top: miss
+	// probabilities combine as independent events, stall rates add, and
+	// the per-stall cost keeps the dearest level's value.
+	if !spec.Pinned {
+		cfg.VirtioMissProb = 1 - (1-host.VirtioMissProb)*(1-p.VirtioMissProb)
 		if p.WanderIOScale > 0 {
 			cfg.IOScale *= p.WanderIOScale
 		}
-		cfg.WanderStallRate = p.WanderStallRate
-		cfg.WanderStallCost = p.WanderStallCost
+		cfg.WanderStallRate = host.WanderStallRate + p.WanderStallRate
+		if p.WanderStallCost > cfg.WanderStallCost {
+			cfg.WanderStallCost = p.WanderStallCost
+		}
 	}
 	cfg.MsgSyncCost = p.GuestMsgSyncCost
 	cfg.MsgCopyPerKB = sim.Time(float64(host.MsgCopyPerKB) * p.GuestMsgCopyScale)
@@ -175,5 +204,5 @@ func NewGuest(host machine.Config, spec VMSpec, p Params, seed uint64) (*machine
 	} else {
 		cfg.NestedSwitchCost = 0
 	}
-	return machine.New(cfg)
+	return cfg, nil
 }

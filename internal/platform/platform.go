@@ -11,12 +11,13 @@
 package platform
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 
 	"repro/internal/cgroups"
 	"repro/internal/container"
 	"repro/internal/hypervisor"
-	"repro/internal/irqsim"
 	"repro/internal/machine"
 	"repro/internal/topology"
 )
@@ -45,6 +46,43 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// ParseKind resolves a platform name ("bm", "VM", ...) to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "BM":
+		return BM, nil
+	case "VM":
+		return VM, nil
+	case "CN":
+		return CN, nil
+	case "VMCN":
+		return VMCN, nil
+	}
+	return 0, fmt.Errorf("platform: unknown kind %q (have BM, VM, CN, VMCN)", s)
+}
+
+// MarshalJSON encodes the kind by name, so scenario specs stay readable.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if k < BM || k > VMCN {
+		return nil, fmt.Errorf("platform: cannot marshal unknown kind %d", int(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
 // Mode is the CPU-provisioning mode.
 type Mode int
 
@@ -60,11 +98,44 @@ func (m Mode) String() string {
 	return "Vanilla"
 }
 
+// ParseMode resolves a provisioning-mode name to its Mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "vanilla", "":
+		return Vanilla, nil
+	case "pinned":
+		return Pinned, nil
+	}
+	return 0, fmt.Errorf("platform: unknown mode %q (have vanilla, pinned)", s)
+}
+
+// MarshalJSON encodes the mode by name.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	if m != Vanilla && m != Pinned {
+		return nil, fmt.Errorf("platform: cannot marshal unknown mode %d", int(m))
+	}
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON decodes a mode name.
+func (m *Mode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // Spec selects a platform deployment: kind, mode and instance size in cores.
 type Spec struct {
-	Kind  Kind
-	Mode  Mode
-	Cores int
+	Kind  Kind `json:"kind"`
+	Mode  Mode `json:"mode"`
+	Cores int  `json:"cores,omitempty"`
 }
 
 // Label renders the figure-legend name, e.g. "Pinned CN".
@@ -72,92 +143,46 @@ func (s Spec) Label() string { return s.Mode.String() + " " + s.Kind.String() }
 
 // Deployment is a platform instance ready to receive workload tasks.
 type Deployment struct {
+	// Spec is the canned platform spec this deployment came from (zero for
+	// deployments built directly from a Stack).
 	Spec Spec
-	// M is the machine tasks are spawned on (the host for BM/CN, the guest
-	// for VM/VMCN).
+	// Stack is the composable form the deployment was built from.
+	Stack Stack
+	// M is the machine tasks are spawned on: the host for BM/CN, the
+	// innermost guest for stacks with hypervisor layers.
 	M *machine.Machine
-	// Group is the container cgroup tasks must join (nil for BM/VM).
+	// Group is the container cgroup tasks must join (nil for BM/VM and for
+	// multi-tenant stacks, where each Slot carries its own).
 	Group *cgroups.Group
 	// Affinity is the task CPU restriction for BM core limiting (empty
 	// otherwise).
 	Affinity topology.CPUSet
-	// Container is set for CN/VMCN.
+	// Container is set when the stack has exactly one cgroup layer
+	// (CN/VMCN).
 	Container *container.Container
+	// Tenants always holds at least one slot: the co-located tenants of a
+	// multi-tenant stack, or the single implicit tenant otherwise.
+	Tenants []Slot
 }
 
-// Deploy builds a fresh deployment. host is the physical host calibration;
-// hv the hypervisor calibration; seed drives all the run's randomness.
+// Deploy builds a fresh deployment of one of the paper's canned platforms.
+// host is the physical host calibration; hv the hypervisor calibration;
+// seed drives all the run's randomness. The spec compiles to its composable
+// stack (Spec.Stack) and deploys through the same code path as arbitrary
+// stacks.
 func Deploy(spec Spec, host machine.Config, hv hypervisor.Params, seed uint64) (*Deployment, error) {
 	if spec.Cores <= 0 {
 		return nil, fmt.Errorf("platform: instance size must be positive, got %d", spec.Cores)
 	}
-	if spec.Cores > host.Topo.NumCPUs() {
-		return nil, fmt.Errorf("platform: instance size %d exceeds host's %d CPUs",
-			spec.Cores, host.Topo.NumCPUs())
-	}
-	d := &Deployment{Spec: spec}
-	switch spec.Kind {
-	case BM:
-		host.Seed = seed
-		m, err := machine.New(host)
-		if err != nil {
-			return nil, err
-		}
-		d.M = m
-		d.Affinity = host.Topo.InterleavedCPUs(spec.Cores)
-	case VM:
-		g, err := hypervisor.NewGuest(host, hypervisor.VMSpec{
-			Name:   fmt.Sprintf("vm%d", spec.Cores),
-			VCPUs:  spec.Cores,
-			Pinned: spec.Mode == Pinned,
-		}, hv, seed)
-		if err != nil {
-			return nil, err
-		}
-		d.M = g
-	case CN:
-		host.Seed = seed
-		m, err := machine.New(host)
-		if err != nil {
-			return nil, err
-		}
-		cn, err := container.Create(m, container.Spec{
-			Name:    fmt.Sprintf("cn%d", spec.Cores),
-			Cores:   spec.Cores,
-			Pinned:  spec.Mode == Pinned,
-			NearCPU: m.IRQ.Channel(irqsim.ChanDisk).Home,
-		})
-		if err != nil {
-			return nil, err
-		}
-		d.M = m
-		d.Group = cn.Group
-		d.Container = cn
-	case VMCN:
-		g, err := hypervisor.NewGuest(host, hypervisor.VMSpec{
-			Name:          fmt.Sprintf("vmcn%d", spec.Cores),
-			VCPUs:         spec.Cores,
-			Pinned:        spec.Mode == Pinned,
-			Containerized: true,
-		}, hv, seed)
-		if err != nil {
-			return nil, err
-		}
-		cn, err := container.Create(g, container.Spec{
-			Name:    fmt.Sprintf("cn-in-vm%d", spec.Cores),
-			Cores:   spec.Cores,
-			Pinned:  spec.Mode == Pinned,
-			NearCPU: g.IRQ.Channel(irqsim.ChanDisk).Home,
-		})
-		if err != nil {
-			return nil, err
-		}
-		d.M = g
-		d.Group = cn.Group
-		d.Container = cn
-	default:
+	stack := spec.Stack()
+	if len(stack.Layers) == 0 {
 		return nil, fmt.Errorf("platform: unknown kind %v", spec.Kind)
 	}
+	d, err := DeployStack(stack, spec.Cores, host, hv, seed)
+	if err != nil {
+		return nil, err
+	}
+	d.Spec = spec
 	return d, nil
 }
 

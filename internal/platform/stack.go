@@ -1,0 +1,429 @@
+package platform
+
+// The composable stack model. The paper's four execution platforms are four
+// fixed points in a larger space: an ordered list of layers — the physical
+// host, any number of nested hypervisor guests, and cgroup(s) on the
+// innermost machine — optionally shared by several co-located tenants. The
+// canned BM/VM/CN/VMCN specs compile to 4 small stacks (Spec.Stack), and the
+// same deployment code handles arbitrary depths (a container in a VM in a
+// VM) and multi-tenant co-location (K workloads sharing one host, each with
+// its own cgroup or affinity — the generalization of Fig 8's multitasking
+// pair), which is what the declarative scenario engine in
+// internal/experiments deploys.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cgroups"
+	"repro/internal/container"
+	"repro/internal/hypervisor"
+	"repro/internal/irqsim"
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+// LayerKind names one level of a platform stack.
+type LayerKind string
+
+const (
+	// LayerHost is the physical machine; every stack starts with one.
+	LayerHost LayerKind = "host"
+	// LayerGuest is a hypervisor guest on the machine beneath it.
+	LayerGuest LayerKind = "guest"
+	// LayerCgroup is a container cgroup on the innermost machine.
+	LayerCgroup LayerKind = "cgroup"
+)
+
+// Layer is one level of a composable platform stack, outermost first.
+type Layer struct {
+	Kind LayerKind `json:"kind"`
+	// Cores sizes the layer: vCPUs for a guest, provisioned cores for a
+	// cgroup, affinity width for a limited host. 0 inherits the deployment
+	// size.
+	Cores int `json:"cores,omitempty"`
+	// Pinned selects static placement for the layer: vcpupin for guests,
+	// --cpuset-cpus for cgroups. Meaningless on the host layer.
+	Pinned bool `json:"pinned,omitempty"`
+	// Limit, on the host layer, restricts tasks to Cores (or the deployment
+	// size) via interleaved affinity — the GRUB-style maxcpus= core
+	// limiting of the paper's bare-metal instances.
+	Limit bool `json:"limit,omitempty"`
+}
+
+// TenantSpec describes one of several co-located deployments sharing the
+// machine a stack's Layers produce. Pinned tenants receive disjoint cpusets
+// carved from a rolling allocation over the machine's CPUs (wrapping —
+// deliberately sharing cores — once demand exceeds the machine); vanilla
+// tenants receive CFS quotas and float.
+type TenantSpec struct {
+	Name string `json:"name,omitempty"`
+	// Cores provisioned for this tenant; 0 inherits the deployment size.
+	Cores int `json:"cores,omitempty"`
+	// Pinned selects a static cpuset instead of a floating quota.
+	Pinned bool `json:"pinned,omitempty"`
+	// NoCgroup drops the cgroup entirely: the tenant is a plain
+	// affinity-restricted process group (bare-metal-style co-location).
+	NoCgroup bool `json:"no_cgroup,omitempty"`
+}
+
+// Stack is an ordered platform composition: a host, optional nested guests,
+// optional cgroup layers, optionally shared by co-located tenants.
+type Stack struct {
+	Layers []Layer `json:"layers"`
+	// Tenants co-locate K independent deployments on the innermost machine;
+	// empty means one implicit tenant spanning the whole deployment.
+	// Tenants and cgroup layers are mutually exclusive: tenants define
+	// their own cgroups.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+}
+
+// Stack compiles the canned platform spec to its composable form:
+//
+//	BM    host(limit)
+//	VM    host / guest
+//	CN    host / cgroup
+//	VMCN  host / guest / cgroup
+//
+// with the mode applied as the guest/cgroup layers' Pinned flag. An unknown
+// Kind yields an empty (invalid) stack.
+func (s Spec) Stack() Stack {
+	pinned := s.Mode == Pinned
+	switch s.Kind {
+	case BM:
+		return Stack{Layers: []Layer{{Kind: LayerHost, Limit: true}}}
+	case VM:
+		return Stack{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerGuest, Pinned: pinned}}}
+	case CN:
+		return Stack{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerCgroup, Pinned: pinned}}}
+	case VMCN:
+		return Stack{Layers: []Layer{
+			{Kind: LayerHost},
+			{Kind: LayerGuest, Pinned: pinned},
+			{Kind: LayerCgroup, Pinned: pinned},
+		}}
+	}
+	return Stack{}
+}
+
+// Validate checks the stack's shape: exactly one host layer first, guests
+// before cgroups, tenants only on cgroup-free stacks.
+func (s Stack) Validate() error {
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("platform: stack has no layers")
+	}
+	if s.Layers[0].Kind != LayerHost {
+		return fmt.Errorf("platform: stack must start with a %q layer, got %q", LayerHost, s.Layers[0].Kind)
+	}
+	seenCgroup := false
+	for i, l := range s.Layers {
+		switch l.Kind {
+		case LayerHost:
+			if i != 0 {
+				return fmt.Errorf("platform: layer %d: only the first layer may be %q", i, LayerHost)
+			}
+		case LayerGuest:
+			if seenCgroup {
+				return fmt.Errorf("platform: layer %d: %q cannot sit inside a %q layer", i, LayerGuest, LayerCgroup)
+			}
+		case LayerCgroup:
+			seenCgroup = true
+		default:
+			return fmt.Errorf("platform: layer %d: unknown kind %q (have %q, %q, %q)",
+				i, l.Kind, LayerHost, LayerGuest, LayerCgroup)
+		}
+		if l.Cores < 0 {
+			return fmt.Errorf("platform: layer %d: negative cores %d", i, l.Cores)
+		}
+	}
+	if len(s.Tenants) > 0 && seenCgroup {
+		return fmt.Errorf("platform: tenants and cgroup layers are mutually exclusive (tenants define their own cgroups)")
+	}
+	for i, t := range s.Tenants {
+		if t.Cores < 0 {
+			return fmt.Errorf("platform: tenant %d: negative cores %d", i, t.Cores)
+		}
+	}
+	return nil
+}
+
+// Depth returns the number of machine levels (host plus nested guests).
+func (s Stack) Depth() int {
+	n := 0
+	for _, l := range s.Layers {
+		if l.Kind == LayerHost || l.Kind == LayerGuest {
+			n++
+		}
+	}
+	return n
+}
+
+// Fingerprint serializes the stack's full identity as a stable,
+// value-only string for memoization keys — no pointers, no map ordering
+// (cf. the Topology.Fingerprint lesson).
+func (s Stack) Fingerprint() string {
+	var b strings.Builder
+	for i, l := range s.Layers {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%s(c%d,p%t,l%t)", l.Kind, l.Cores, l.Pinned, l.Limit)
+	}
+	for _, t := range s.Tenants {
+		// %q: a delimiter inside a tenant name must not forge field
+		// boundaries in memo keys.
+		fmt.Fprintf(&b, "+%q(c%d,p%t,n%t)", t.Name, t.Cores, t.Pinned, t.NoCgroup)
+	}
+	return b.String()
+}
+
+// Label renders a compact human name for the stack, e.g. "host/guest/cgroup
+// ×3 tenants".
+func (s Stack) Label() string {
+	parts := make([]string, len(s.Layers))
+	for i, l := range s.Layers {
+		parts[i] = string(l.Kind)
+	}
+	out := strings.Join(parts, "/")
+	if n := len(s.Tenants); n > 0 {
+		out += fmt.Sprintf(" ×%d tenants", n)
+	}
+	return out
+}
+
+// Slot is one tenant's view of a deployment: where its tasks run and under
+// which restrictions.
+type Slot struct {
+	Name string
+	// Group is the cgroup the tenant's tasks join (nil for cgroup-free
+	// tenants).
+	Group *cgroups.Group
+	// Affinity is the tenant's CPU restriction (empty when the cgroup
+	// carries the restriction or the tenant floats).
+	Affinity topology.CPUSet
+	// Cores is the tenant's provisioned size (what the workload sizes
+	// itself to).
+	Cores int
+}
+
+// DeployStack builds a deployment from a composable stack. size is the
+// deployment's instance size in cores (Table II); layers and tenants with
+// Cores 0 inherit it. host is the physical host calibration; hv the
+// hypervisor calibration applied per guest layer; seed drives all the run's
+// randomness.
+//
+// Only the innermost machine is ever built: guest layers fold their
+// virtualization overlay over the configuration of the machine beneath them
+// (hypervisor.GuestConfig), exactly as the single-guest platforms did, so a
+// deeper stack pays the overlay repeatedly — compute tax on compute tax —
+// which is the cost model related work measures for nested
+// container-on-VM stacks.
+//
+// Nested cgroup layers fold into their effective constraint: the quota is
+// the tightest vanilla layer, the cpuset the tightest pinned layer (the
+// kernel enforces the intersection; the simulator folds it up front).
+func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Params, seed uint64) (*Deployment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("platform: instance size must be positive, got %d", size)
+	}
+	if size > host.Topo.NumCPUs() {
+		return nil, fmt.Errorf("platform: instance size %d exceeds host's %d CPUs",
+			size, host.Topo.NumCPUs())
+	}
+	if err := stack.Validate(); err != nil {
+		return nil, err
+	}
+
+	d := &Deployment{Stack: stack}
+	cfg := host
+	cfg.Seed = seed
+
+	// Split layers: machines (host + guests) first, then cgroups.
+	firstCgroup := len(stack.Layers)
+	lastGuest := -1
+	for i, l := range stack.Layers {
+		if l.Kind == LayerCgroup && i < firstCgroup {
+			firstCgroup = i
+		}
+		if l.Kind == LayerGuest {
+			lastGuest = i
+		}
+	}
+	hasCgroups := firstCgroup < len(stack.Layers)
+	tenantCgroups := false
+	for _, t := range stack.Tenants {
+		if !t.NoCgroup {
+			tenantCgroups = true
+		}
+	}
+
+	var affinity topology.CPUSet
+	depth := 0
+	for i, l := range stack.Layers[:firstCgroup] {
+		switch l.Kind {
+		case LayerHost:
+			if l.Limit || l.Cores > 0 {
+				n := l.Cores
+				if n == 0 {
+					n = size
+				}
+				if n > cfg.Topo.NumCPUs() {
+					return nil, fmt.Errorf("platform: host layer limit %d exceeds host's %d CPUs",
+						n, cfg.Topo.NumCPUs())
+				}
+				affinity = cfg.Topo.InterleavedCPUs(n)
+			}
+		case LayerGuest:
+			depth++
+			vcpus := l.Cores
+			if vcpus == 0 {
+				vcpus = size
+			}
+			if vcpus > cfg.Topo.NumCPUs() {
+				return nil, fmt.Errorf("platform: guest layer %d: %d vCPUs exceed the %d CPUs beneath it",
+					i, vcpus, cfg.Topo.NumCPUs())
+			}
+			// Only the innermost guest hosts the cgroups, so only it pays
+			// the nested-accounting (VMCN) overlay.
+			containerized := i == lastGuest && (hasCgroups || tenantCgroups)
+			base := "vm"
+			if containerized {
+				base = "vmcn"
+			}
+			name := fmt.Sprintf("%s%d", base, vcpus)
+			if depth > 1 {
+				name = fmt.Sprintf("%s-l%d", name, depth)
+			}
+			gcfg, err := hypervisor.GuestConfig(cfg, hypervisor.VMSpec{
+				Name:          name,
+				VCPUs:         vcpus,
+				Pinned:        l.Pinned,
+				Containerized: containerized,
+			}, hv, seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg = gcfg
+			// Tasks live inside the guest; any host-side affinity no longer
+			// applies to them.
+			affinity = topology.CPUSet{}
+		}
+	}
+
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.M = m
+	d.Affinity = affinity
+
+	// Cgroup layers on the innermost machine.
+	if hasCgroups {
+		cgLayers := stack.Layers[firstCgroup:]
+		base := "cn"
+		if depth > 0 {
+			base = "cn-in-vm"
+		}
+		if len(cgLayers) == 1 {
+			l := cgLayers[0]
+			cores := l.Cores
+			if cores == 0 {
+				cores = size
+			}
+			cn, err := container.Create(m, container.Spec{
+				Name:    fmt.Sprintf("%s%d", base, cores),
+				Cores:   cores,
+				Pinned:  l.Pinned,
+				NearCPU: m.IRQ.Channel(irqsim.ChanDisk).Home,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.Group = cn.Group
+			d.Container = cn
+		} else {
+			// Fold nested cgroups into their effective constraint.
+			quota := 0.0
+			pinnedCores := 0
+			for _, l := range cgLayers {
+				cores := l.Cores
+				if cores == 0 {
+					cores = size
+				}
+				if cores > m.Topo.NumCPUs() {
+					return nil, fmt.Errorf("platform: cgroup layer: %d cores exceed machine's %d CPUs",
+						cores, m.Topo.NumCPUs())
+				}
+				if l.Pinned {
+					if pinnedCores == 0 || cores < pinnedCores {
+						pinnedCores = cores
+					}
+				} else if quota == 0 || float64(cores) < quota {
+					quota = float64(cores)
+				}
+			}
+			var set topology.CPUSet
+			if pinnedCores > 0 {
+				set = m.Topo.PinPlan(pinnedCores, m.IRQ.Channel(irqsim.ChanDisk).Home)
+			}
+			d.Group = m.NewGroup(fmt.Sprintf("%s-x%d", base, len(cgLayers)), quota, set)
+		}
+	}
+
+	// Tenant slots: explicit co-location, or the single implicit tenant.
+	if len(stack.Tenants) == 0 {
+		d.Tenants = []Slot{{Name: "tenant0", Group: d.Group, Affinity: d.Affinity, Cores: size}}
+		return d, nil
+	}
+	// A host-layer Limit confines every tenant: pinned/affinity tenants
+	// carve their CPUs from the limited set, and floating (quota) tenants
+	// carry the limit as task affinity.
+	allowed := affinity.Slice()
+	if len(allowed) == 0 {
+		allowed = m.Topo.AllCPUs().Slice()
+	}
+	cursor := 0
+	for ti, t := range stack.Tenants {
+		cores := t.Cores
+		if cores == 0 {
+			cores = size
+		}
+		if cores > m.Topo.NumCPUs() {
+			return nil, fmt.Errorf("platform: tenant %d: %d cores exceed machine's %d CPUs",
+				ti, cores, m.Topo.NumCPUs())
+		}
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("tenant%d", ti)
+		}
+		slot := Slot{Name: name, Cores: cores}
+		switch {
+		case t.NoCgroup:
+			slot.Affinity = takeCPUs(allowed, &cursor, cores)
+		case t.Pinned:
+			slot.Group = m.NewGroup(name, 0, takeCPUs(allowed, &cursor, cores))
+		default:
+			slot.Group = m.NewGroup(name, float64(cores), topology.CPUSet{})
+			slot.Affinity = affinity
+		}
+		d.Tenants = append(d.Tenants, slot)
+	}
+	return d, nil
+}
+
+// takeCPUs carves the next n CPUs from a rolling cursor over the allowed
+// CPU ids, wrapping (and therefore sharing cores between tenants) once
+// demand exceeds the set — the deliberate-interference regime of
+// co-location studies.
+func takeCPUs(allowed []int, cursor *int, n int) topology.CPUSet {
+	total := len(allowed)
+	if n > total {
+		n = total
+	}
+	var s topology.CPUSet
+	for i := 0; i < n; i++ {
+		s.Add(allowed[(*cursor+i)%total])
+	}
+	*cursor = (*cursor + n) % total
+	return s
+}

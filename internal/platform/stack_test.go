@@ -1,0 +1,324 @@
+package platform
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/hypervisor"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func deployStack(t *testing.T, stack Stack, size int) *Deployment {
+	t.Helper()
+	d, err := DeployStack(stack, size, machine.HostDefaults(topology.PaperHost(), 1), hypervisor.DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestCannedStacksMatchLegacyDeploy locks the canned-stack compilation: for
+// every (kind, mode) the stack path must produce the same machine shape,
+// cgroup provisioning and affinity as the historical enum dispatch (whose
+// behavior the TestDeploy* tests above pin).
+func TestCannedStacksMatchLegacyDeploy(t *testing.T) {
+	for _, s := range StandardSeries() {
+		spec := Spec{Kind: s.Kind, Mode: s.Mode, Cores: 4}
+		d := deploy(t, spec)
+		if len(d.Tenants) != 1 {
+			t.Fatalf("%s: canned deployment must have one implicit tenant, got %d", spec.Label(), len(d.Tenants))
+		}
+		slot := d.Tenants[0]
+		if slot.Group != d.Group || !slot.Affinity.Equal(d.Affinity) || slot.Cores != 4 {
+			t.Fatalf("%s: implicit tenant slot diverges from legacy fields: %+v", spec.Label(), slot)
+		}
+		wantDepth := 1
+		if s.Kind == VM || s.Kind == VMCN {
+			wantDepth = 2
+		}
+		if got := d.Stack.Depth(); got != wantDepth {
+			t.Fatalf("%s: stack depth %d, want %d", spec.Label(), got, wantDepth)
+		}
+	}
+}
+
+func TestNestedGuestStackCompoundsOverlay(t *testing.T) {
+	single := deployStack(t, Stack{Layers: []Layer{
+		{Kind: LayerHost}, {Kind: LayerGuest, Pinned: true},
+	}}, 4)
+	double := deployStack(t, Stack{Layers: []Layer{
+		{Kind: LayerHost}, {Kind: LayerGuest, Pinned: true}, {Kind: LayerGuest, Pinned: true},
+	}}, 4)
+	if double.M.Topo.NumCPUs() != 4 {
+		t.Fatalf("innermost guest size %d", double.M.Topo.NumCPUs())
+	}
+	if double.M.Cfg.ComputeTax <= single.M.Cfg.ComputeTax {
+		t.Fatalf("nested guest must compound the compute tax: %v vs %v",
+			double.M.Cfg.ComputeTax, single.M.Cfg.ComputeTax)
+	}
+	if double.M.Cfg.IOScale <= single.M.Cfg.IOScale {
+		t.Fatalf("nested guest must compound the IO overlay: %v vs %v",
+			double.M.Cfg.IOScale, single.M.Cfg.IOScale)
+	}
+	// The physical host's NUMA spread follows the stack all the way down.
+	if double.M.Cfg.NUMASockets != topology.PaperHost().Sockets {
+		t.Fatalf("nested guest NUMASockets %d, want the physical host's %d",
+			double.M.Cfg.NUMASockets, topology.PaperHost().Sockets)
+	}
+}
+
+// TestPinnedInnerGuestKeepsOuterWander pins the wander composition rule: a
+// pinned inner guest binds its vCPUs to the outer VM's vCPUs, which cannot
+// stop the outer vanilla VM's vCPUs floating on physical cores — so the
+// outer level's wander overheads must survive into the inner config, and a
+// vanilla-in-vanilla stack must carry more than one level alone.
+func TestPinnedInnerGuestKeepsOuterWander(t *testing.T) {
+	outerVanilla := deployStack(t, Stack{Layers: []Layer{
+		{Kind: LayerHost}, {Kind: LayerGuest},
+	}}, 4)
+	pinnedInside := deployStack(t, Stack{Layers: []Layer{
+		{Kind: LayerHost}, {Kind: LayerGuest}, {Kind: LayerGuest, Pinned: true},
+	}}, 4)
+	if pinnedInside.M.Cfg.WanderStallRate < outerVanilla.M.Cfg.WanderStallRate ||
+		pinnedInside.M.Cfg.VirtioMissProb < outerVanilla.M.Cfg.VirtioMissProb {
+		t.Fatalf("pinning the inner guest erased the outer level's wander: %+v vs %+v",
+			pinnedInside.M.Cfg.WanderStallRate, outerVanilla.M.Cfg.WanderStallRate)
+	}
+	bothVanilla := deployStack(t, Stack{Layers: []Layer{
+		{Kind: LayerHost}, {Kind: LayerGuest}, {Kind: LayerGuest},
+	}}, 4)
+	if bothVanilla.M.Cfg.WanderStallRate <= outerVanilla.M.Cfg.WanderStallRate ||
+		bothVanilla.M.Cfg.VirtioMissProb <= outerVanilla.M.Cfg.VirtioMissProb {
+		t.Fatal("stacked vanilla guests must accumulate wander overhead")
+	}
+	// A pinned single guest still has no wander at all (the historical
+	// single-level behavior).
+	pinnedOnly := deployStack(t, Stack{Layers: []Layer{
+		{Kind: LayerHost}, {Kind: LayerGuest, Pinned: true},
+	}}, 4)
+	if pinnedOnly.M.Cfg.WanderStallRate != 0 || pinnedOnly.M.Cfg.VirtioMissProb != 0 {
+		t.Fatalf("pinned single guest must not wander: %+v", pinnedOnly.M.Cfg)
+	}
+}
+
+func TestDeepStackWithCgroupOnlyInnermostContainerized(t *testing.T) {
+	d := deployStack(t, Stack{Layers: []Layer{
+		{Kind: LayerHost},
+		{Kind: LayerGuest, Pinned: true},
+		{Kind: LayerGuest, Pinned: true},
+		{Kind: LayerCgroup, Pinned: true},
+	}}, 4)
+	if d.Group == nil || d.Group.CPUs.Count() != 4 {
+		t.Fatalf("innermost cgroup must be cpuset-provisioned: %v", d.Group)
+	}
+	if d.M.Cfg.NestedSwitchCost == 0 {
+		t.Fatal("containerized innermost guest must pay nested accounting")
+	}
+	if d.Container == nil {
+		t.Fatal("single cgroup layer keeps container bookkeeping")
+	}
+}
+
+func TestNestedCgroupLayersFoldToEffectiveConstraint(t *testing.T) {
+	d := deployStack(t, Stack{Layers: []Layer{
+		{Kind: LayerHost},
+		{Kind: LayerCgroup, Cores: 8},               // vanilla quota 8
+		{Kind: LayerCgroup, Cores: 4, Pinned: true}, // cpuset 4
+		{Kind: LayerCgroup, Cores: 6},               // vanilla quota 6
+	}}, 8)
+	if d.Group == nil {
+		t.Fatal("folded cgroup missing")
+	}
+	if d.Group.QuotaCores != 6 {
+		t.Fatalf("folded quota %v, want the tightest vanilla layer (6)", d.Group.QuotaCores)
+	}
+	if d.Group.CPUs.Count() != 4 {
+		t.Fatalf("folded cpuset %v, want the tightest pinned layer (4 CPUs)", d.Group.CPUs)
+	}
+}
+
+func TestMultiTenantSlots(t *testing.T) {
+	d := deployStack(t, Stack{
+		Layers: []Layer{{Kind: LayerHost}},
+		Tenants: []TenantSpec{
+			{Cores: 4, Pinned: true},
+			{Cores: 4, Pinned: true},
+			{Cores: 4},
+			{Cores: 2, NoCgroup: true},
+		},
+	}, 4)
+	if len(d.Tenants) != 4 {
+		t.Fatalf("tenant slots: %d", len(d.Tenants))
+	}
+	a, b := d.Tenants[0], d.Tenants[1]
+	if a.Group == nil || b.Group == nil {
+		t.Fatal("pinned tenants need cgroups")
+	}
+	if a.Group.CPUs.Intersect(b.Group.CPUs).Count() != 0 {
+		t.Fatalf("pinned tenants must receive disjoint cpusets: %v ∩ %v",
+			a.Group.CPUs, b.Group.CPUs)
+	}
+	if q := d.Tenants[2]; q.Group == nil || q.Group.QuotaCores != 4 || q.Group.CPUs.Count() != 0 {
+		t.Fatalf("vanilla tenant must float under a quota: %+v", q.Group)
+	}
+	if f := d.Tenants[3]; f.Group != nil || f.Affinity.Count() != 2 {
+		t.Fatalf("no-cgroup tenant must be a plain affinity slot: %+v", f)
+	}
+	// Multi-tenant deployments carry no single legacy group.
+	if d.Group != nil {
+		t.Fatal("multi-tenant deployment must not pick one tenant's group")
+	}
+}
+
+// TestHostLimitConfinesTenants locks the Limit × tenants interaction: a
+// limited host layer must confine every tenant — pinned tenants carve
+// their cpusets from the limited set, floating quota tenants carry it as
+// affinity — instead of silently spreading over the whole machine.
+func TestHostLimitConfinesTenants(t *testing.T) {
+	d := deployStack(t, Stack{
+		Layers: []Layer{{Kind: LayerHost, Limit: true, Cores: 8}},
+		Tenants: []TenantSpec{
+			{Cores: 4, Pinned: true},
+			{Cores: 4},
+			{Cores: 2, NoCgroup: true},
+		},
+	}, 8)
+	limit := topology.PaperHost().InterleavedCPUs(8)
+	if p := d.Tenants[0]; !p.Group.CPUs.IsSubsetOf(limit) {
+		t.Fatalf("pinned tenant escaped the host limit: %v ⊄ %v", p.Group.CPUs, limit)
+	}
+	if q := d.Tenants[1]; !q.Affinity.Equal(limit) {
+		t.Fatalf("quota tenant must float within the host limit: %v", q.Affinity)
+	}
+	if f := d.Tenants[2]; !f.Affinity.IsSubsetOf(limit) || f.Affinity.Count() != 2 {
+		t.Fatalf("affinity tenant escaped the host limit: %v", f.Affinity)
+	}
+}
+
+func TestTenantAllocationWrapsWhenOversubscribed(t *testing.T) {
+	host := machine.HostDefaults(topology.SmallHost16(), 1)
+	d, err := DeployStack(Stack{
+		Layers: []Layer{{Kind: LayerHost}},
+		Tenants: []TenantSpec{
+			{Cores: 12, Pinned: true},
+			{Cores: 12, Pinned: true},
+		},
+	}, 12, host, hypervisor.DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := d.Tenants[0].Group.CPUs.Intersect(d.Tenants[1].Group.CPUs)
+	if overlap.Count() == 0 {
+		t.Fatal("oversubscribed pinned tenants must wrap onto shared cores")
+	}
+}
+
+func TestMultiTenantStackRunsConcurrentWorkloads(t *testing.T) {
+	d := deployStack(t, Stack{
+		Layers:  []Layer{{Kind: LayerHost}},
+		Tenants: []TenantSpec{{Cores: 2, Pinned: true}, {Cores: 2, Pinned: true}, {Cores: 2}},
+	}, 2)
+	for i, slot := range d.Tenants {
+		d.M.Spawn(sched.TaskSpec{
+			Name:     "smoke",
+			Group:    slot.Group,
+			Affinity: slot.Affinity,
+			Program:  sched.Sequence(sched.Compute(sim.Time(i+1) * sim.Millisecond)),
+		}, 0)
+	}
+	res := d.M.Run(sim.Second)
+	if res.TimedOut || len(res.Responses) != 3 {
+		t.Fatalf("co-located smoke tasks failed: %+v", res)
+	}
+}
+
+func TestStackValidation(t *testing.T) {
+	host := machine.HostDefaults(topology.PaperHost(), 1)
+	hv := hypervisor.DefaultParams()
+	cases := []Stack{
+		{},                                    // no layers
+		{Layers: []Layer{{Kind: LayerGuest}}}, // no host first
+		{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerHost}}},                       // two hosts
+		{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerCgroup}, {Kind: LayerGuest}}}, // guest in cgroup
+		{Layers: []Layer{{Kind: LayerHost}, {Kind: "pod"}}},                           // unknown kind
+		{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerCgroup}},
+			Tenants: []TenantSpec{{Cores: 2}}}, // tenants + cgroup layers
+	}
+	for i, s := range cases {
+		if _, err := DeployStack(s, 2, host, hv, 1); err == nil {
+			t.Fatalf("case %d: invalid stack %v must fail", i, s)
+		}
+	}
+	if _, err := DeployStack(Spec{Kind: VM}.Stack(), 500, host, hv, 1); err == nil {
+		t.Fatal("oversize deployment must fail")
+	}
+}
+
+func TestStackFingerprintDistinguishesFields(t *testing.T) {
+	base := Stack{
+		Layers:  []Layer{{Kind: LayerHost}, {Kind: LayerGuest, Cores: 4}},
+		Tenants: nil,
+	}
+	mutants := []Stack{
+		{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerGuest, Cores: 8}}},
+		{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerGuest, Cores: 4, Pinned: true}}},
+		{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerGuest, Cores: 4}, {Kind: LayerGuest, Cores: 4}}},
+		{Layers: []Layer{{Kind: LayerHost}, {Kind: LayerCgroup, Cores: 4}}},
+		{Layers: base.Layers, Tenants: []TenantSpec{{Cores: 2}}},
+		{Layers: base.Layers, Tenants: []TenantSpec{{Cores: 2}, {Cores: 2}}},
+	}
+	fp := base.Fingerprint()
+	for i, m := range mutants {
+		if m.Fingerprint() == fp {
+			t.Fatalf("mutant %d fingerprints like the base: %s", i, fp)
+		}
+	}
+	if base.Fingerprint() != fp {
+		t.Fatal("fingerprint must be deterministic")
+	}
+}
+
+func TestStackJSONRoundTrip(t *testing.T) {
+	s := Stack{
+		Layers: []Layer{
+			{Kind: LayerHost},
+			{Kind: LayerGuest, Cores: 8, Pinned: true},
+			{Kind: LayerCgroup, Cores: 4},
+		},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stack
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != s.Fingerprint() {
+		t.Fatalf("JSON round-trip changed the stack: %s vs %s", back.Fingerprint(), s.Fingerprint())
+	}
+}
+
+func TestKindModeJSONNames(t *testing.T) {
+	data, err := json.Marshal(Spec{Kind: VMCN, Mode: Pinned, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"VMCN","mode":"Pinned","cores":4}`
+	if string(data) != want {
+		t.Fatalf("spec JSON %s, want %s", data, want)
+	}
+	var back Spec
+	if err := json.Unmarshal([]byte(`{"kind":"cn","mode":"vanilla"}`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != CN || back.Mode != Vanilla {
+		t.Fatalf("parsed %+v", back)
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"pod"}`), &back); err == nil {
+		t.Fatal("unknown kind must fail to parse")
+	}
+}

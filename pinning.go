@@ -54,6 +54,14 @@ type (
 	// PlatformSpec is a deployable (kind, mode, cores) combination — the
 	// series axis of figures and sweeps.
 	PlatformSpec = platform.Spec
+	// PlatformStack is the composable deployment form: host, nested guests,
+	// cgroups and co-located tenants (Spec.Stack() gives the canned four).
+	PlatformStack = platform.Stack
+	// PlatformLayer is one level of a PlatformStack.
+	PlatformLayer = platform.Layer
+	// TenantSpec describes one of several co-located deployments sharing
+	// the machine a stack produces.
+	TenantSpec = platform.TenantSpec
 
 	// ExperimentConfig controls figure regeneration, including the parallel
 	// trial fan-out (Workers), per-trial memoization (Memo) and the
@@ -61,6 +69,17 @@ type (
 	ExperimentConfig = experiments.Config
 	// Figure is a regenerated paper figure.
 	Figure = experiments.Figure
+
+	// Scenario is a declarative experiment: series (platform stacks,
+	// possibly multi-tenant) × cells (host, size, workload parameters),
+	// run by RunScenario and registrable for name dispatch.
+	Scenario = experiments.Scenario
+	// ScenarioSeries is one legend entry of a Scenario.
+	ScenarioSeries = experiments.ScenarioSeries
+	// ScenarioCell is one x-axis point of a Scenario.
+	ScenarioCell = experiments.ScenarioCell
+	// WorkloadSpec names a workload driver plus parameter overrides.
+	WorkloadSpec = experiments.WorkloadSpec
 
 	// SweepSpec defines an arbitrary experiment grid — platforms × CHR
 	// points × workloads × memory sizes — beyond the paper's fixed figures.
@@ -146,6 +165,29 @@ func RecommendedCHR(class AppClass) CHRBand { return core.RecommendedCHR(class) 
 
 // RunFigure regenerates paper figure n (3..8) from the simulator.
 func RunFigure(n int, cfg ExperimentConfig) (Figure, error) { return experiments.RunFigure(n, cfg) }
+
+// RunScenario executes a declarative scenario through the parallel trial
+// runner; output is bit-identical at any worker count.
+func RunScenario(sc Scenario, cfg ExperimentConfig) (Figure, error) {
+	return experiments.RunScenario(cfg, sc)
+}
+
+// RunNamedScenario runs a registered scenario ("fig3".."fig8",
+// "fig6-large", "net", or anything added via RegisterScenario); unknown
+// names fail with the sorted registry listing.
+func RunNamedScenario(name string, cfg ExperimentConfig) (Figure, error) {
+	return experiments.RunRegistered(name, cfg)
+}
+
+// RegisterScenario adds a user-defined scenario to the name registry.
+func RegisterScenario(sc Scenario) error { return experiments.RegisterScenario(sc) }
+
+// ScenarioNames lists every registered scenario, sorted.
+func ScenarioNames() []string { return experiments.ScenarioNames() }
+
+// LoadScenario reads a scenario from a JSON spec file (the `pinsim
+// -scenario` format).
+func LoadScenario(path string) (Scenario, error) { return experiments.LoadScenario(path) }
 
 // RunSweep runs a user-defined experiment grid through the parallel trial
 // runner (see cmd/pinsweep for the CLI form). Results are deterministic for
