@@ -16,6 +16,15 @@
 //	pinsim -reps 5 -seed 7 -quick
 //	pinsim -fig all -workers 8   # parallel trial fan-out (deterministic)
 //
+// Incremental and distributed runs (the durable trial store):
+//
+//	pinsim -fig all -quick -store runs/   # cold: simulate + persist
+//	pinsim -fig all -quick -store runs/   # warm: replay, 0 simulations
+//	pinsim -fig all -quick -shard 0/2 -store s0/   # machine 1 of 2
+//	pinsim -fig all -quick -shard 1/2 -store s1/   # machine 2 of 2
+//	pinsim -fig all -quick -merge s0/,s1/          # assemble, identical bytes
+//	pinsim -fig 3 -quick -store runs/ -v           # print store statistics
+//
 // Profiling (the paper's §III-A BCC methodology — cpudist/offcputime):
 //
 //	pinsim -profile -app cassandra -platform cn -mode vanilla -size xLarge
@@ -35,6 +44,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/irqsim"
 	"repro/internal/profiling"
+	"repro/internal/storecli"
 	"repro/internal/topology"
 )
 
@@ -62,6 +72,10 @@ func main() {
 		plat      = flag.String("platform", "cn", "profiled platform: bm, vm, cn, vmcn")
 		mode      = flag.String("mode", "vanilla", "profiled mode: vanilla, pinned")
 		size      = flag.String("size", "xLarge", "profiled instance type (Table II name)")
+		store     = flag.String("store", "", "durable trial store directory: results persist and repeat runs replay instead of simulating")
+		merge     = flag.String("merge", "", "comma list of trial store directories to load before running (assembles -shard runs)")
+		shard     = flag.String("shard", "", "run only shard i/n of every trial grid (e.g. 0/2); pair with -store, then assemble with -merge")
+		verbose   = flag.Bool("v", false, "print trial store statistics on stderr after the run")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -75,6 +89,18 @@ func main() {
 	defer stop()
 
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers}
+
+	sharded, finishStore, err := storecli.Apply("pinsim", &cfg, storecli.Options{
+		Store: *store, Merge: *merge, Shard: *shard, Workers: *workers, Verbose: *verbose,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer finishStore()
+	if sharded && (*chr || *decompose != 0 || *fitmodel || *profile) {
+		fatalf("-shard partitions plain trial grids; it does not support -chr, -decompose, -model or -profile")
+	}
+
 	out := os.Stdout
 	did := false
 
@@ -93,6 +119,13 @@ func main() {
 	}
 
 	render := func(f experiments.Figure) {
+		// A shard run computes a deterministic subset of the grid; its
+		// aggregate figure would be misleading, so rendering waits for the
+		// -merge run that assembles every shard's store.
+		if sharded {
+			fmt.Fprintf(os.Stderr, "pinsim: shard %s of %s complete — render with -merge once every shard has run\n", *shard, f.ID)
+			return
+		}
 		if *csv {
 			f.RenderCSV(out)
 		} else {

@@ -15,6 +15,15 @@
 //	pinsweep -quick -workers 4 -progress
 //	pinsweep -scenario fig7                      # run a registered scenario instead
 //	pinsweep -scenario run.json                  # or a user-defined JSON spec
+//
+// Incremental and distributed sweeps (the durable trial store):
+//
+//	pinsweep -cores 2,4,8 -store runs/           # cold: simulate + persist
+//	pinsweep -cores 2,4,8 -store runs/           # warm: replay, 0 simulations
+//	pinsweep -shard 0/2 -store s0/               # machine 1 of 2
+//	pinsweep -shard 1/2 -store s1/               # machine 2 of 2
+//	pinsweep -merge s0/,s1/                      # assemble the identical sweep
+//	pinsweep -store runs/ -v                     # print store statistics
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/platform"
 	"repro/internal/profiling"
+	"repro/internal/storecli"
 	"repro/internal/topology"
 )
 
@@ -51,6 +61,10 @@ func main() {
 		scenario  = flag.String("scenario", "", "run a registered scenario (by name) or a JSON spec file instead of a grid sweep")
 		format    = flag.String("format", "text", "output format: text, csv or json")
 		progress  = flag.Bool("progress", false, "report trial progress on stderr")
+		store     = flag.String("store", "", "durable trial store directory: results persist and repeat runs replay instead of simulating")
+		merge     = flag.String("merge", "", "comma list of trial store directories to load before running (assembles -shard runs)")
+		shardSpec = flag.String("shard", "", "run only shard i/n of the trial grid (e.g. 0/2); pair with -store, then assemble with -merge")
+		verbose   = flag.Bool("v", false, "print trial store statistics on stderr after the run")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -69,6 +83,13 @@ func main() {
 		Quick:   *quick,
 		Workers: *workers,
 	}
+	sharded, finishStore, err := storecli.Apply("pinsweep", &cfg, storecli.Options{
+		Store: *store, Merge: *merge, Shard: *shardSpec, Workers: *workers, Verbose: *verbose,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer finishStore()
 	switch *host {
 	case "paper", "":
 		// default host
@@ -87,7 +108,7 @@ func main() {
 	}
 
 	if *scenario != "" {
-		runScenario(cfg, *scenario, *format)
+		runScenario(cfg, *scenario, *format, sharded, *shardSpec)
 		return
 	}
 
@@ -102,6 +123,10 @@ func main() {
 	res, err := experiments.Sweep(cfg, spec)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if sharded {
+		fmt.Fprintf(os.Stderr, "pinsweep: shard %s complete — render with -merge once every shard has run\n", *shardSpec)
+		return
 	}
 	render(*format, res.RenderText, res.RenderCSV, res)
 }
@@ -126,8 +151,10 @@ func render(format string, text, csv func(w io.Writer), jsonVal any) {
 }
 
 // runScenario resolves -scenario (registered name or JSON spec file, see
-// experiments.ResolveScenario) and renders the resulting figure.
-func runScenario(cfg experiments.Config, nameOrPath, format string) {
+// experiments.ResolveScenario) and renders the resulting figure. A shard
+// run computes (and persists) its grid partition without rendering — the
+// -merge run assembles the full figure.
+func runScenario(cfg experiments.Config, nameOrPath, format string, sharded bool, shardSpec string) {
 	sc, err := experiments.ResolveScenario(nameOrPath)
 	if err != nil {
 		fatalf("%v", err)
@@ -135,6 +162,10 @@ func runScenario(cfg experiments.Config, nameOrPath, format string) {
 	f, err := experiments.RunScenario(cfg, sc)
 	if err != nil {
 		fatalf("scenario %s: %v", sc.Name, err)
+	}
+	if sharded {
+		fmt.Fprintf(os.Stderr, "pinsweep: shard %s of %s complete — render with -merge once every shard has run\n", shardSpec, sc.Name)
+		return
 	}
 	render(format, f.RenderText, f.RenderCSV, f)
 }

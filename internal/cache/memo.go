@@ -29,6 +29,19 @@ func HashKey(fingerprint string) uint64 {
 	return h
 }
 
+// HashBytes is HashKey for a byte slice — the same FNV-1a stream, so a
+// fingerprint hashes identically whether it travels as string or bytes.
+// The durable result store uses it both for canonical-encoding keys and
+// for record checksums.
+func HashBytes(p []byte) uint64 {
+	h := fnv64Offset
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= fnv64Prime
+	}
+	return h
+}
+
 // Memo is a concurrency-safe memoization table from 64-bit keys to computed
 // values. Any number of worker goroutines may Get and Put concurrently;
 // two workers racing to fill the same key is benign for deterministic
@@ -64,6 +77,28 @@ func (c *Memo[V]) Put(key uint64, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = v
+}
+
+// Contains reports whether key is stored without counting a hit or a miss —
+// the probe the durable store's append-dedup uses, which must not skew the
+// hit/miss audit.
+func (c *Memo[V]) Contains(key uint64) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.m[key]
+	return ok
+}
+
+// Range calls fn for every stored entry until fn returns false. Iteration
+// order is unspecified (map order); fn must not call back into the memo.
+func (c *Memo[V]) Range(fn func(key uint64, v V) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for k, v := range c.m {
+		if !fn(k, v) {
+			return
+		}
+	}
 }
 
 // Len returns the number of stored entries.

@@ -65,3 +65,34 @@ func TestMemoConcurrentAccess(t *testing.T) {
 		t.Fatalf("counter drift: hits=%d misses=%d", m.Hits(), m.Misses())
 	}
 }
+
+func TestMemoContainsDoesNotCount(t *testing.T) {
+	m := NewMemo[int]()
+	m.Put(1, 10)
+	if !m.Contains(1) || m.Contains(2) {
+		t.Fatal("Contains misreports membership")
+	}
+	if m.Hits() != 0 || m.Misses() != 0 {
+		t.Fatalf("Contains skewed the audit: hits=%d misses=%d", m.Hits(), m.Misses())
+	}
+}
+
+func TestMemoRangeVisitsEveryEntry(t *testing.T) {
+	m := NewMemo[int]()
+	for i := 0; i < 10; i++ {
+		m.Put(uint64(i), i*i)
+	}
+	seen := map[uint64]int{}
+	m.Range(func(k uint64, v int) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 10 || seen[3] != 9 {
+		t.Fatalf("Range saw %v", seen)
+	}
+	n := 0
+	m.Range(func(uint64, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored early stop: %d visits", n)
+	}
+}

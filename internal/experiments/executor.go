@@ -1,0 +1,180 @@
+package experiments
+
+// The pluggable trial-execution strategy. Every experiment in this package
+// reduces to a grid of independent trials addressed by index; an Executor
+// decides which of those indices run here and on how many goroutines,
+// while result placement stays index-addressed — so the assembled output
+// is bit-identical no matter which executor ran it. Serial is the legacy
+// single-goroutine loop, Pool the atomic-claim worker fan-out, and Shard a
+// deterministic partition of the grid for running one experiment across N
+// machines whose durable stores are merged afterwards.
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor runs the n independent trials of one grid.
+type Executor interface {
+	// Execute calls run(i) for the executor's share of indices 0..n-1 and
+	// reports the first (lowest-index) error among the trials it claimed.
+	// run must write its result into an index-addressed slot owned by that
+	// trial alone. progress, when non-nil, observes (done, total) after
+	// every completed trial — total is the number of trials this executor
+	// will run, and implementations serialize the calls.
+	Execute(n int, run func(i int) error, progress func(done, total int)) error
+}
+
+// Serial runs every trial in index order on the calling goroutine — the
+// legacy path, kept for A/B comparison and for callers whose MutateHost
+// hooks are not concurrency-safe.
+type Serial struct{}
+
+// Execute implements Executor.
+func (Serial) Execute(n int, run func(i int) error, progress func(done, total int)) error {
+	for i := 0; i < n; i++ {
+		if err := run(i); err != nil {
+			return err
+		}
+		if progress != nil {
+			progress(i+1, n)
+		}
+	}
+	return nil
+}
+
+// Pool fans trials out across a goroutine pool; workers claim indices from
+// a shared atomic counter. Workers 0 means GOMAXPROCS; 1 (or negative)
+// degrades to Serial — no goroutines at all.
+type Pool struct {
+	Workers int
+}
+
+// count resolves the pool size for n trials.
+func (p Pool) count(n int) int {
+	w := p.Workers
+	switch {
+	case w == 0:
+		w = runtime.GOMAXPROCS(0)
+	case w < 0:
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Execute implements Executor.
+func (p Pool) Execute(n int, run func(i int) error, progress func(done, total int)) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.count(n)
+	if workers == 1 {
+		return Serial{}.Execute(n, run, progress)
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		errIdx   = n
+	)
+	observe := func() {
+		mu.Lock()
+		done++
+		if progress != nil {
+			// The increment and the callback share one critical section so
+			// observed counts are strictly monotonic.
+			progress(done, n)
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := run(i); err != nil {
+					// Stop claiming new trials, but keep the lowest-index
+					// error among those already claimed: the failing claim
+					// outranks every index it prevented from running, so
+					// the reported error is as deterministic as in the
+					// serial path.
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					continue
+				}
+				observe()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Shard deterministically partitions the trial grid: shard Index of Count
+// owns every Count-th index starting at Index, so N shard runs with the
+// same grid cover every trial exactly once regardless of machine or
+// timing. Pair it with a durable store — each shard persists its
+// partition, and a later merge run assembles the identical figure with
+// zero recomputation.
+type Shard struct {
+	// Index identifies this shard, 0 ≤ Index < Count.
+	Index, Count int
+	// Inner executes the shard's subset (nil = Pool{}).
+	Inner Executor
+}
+
+// Execute implements Executor.
+func (s Shard) Execute(n int, run func(i int) error, progress func(done, total int)) error {
+	if s.Count <= 0 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("experiments: invalid shard %d/%d (want 0 ≤ index < count)", s.Index, s.Count)
+	}
+	idx := make([]int, 0, (n+s.Count-1)/s.Count)
+	for i := s.Index; i < n; i += s.Count {
+		idx = append(idx, i)
+	}
+	inner := s.Inner
+	if inner == nil {
+		inner = Pool{}
+	}
+	return inner.Execute(len(idx), func(j int) error { return run(idx[j]) }, progress)
+}
+
+// ParseShard parses the CLI -shard form "i/n" (0-based, e.g. "0/2", "1/2").
+func ParseShard(s string) (index, count int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("experiments: bad shard %q (want i/n, e.g. 0/2)", s)
+	}
+	index, err1 := strconv.Atoi(i)
+	count, err2 := strconv.Atoi(n)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("experiments: bad shard %q (want i/n, e.g. 0/2)", s)
+	}
+	if count <= 0 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("experiments: bad shard %q (want 0 ≤ i < n)", s)
+	}
+	return index, count, nil
+}

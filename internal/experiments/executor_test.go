@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardPartitionCoversEveryIndexOnce: the union of all shards runs
+// every index exactly once, and each shard's subset is the deterministic
+// modulo partition regardless of the inner executor.
+func TestShardPartitionCoversEveryIndexOnce(t *testing.T) {
+	const n = 101
+	for _, count := range []int{1, 2, 3, 7} {
+		var ran [n]atomic.Int64
+		for idx := 0; idx < count; idx++ {
+			err := Shard{Index: idx, Count: count, Inner: Pool{Workers: 3}}.Execute(n, func(i int) error {
+				if i%count != idx {
+					t.Errorf("shard %d/%d claimed index %d", idx, count, i)
+				}
+				ran[i].Add(1)
+				return nil
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range ran {
+			if c := ran[i].Load(); c != 1 {
+				t.Fatalf("count=%d: index %d ran %d times", count, i, c)
+			}
+		}
+	}
+}
+
+// TestShardProgressTotalIsSubsetSize: a shard reports progress against the
+// number of trials it will actually run, not the whole grid.
+func TestShardProgressTotalIsSubsetSize(t *testing.T) {
+	const n = 10
+	var last, total int
+	err := Shard{Index: 1, Count: 3, Inner: Serial{}}.Execute(n, func(i int) error { return nil },
+		func(done, tot int) { last, total = done, tot })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || last != 3 { // indices 1, 4, 7
+		t.Fatalf("progress reached %d/%d, want 3/3", last, total)
+	}
+}
+
+// TestShardRejectsBadBounds locks the validation error.
+func TestShardRejectsBadBounds(t *testing.T) {
+	for _, s := range []Shard{{Index: 0, Count: 0}, {Index: -1, Count: 2}, {Index: 2, Count: 2}} {
+		if err := s.Execute(5, func(int) error { return nil }, nil); err == nil {
+			t.Fatalf("shard %d/%d: expected an error", s.Index, s.Count)
+		}
+	}
+}
+
+// TestParseShard covers the CLI form.
+func TestParseShard(t *testing.T) {
+	i, n, err := ParseShard("1/2")
+	if err != nil || i != 1 || n != 2 {
+		t.Fatalf("ParseShard(1/2) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "2/2", "-1/2", "0/0", "a/b", "1/2/3"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Fatalf("ParseShard(%q): expected an error", bad)
+		}
+	}
+}
+
+// TestConfigExecutorOverridesPool: a Config-level executor replaces the
+// default pool for every grid the runner fans out.
+func TestConfigExecutorOverridesPool(t *testing.T) {
+	var claimed []int
+	cfg := Config{Executor: recordingExecutor{&claimed}}
+	if err := forEachTrial(cfg, 4, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(claimed) != 4 {
+		t.Fatalf("custom executor saw %d trials, want 4", len(claimed))
+	}
+}
+
+type recordingExecutor struct{ claimed *[]int }
+
+func (r recordingExecutor) Execute(n int, run func(i int) error, progress func(done, total int)) error {
+	for i := 0; i < n; i++ {
+		*r.claimed = append(*r.claimed, i)
+		if err := run(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestScenarioShardMergeEqualsUnsharded is the end-to-end shard contract:
+// two shard runs persisting into durable stores, merged into a warm store,
+// re-render a figure identical to the unsharded run — with zero
+// simulations in the merge run.
+func TestScenarioShardMergeEqualsUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick figure three times")
+	}
+	cfg := Config{Seed: 42, Quick: true, Workers: 2}
+	direct, err := RunRegistered("fig3", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for idx, dir := range dirs {
+		st, err := OpenTrialStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardCfg := cfg
+		shardCfg.Memo = st
+		shardCfg.Executor = Shard{Index: idx, Count: len(dirs), Inner: Pool{Workers: 2}}
+		if _, err := RunRegistered("fig3", shardCfg); err != nil {
+			t.Fatalf("shard %d: %v", idx, err)
+		}
+		if st.Misses() == 0 {
+			t.Fatalf("shard %d simulated nothing", idx)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	memo := NewTrialMemo()
+	if err := MergeTrialStores(memo, dirs...); err != nil {
+		t.Fatal(err)
+	}
+	mergeCfg := cfg
+	mergeCfg.Memo = memo
+	merged, err := RunRegistered("fig3", mergeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.Misses() != 0 {
+		t.Fatalf("merge run simulated %d trials, want 0", memo.Misses())
+	}
+	var a, b strings.Builder
+	direct.RenderText(&a)
+	merged.RenderText(&b)
+	if a.String() != b.String() {
+		t.Fatalf("merged figure diverged from the unsharded run:\n%s\nvs\n%s", b.String(), a.String())
+	}
+}

@@ -5,9 +5,12 @@
 //
 // Every experiment decomposes into a grid of independent trials — one
 // seeded simulation per (series, cell, repetition) — executed by the
-// parallel trial runner (runner.go): trials fan out across Config.Workers
-// goroutines with results that are bit-identical to a serial run, and an
-// optional Config.Memo skips trials that an earlier run already simulated.
+// trial runner (runner.go) through a pluggable Executor (executor.go):
+// trials fan out across Config.Workers goroutines (or a deterministic
+// shard of the grid, for multi-machine runs) with results that are
+// bit-identical to a serial run, and an optional Config.Memo — in-memory
+// memo or durable disk-backed store (trialstore.go) — skips trials that
+// an earlier run, in this process or any other, already simulated.
 // Beyond the paper's fixed figures, Sweep (sweep.go) runs arbitrary
 // user-defined grids of platforms × CHR points × workloads × memory sizes
 // through the same machinery; cmd/pinsweep is its CLI.
@@ -130,15 +133,23 @@ type Config struct {
 	// independent (series, cell, repetition) trials whose seeds are derived
 	// up front, so trials run on a pool of this many goroutines with
 	// bit-identical output to a serial run. 0 means GOMAXPROCS; 1 keeps the
-	// legacy serial path (no goroutines) for A/B comparison.
+	// legacy serial path (no goroutines) for A/B comparison. Ignored when
+	// Executor is set — wire the worker count into the executor instead
+	// (e.g. Shard{Inner: Pool{Workers: n}}).
 	Workers int
-	// Memo, when non-nil, caches per-trial results keyed by a hash of the
-	// trial's configuration fingerprint and seed. Repeated or overlapping
-	// runs that share a memo skip every already-simulated trial. Ignored
-	// while MutateHost is set — setting both logs a one-line warning (once
-	// per process) instead of failing, since a MutateHost ablation run may
-	// legitimately reuse a Config that carries a memo.
-	Memo *TrialMemo
+	// Executor overrides the trial-execution strategy (nil = Pool{Workers}):
+	// Serial, Pool, or Shard for running a deterministic partition of every
+	// trial grid on one of N machines (see executor.go).
+	Executor Executor
+	// Memo, when non-nil, stores per-trial results keyed by a versioned
+	// canonical encoding of the trial's full configuration and seed.
+	// Repeated or overlapping runs that share a store skip every
+	// already-simulated trial; a disk-backed store (OpenTrialStore) makes
+	// that incremental across processes and machines. Ignored while
+	// MutateHost is set — setting both logs a one-line warning (once per
+	// process) instead of failing, since a MutateHost ablation run may
+	// legitimately reuse a Config that carries a store.
+	Memo TrialStore
 	// Progress, when non-nil, is called after each completed trial with
 	// (done, total) — the long-sweep progress hook. Calls are serialized by
 	// the runner but may come from any worker goroutine.

@@ -72,6 +72,59 @@ func TestFigAllQuickWorkerInvariant(t *testing.T) {
 	}
 }
 
+// TestFigAllQuickStoreInvariant asserts the durable trial store cannot
+// change the golden fingerprint either: the full `-fig all -quick` byte
+// stream must match the committed golden when every trial is persisted to
+// a cold disk store, and again when a fresh store handle (a second
+// process, as far as the store can tell) replays all of it — with zero
+// simulations the second time.
+func TestFigAllQuickStoreInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates six figures twice")
+	}
+	golden, err := os.ReadFile("testdata/fig_all_quick.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	renderAll := func(st TrialStore) []byte {
+		var buf bytes.Buffer
+		for n := 3; n <= 8; n++ {
+			f, err := RunFigure(n, Config{Seed: 42, Quick: true, Workers: 2, Memo: st})
+			if err != nil {
+				t.Fatalf("figure %d: %v", n, err)
+			}
+			f.RenderText(&buf)
+		}
+		return buf.Bytes()
+	}
+
+	cold, err := OpenTrialStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(cold); !bytes.Equal(got, golden) {
+		t.Fatalf("cold store run diverged from the golden fingerprint\n got sha256 %s\nwant sha256 %s\nfirst divergence at byte %d",
+			shortHash(got), shortHash(golden), firstDiff(got, golden))
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := OpenTrialStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if got := renderAll(warm); !bytes.Equal(got, golden) {
+		t.Fatalf("warm store run diverged from the golden fingerprint\n got sha256 %s\nwant sha256 %s\nfirst divergence at byte %d",
+			shortHash(got), shortHash(golden), firstDiff(got, golden))
+	}
+	if misses := warm.Misses(); misses != 0 {
+		t.Fatalf("warm store run simulated %d trials, want 0", misses)
+	}
+}
+
 func shortHash(b []byte) string {
 	sum := sha256.Sum256(b)
 	return fmt.Sprintf("%x", sum[:8])

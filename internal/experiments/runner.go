@@ -1,24 +1,22 @@
 package experiments
 
-// The parallel trial runner. Every figure and sweep in this package reduces
-// to a grid of independent trials: one (series, cell, repetition) simulation
+// The trial runner. Every figure and sweep in this package reduces to a
+// grid of independent trials: one (series, cell, repetition) simulation
 // whose seed is derived up front with sim.Substream, so the trial's result
 // is a pure function of (Config, host, spec, workload, memGB, seed). That
-// purity is what makes fan-out safe: workers claim trial indices from an
-// atomic counter and write only their own result slot, so the assembled
-// figure is bit-identical no matter how many workers ran or how the OS
-// interleaved them — only the wall-clock changes.
+// purity is what makes both fan-out and durability safe: an Executor
+// (executor.go) decides which trials run here and on how many goroutines,
+// and a TrialStore (trialstore.go) replays any trial an earlier run — in
+// this process or any other — already simulated. Results are always
+// written to index-addressed slots, so the assembled figure is
+// bit-identical no matter how trials were scheduled, sharded or cached.
 
 import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"strings"
 	"sync"
-	"sync/atomic"
 
-	"repro/internal/cache"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/topology"
@@ -33,113 +31,24 @@ type TrialResult struct {
 	Breakdown sched.Breakdown
 }
 
-// TrialMemo caches TrialResults across runs, keyed by a hash of the trial's
-// full configuration fingerprint plus its seed (see trialKey). Share one
-// memo across repeated or overlapping sweeps to skip already-simulated
-// cells; it is safe for concurrent use by parallel workers.
-type TrialMemo = cache.Memo[TrialResult]
-
-// NewTrialMemo returns an empty trial memo for Config.Memo.
-func NewTrialMemo() *TrialMemo { return cache.NewMemo[TrialResult]() }
-
-// workerCount resolves Config.Workers to an actual pool size for n trials.
-func (c Config) workerCount(n int) int {
-	w := c.Workers
-	switch {
-	case w == 0:
-		w = runtime.GOMAXPROCS(0)
-	case w < 0:
-		w = 1
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
-// forEachTrial executes run(0..n-1) across the configured worker pool and
-// reports the first (lowest-index) error. Workers claim indices from a
-// shared atomic counter; run must write its result into an index-addressed
-// slot owned by that trial alone, which keeps assembled output independent
-// of scheduling order. Workers == 1 takes a plain loop with no goroutines —
-// the legacy serial path, kept for A/B comparison and for callers whose
-// MutateHost hooks are not concurrency-safe. cfg.Progress, when set, is
-// observed after every completed trial (serialized by a mutex in the
-// parallel case).
+// forEachTrial executes run(0..n-1) through the configured executor and
+// reports the first (lowest-index) error. The default is Pool{Workers:
+// cfg.Workers} — the atomic-claim worker fan-out, degrading to the legacy
+// serial loop at Workers 1. cfg.Progress, when set, is observed after
+// every completed trial.
 func forEachTrial(cfg Config, n int, run func(i int) error) error {
-	if n <= 0 {
-		return nil
+	ex := cfg.Executor
+	if ex == nil {
+		ex = Pool{Workers: cfg.Workers}
 	}
-	workers := cfg.workerCount(n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := run(i); err != nil {
-				return err
-			}
-			if cfg.Progress != nil {
-				cfg.Progress(i+1, n)
-			}
-		}
-		return nil
-	}
-
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-
-		mu       sync.Mutex
-		done     int
-		firstErr error
-		errIdx   = n
-	)
-	progress := func() {
-		mu.Lock()
-		done++
-		if cfg.Progress != nil {
-			// The increment and the callback share one critical section so
-			// observed counts are strictly monotonic.
-			cfg.Progress(done, n)
-		}
-		mu.Unlock()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := run(i); err != nil {
-					// Stop claiming new trials, but keep the lowest-index
-					// error among those already claimed: the failing claim
-					// outranks every index it prevented from running, so
-					// the reported error is as deterministic as in the
-					// serial path.
-					failed.Store(true)
-					mu.Lock()
-					if i < errIdx {
-						errIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					continue
-				}
-				progress()
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return ex.Execute(n, run, cfg.Progress)
 }
 
-// runTrial is runStack behind the memo: on a hit the simulation is skipped
-// entirely and the cached result replayed. Trials with a MutateHost hook
-// bypass the memo — an arbitrary function cannot be fingerprinted.
+// runTrial is runStack behind the trial store: on a hit the simulation is
+// skipped entirely and the stored result replayed — from memory within a
+// process, from disk across processes when the store is durable. Trials
+// with a MutateHost hook bypass the store — an arbitrary function cannot
+// be fingerprinted.
 func runTrial(cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) (TrialResult, error) {
 	if cfg.Memo == nil || cfg.MutateHost != nil {
 		v, bd, err := runStack(cfg, host, stack, size, ws, memGB, seed)
@@ -156,22 +65,6 @@ func runTrial(cfg Config, host *topology.Topology, stack platform.Stack, size in
 	r := TrialResult{Metric: v, Breakdown: bd}
 	cfg.Memo.Put(key, r)
 	return r, nil
-}
-
-// trialKey fingerprints everything runStack's result depends on: the seed,
-// the stack and instance size, the host topology, the hypervisor
-// calibration, the time limit and every tenant workload's concrete
-// parameters (%+v covers Quick-mode scaling, which shrinks workload fields
-// rather than setting a flag; workload parameter structs are value-only, so
-// the formatting is stable).
-func trialKey(cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) uint64 {
-	var wfp strings.Builder
-	for _, w := range ws {
-		fmt.Fprintf(&wfp, "%s:%+v;", w.Name(), w)
-	}
-	fp := fmt.Sprintf("%d|%s#%d|%s|%+v|%d|%d|%s",
-		seed, stack.Fingerprint(), size, host.Fingerprint(), *cfg.HV, cfg.TimeLimit, memGB, wfp.String())
-	return cache.HashKey(fp)
 }
 
 // memoMutateWarn emits the one-line notice that Config.MutateHost disables

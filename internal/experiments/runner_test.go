@@ -9,19 +9,19 @@ import (
 )
 
 func TestWorkerCountResolution(t *testing.T) {
-	if got := (Config{Workers: 1}).workerCount(100); got != 1 {
+	if got := (Pool{Workers: 1}).count(100); got != 1 {
 		t.Fatalf("Workers 1 → %d", got)
 	}
-	if got := (Config{Workers: 8}).workerCount(100); got != 8 {
+	if got := (Pool{Workers: 8}).count(100); got != 8 {
 		t.Fatalf("Workers 8 → %d", got)
 	}
-	if got := (Config{Workers: 8}).workerCount(3); got != 3 {
+	if got := (Pool{Workers: 8}).count(3); got != 3 {
 		t.Fatalf("8 workers for 3 trials → %d, want clamp to 3", got)
 	}
-	if got := (Config{Workers: -2}).workerCount(100); got != 1 {
+	if got := (Pool{Workers: -2}).count(100); got != 1 {
 		t.Fatalf("negative Workers → %d, want 1", got)
 	}
-	if got := (Config{}).workerCount(100); got < 1 {
+	if got := (Pool{}).count(100); got < 1 {
 		t.Fatalf("Workers 0 → %d, want ≥1 (GOMAXPROCS)", got)
 	}
 }

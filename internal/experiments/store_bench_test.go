@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// BenchmarkMemoHit is the in-memory baseline of the StoreHit gate: one Get
+// that hits the plain per-process memo, called through the TrialStore
+// interface exactly as the trial runner calls Config.Memo (a concrete-type
+// call would devirtualize and make the comparison measure dispatch, not
+// the store tier).
+func BenchmarkMemoHit(b *testing.B) {
+	var st TrialStore = NewTrialMemo()
+	st.Put(42, TrialResult{Metric: 1.5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Get(42); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkStoreHit measures the warm-hit path of the disk-backed store: a
+// Get whose record was loaded from a segment at open. CI holds it within
+// 10% of BenchmarkMemoHit in the same run (benchjson -fraction
+// StoreHit=MemoHit:1.10) — the durable tier must stay an open-time cost,
+// never a per-hit one.
+func BenchmarkStoreHit(b *testing.B) {
+	dir := b.TempDir()
+	st, err := OpenTrialStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.Put(42, TrialResult{Metric: 1.5})
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	warm, err := OpenTrialStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer warm.Close()
+	if warm.Stats().Loaded != 1 {
+		b.Fatal("record did not load from disk")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := warm.Get(42); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

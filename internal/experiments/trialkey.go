@@ -1,0 +1,134 @@
+package experiments
+
+// The durable trial key. A trial's store key fingerprints everything its
+// result depends on — seed, stack, instance size, host topology,
+// hypervisor calibration, time limit, memory and every tenant workload's
+// concrete parameters — as a canonical versioned encoding: explicit field
+// walks in declaration order, fixed-width little-endian values, a schema
+// version byte up front (resultstore.Enc). Reflective %+v formatting would
+// silently change meaning whenever a struct evolved; here evolution is
+// explicit: any change to a walked struct must extend the matching
+// append function AND bump trialKeySchema, at which point old durable
+// records simply stop matching and are recomputed. The pinned-literal and
+// field-coverage tests in trialkey_test.go enforce that discipline.
+
+import (
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/platform"
+	"repro/internal/resultstore"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// trialKeySchema versions the whole key encoding. Bump it whenever the
+// field walk below changes shape or meaning — including any field added to
+// hypervisor.Params or a workload driver struct.
+const trialKeySchema = 1
+
+// trialKey returns the durable store key of one trial.
+func trialKey(cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) uint64 {
+	var e resultstore.Enc
+	e.Version(trialKeySchema)
+	e.U64(seed)
+	e.Str(stack.Fingerprint())
+	e.Int(size)
+	e.Str(host.Fingerprint())
+	appendHVKey(&e, *cfg.HV)
+	e.I64(int64(cfg.TimeLimit))
+	e.Int(memGB)
+	e.Int(len(ws))
+	for _, w := range ws {
+		appendWorkloadKey(&e, w)
+	}
+	return e.Sum64()
+}
+
+// appendHVKey walks hypervisor.Params in declaration order.
+func appendHVKey(e *resultstore.Enc, p hypervisor.Params) {
+	e.Str("hv")
+	e.F64(p.CPUTax)
+	e.F64(p.IOScale)
+	e.F64(p.WanderIOScale)
+	e.I64(int64(p.VirtioExtra))
+	e.I64(int64(p.VirtioMiss))
+	e.F64(p.VirtioMissProb)
+	e.I64(int64(p.GuestMsgSyncCost))
+	e.F64(p.GuestMsgCopyScale)
+	e.F64(p.GuestNSCopyScale)
+	e.F64(p.GuestCNIOScale)
+	e.F64(p.GuestLineScale)
+	e.F64(p.GuestCacheScale)
+	e.I64(int64(p.GuestWakeExtra))
+	e.F64(p.WanderStallRate)
+	e.I64(int64(p.WanderStallCost))
+	e.I64(int64(p.NestedSwitchCost))
+	e.I64(int64(p.NestedSwitchMax))
+}
+
+// appendWorkloadKey walks one workload's concrete parameters. The five
+// registry drivers are encoded field by field in declaration order (this
+// covers Quick-mode scaling, which shrinks fields rather than setting a
+// flag). A workload type outside the registry falls back to the reflective
+// form — stable within a process, but carrying no durable schema
+// guarantee, which is exactly the contract arbitrary user types get.
+func appendWorkloadKey(e *resultstore.Enc, w workload.Workload) {
+	switch d := w.(type) {
+	case workload.Transcode:
+		e.Str("ffmpeg")
+		e.I64(int64(d.TotalWork))
+		e.Int(d.Threads)
+		e.Int(d.HeavyThreads)
+		e.F64(d.LightWorkFrac)
+		e.F64(d.SerialFrac)
+		e.I64(int64(d.PerProcessOverhead))
+		e.Int(d.Segments)
+	case workload.MPISearch:
+		e.Str("mpi")
+		e.Int(d.Ranks)
+		e.Int(d.Rounds)
+		e.I64(int64(d.TotalCompute))
+		e.I64(d.DataPerRound)
+		e.I64(d.ScatterBytes)
+		e.Int(d.AllreduceEvery)
+	case workload.Web:
+		e.Str("wordpress")
+		e.Int(d.Requests)
+		e.Int(d.Workers)
+		e.I64(int64(d.ParseCPU))
+		e.I64(int64(d.RenderCPU))
+		e.I64(int64(d.WriteCPU))
+		e.I64(int64(d.SocketLatency))
+		e.F64(d.DiskMissProb)
+	case workload.NoSQL:
+		e.Str("cassandra")
+		e.Int(d.Threads)
+		e.Int(d.Ops)
+		e.F64(d.WriteFrac)
+		e.I64(int64(d.Window))
+		e.I64(int64(d.OpCPU))
+		e.I64(int64(d.SocketLatency))
+		e.F64(d.DatasetGB)
+		e.F64(d.CacheEff)
+		e.F64(d.MinMiss)
+		e.Int(d.ReadMissIOs)
+		e.F64(d.CompactProb)
+		e.Int(d.ThrashMemGB)
+		e.Int(d.ThrashIOScale)
+		e.F64(d.ThrashCPUScale)
+	case workload.Microservice:
+		e.Str("microservice")
+		e.Int(d.Requests)
+		e.Int(d.Frontends)
+		e.Int(d.Backends)
+		e.I64(int64(d.ParseCPU))
+		e.I64(int64(d.RespondCPU))
+		e.I64(int64(d.HandleCPU))
+		e.I64(int64(d.SocketLatency))
+		e.I64(d.RPCBytes)
+	default:
+		e.Str("reflect")
+		e.Str(fmt.Sprintf("%s:%+v", w.Name(), w))
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hypervisor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestTrialKeyPinnedLiteral pins the durable key of a canned trial to a
+// literal value. Durable stores survive processes, so the key encoding is
+// an on-disk schema: if this test fails, the encoding changed — either
+// revert the accidental change, or (for an intentional one) bump
+// trialKeySchema and update the literals, accepting that existing stores
+// recompute.
+func TestTrialKeyPinnedLiteral(t *testing.T) {
+	cfg := Config{Seed: 42}.withDefaults()
+	stack := platform.Spec{Kind: platform.CN, Mode: platform.Pinned, Cores: 4}.Stack()
+	w := workload.DefaultTranscode()
+	got := trialKey(cfg, cfg.Host, stack, 4, []workload.Workload{w}, 16, 7)
+	const want = uint64(0x9f368ed2b23a1d51)
+	if got != want {
+		t.Fatalf("trialKey = %#016x, want %#016x — the durable key encoding changed; bump trialKeySchema if intentional", got, want)
+	}
+
+	// A second literal over a different driver/stack exercises the
+	// multi-field walks (NoSQL has the widest struct).
+	nos := workload.DefaultNoSQL()
+	vm := platform.Spec{Kind: platform.VMCN, Mode: platform.Vanilla, Cores: 8}.Stack()
+	got2 := trialKey(cfg, cfg.Host, vm, 8, []workload.Workload{nos}, 32, 9)
+	const want2 = uint64(0x541a453fbcf9355a)
+	if got2 != want2 {
+		t.Fatalf("trialKey(nosql) = %#016x, want %#016x — the durable key encoding changed; bump trialKeySchema if intentional", got2, want2)
+	}
+}
+
+// TestTrialKeySensitivity: every input the key claims to cover must
+// actually move it.
+func TestTrialKeySensitivity(t *testing.T) {
+	cfg := Config{Seed: 42}.withDefaults()
+	stack := platform.Spec{Kind: platform.CN, Mode: platform.Pinned, Cores: 4}.Stack()
+	w := workload.DefaultTranscode()
+	base := trialKey(cfg, cfg.Host, stack, 4, []workload.Workload{w}, 16, 7)
+
+	if trialKey(cfg, cfg.Host, stack, 4, []workload.Workload{w}, 16, 8) == base {
+		t.Fatal("seed change did not move the key")
+	}
+	if trialKey(cfg, cfg.Host, stack, 8, []workload.Workload{w}, 16, 7) == base {
+		t.Fatal("size change did not move the key")
+	}
+	if trialKey(cfg, cfg.Host, stack, 4, []workload.Workload{w}, 32, 7) == base {
+		t.Fatal("memGB change did not move the key")
+	}
+	w2 := w
+	w2.Threads++
+	if trialKey(cfg, cfg.Host, stack, 4, []workload.Workload{w2}, 16, 7) == base {
+		t.Fatal("workload field change did not move the key")
+	}
+	hv := *cfg.HV
+	hv.CPUTax *= 1.5
+	cfg2 := cfg
+	cfg2.HV = &hv
+	if trialKey(cfg2, cfg.Host, stack, 4, []workload.Workload{w}, 16, 7) == base {
+		t.Fatal("hypervisor calibration change did not move the key")
+	}
+	if trialKey(cfg, cfg.Host, stack, 4, []workload.Workload{w, w}, 16, 7) == base {
+		t.Fatal("tenant count change did not move the key")
+	}
+}
+
+// pinnedFields are the struct field walks the canonical encoders cover.
+// When a struct gains, loses, renames or reorders a field, this test fails
+// until both the matching append/codec function and the relevant schema
+// version (trialKeySchema / trialRecordSchema) are updated — the
+// discipline that keeps durable stores from silently replaying results
+// computed under a different model.
+var pinnedFields = map[string]struct {
+	v    any
+	want string
+}{
+	"hypervisor.Params": {hypervisor.Params{},
+		"CPUTax,IOScale,WanderIOScale,VirtioExtra,VirtioMiss,VirtioMissProb,GuestMsgSyncCost,GuestMsgCopyScale,GuestNSCopyScale,GuestCNIOScale,GuestLineScale,GuestCacheScale,GuestWakeExtra,WanderStallRate,WanderStallCost,NestedSwitchCost,NestedSwitchMax"},
+	"workload.Transcode": {workload.Transcode{},
+		"TotalWork,Threads,HeavyThreads,LightWorkFrac,SerialFrac,PerProcessOverhead,Segments"},
+	"workload.MPISearch": {workload.MPISearch{},
+		"Ranks,Rounds,TotalCompute,DataPerRound,ScatterBytes,AllreduceEvery"},
+	"workload.Web": {workload.Web{},
+		"Requests,Workers,ParseCPU,RenderCPU,WriteCPU,SocketLatency,DiskMissProb"},
+	"workload.NoSQL": {workload.NoSQL{},
+		"Threads,Ops,WriteFrac,Window,OpCPU,SocketLatency,DatasetGB,CacheEff,MinMiss,ReadMissIOs,CompactProb,ThrashMemGB,ThrashIOScale,ThrashCPUScale"},
+	"workload.Microservice": {workload.Microservice{},
+		"Requests,Frontends,Backends,ParseCPU,RespondCPU,HandleCPU,SocketLatency,RPCBytes"},
+	"sched.Breakdown": {sched.Breakdown{},
+		"UsefulWork,SwitchTime,MigrationTime,AcctTime,ChurnTime,ThrottleTime,IRQTime,VirtioTime,MsgTime,NestedTime,WanderTime,Switches,Migrations,Steals,Wakeups,IOs,Messages,Throttles"},
+	// These three reach the key through their string Fingerprint() rather
+	// than an append function; a new field on any of them must be folded
+	// into the matching Fingerprint (and trialKeySchema bumped) or a warm
+	// store would replay results across configs that now differ.
+	"platform.Stack": {platform.Stack{}, "Layers,Tenants"},
+	"platform.Layer": {platform.Layer{}, "Kind,Cores,Pinned,Limit"},
+	"platform.TenantSpec": {platform.TenantSpec{}, "Name,Cores,Pinned,NoCgroup"},
+	"topology.Topology": {topology.Topology{},
+		"Name,Sockets,CoresPerSocket,ThreadsPerCore,LLCMB,ClockGHz,idx"},
+}
+
+func TestCanonicalEncodersCoverEveryField(t *testing.T) {
+	for name, p := range pinnedFields {
+		typ := reflect.TypeOf(p.v)
+		var fields []string
+		for i := 0; i < typ.NumField(); i++ {
+			fields = append(fields, typ.Field(i).Name)
+		}
+		if got := strings.Join(fields, ","); got != p.want {
+			t.Errorf("%s fields changed:\n got  %s\n want %s\nupdate the canonical encoder (trialkey.go / trialstore.go) and bump its schema version, then re-pin this list",
+				name, got, p.want)
+		}
+	}
+}

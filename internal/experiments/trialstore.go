@@ -1,0 +1,123 @@
+package experiments
+
+// The typed trial-result store layer: TrialStore is resultstore.Store
+// instantiated for TrialResult, with the versioned canonical record codec
+// that makes results durable across processes. NewTrialMemo keeps the
+// historical in-memory behavior (and name); OpenTrialStore adds the
+// disk-backed tier, and MergeTrialStores assembles shard runs.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/resultstore"
+	"repro/internal/sim"
+)
+
+// TrialStore is the pluggable trial-result store behind Config.Memo: the
+// in-memory memo, or a durable disk-backed store whose results survive the
+// process and can be merged across shard runs.
+type TrialStore = resultstore.Store[TrialResult]
+
+// TrialMemo is the in-memory TrialStore tier — the historical per-process
+// memoization table. Share one across repeated or overlapping runs via
+// Config.Memo to skip already-simulated cells; it is safe for concurrent
+// use by parallel workers.
+type TrialMemo = resultstore.Mem[TrialResult]
+
+// NewTrialMemo returns an empty in-memory trial store for Config.Memo.
+func NewTrialMemo() *TrialMemo { return resultstore.NewMem[TrialResult]() }
+
+// OpenTrialStore opens (creating if needed) the durable trial store at
+// dir for Config.Memo: every intact record on disk is loaded at open, and
+// every newly-simulated trial is appended, so repeated runs are
+// incremental across processes. Corrupt or stale-schema records are
+// skipped with a warning and recomputed. Close the store to flush.
+func OpenTrialStore(dir string) (TrialStore, error) {
+	return resultstore.Open[TrialResult](dir, trialCodec{})
+}
+
+// openTrialStoreWarn is OpenTrialStore with a warning sink (test seam).
+func openTrialStoreWarn(dir string, warn io.Writer) (TrialStore, error) {
+	return resultstore.Open[TrialResult](dir, trialCodec{}, resultstore.WithWarnWriter(warn))
+}
+
+// MergeTrialStores loads every intact record of the trial stores at dirs
+// into dst — the shard-assembly path: after N `-shard i/N -store dir`
+// runs, one merge run unions the shard stores and re-renders the figure
+// with zero recomputation.
+func MergeTrialStores(dst TrialStore, dirs ...string) error {
+	return resultstore.Merge[TrialResult](dst, trialCodec{}, dirs)
+}
+
+// StoreStatsLine renders one store's counters for the CLIs' -v output.
+// The "misses" count is exactly the number of simulations the run had to
+// execute (every trial consults the store before simulating).
+func StoreStatsLine(st TrialStore) string {
+	s := st.Stats()
+	return fmt.Sprintf("store: %d hits, %d misses (%d simulations), %d records loaded, %d appended, %d corrupt skipped, %d entries, %d bytes on disk",
+		s.Hits, s.Misses, s.Misses, s.Loaded, s.Appended, s.Corrupt, s.Entries, s.DiskBytes)
+}
+
+// trialRecordSchema versions the durable TrialResult encoding. Bump it
+// whenever the record walk below changes — including any field added to
+// sched.Breakdown — so old records fail decoding and are recomputed
+// instead of being misread.
+const trialRecordSchema = 1
+
+// trialRecordLen is the fixed encoded size: version byte, Metric, the 11
+// Breakdown time channels, the 7 Breakdown event counters.
+const trialRecordLen = 1 + 8 + 11*8 + 7*8
+
+// trialCodec is the canonical versioned encoding of TrialResult (see
+// resultstore.Codec): explicit field order, fixed widths, exact float bit
+// patterns — a stored trial replays bit-identically to a simulated one.
+type trialCodec struct{}
+
+// Append implements resultstore.Codec.
+func (trialCodec) Append(dst []byte, r TrialResult) []byte {
+	var e resultstore.Enc
+	e.Version(trialRecordSchema)
+	e.F64(r.Metric)
+	b := &r.Breakdown
+	for _, t := range [...]sim.Time{
+		b.UsefulWork, b.SwitchTime, b.MigrationTime, b.AcctTime, b.ChurnTime,
+		b.ThrottleTime, b.IRQTime, b.VirtioTime, b.MsgTime, b.NestedTime, b.WanderTime,
+	} {
+		e.I64(int64(t))
+	}
+	for _, c := range [...]uint64{
+		b.Switches, b.Migrations, b.Steals, b.Wakeups, b.IOs, b.Messages, b.Throttles,
+	} {
+		e.U64(c)
+	}
+	return append(dst, e.Bytes()...)
+}
+
+// Decode implements resultstore.Codec.
+func (trialCodec) Decode(payload []byte) (TrialResult, error) {
+	if len(payload) != trialRecordLen {
+		return TrialResult{}, fmt.Errorf("trial record is %d bytes, want %d", len(payload), trialRecordLen)
+	}
+	if payload[0] != trialRecordSchema {
+		return TrialResult{}, fmt.Errorf("trial record schema %d, want %d", payload[0], trialRecordSchema)
+	}
+	d := resultstore.NewDec(payload[1:])
+	var r TrialResult
+	r.Metric = d.F64()
+	for _, t := range [...]*sim.Time{
+		&r.Breakdown.UsefulWork, &r.Breakdown.SwitchTime, &r.Breakdown.MigrationTime,
+		&r.Breakdown.AcctTime, &r.Breakdown.ChurnTime, &r.Breakdown.ThrottleTime,
+		&r.Breakdown.IRQTime, &r.Breakdown.VirtioTime, &r.Breakdown.MsgTime,
+		&r.Breakdown.NestedTime, &r.Breakdown.WanderTime,
+	} {
+		*t = sim.Time(d.I64())
+	}
+	for _, c := range [...]*uint64{
+		&r.Breakdown.Switches, &r.Breakdown.Migrations, &r.Breakdown.Steals,
+		&r.Breakdown.Wakeups, &r.Breakdown.IOs, &r.Breakdown.Messages, &r.Breakdown.Throttles,
+	} {
+		*c = d.U64()
+	}
+	return r, nil
+}

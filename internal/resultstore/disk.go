@@ -1,0 +1,377 @@
+package resultstore
+
+// The on-disk tier. A store directory holds append-only segment files
+// (seg-NNNNNN.psr); each process that writes opens its own fresh segment
+// with O_EXCL, so concurrent writers — shard runs on a shared filesystem,
+// overlapping local runs — never interleave bytes. The index is the
+// in-memory tier itself, rebuilt at open by scanning every segment; there
+// is no separate index file to go stale or corrupt.
+//
+// Segment layout:
+//
+//	[8B magic "PSRSEG1\n"]
+//	record*: [8B key][4B payload len][payload][8B FNV-1a of key+len+payload]
+//
+// all little-endian. The scan trusts nothing it cannot prove: a segment
+// without the magic is skipped whole; a record whose length field is
+// implausible or runs past EOF ends the segment (a torn final write, the
+// crash case); a record whose checksum fails is skipped individually when
+// the corruption is in the payload (the length field still frames the next
+// record, so the scan resyncs there); a payload the Codec rejects (wrong
+// schema version) is skipped with a warning. A flip inside the length
+// field itself cannot be told apart from a valid frame until the checksum
+// fails, so it may desync the scan and cost the rest of that segment —
+// the deliberate trade for a 20-byte record overhead: every failure mode
+// degrades to recomputation (bounded by one segment), never to bad data.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cache"
+)
+
+const (
+	segMagic = "PSRSEG1\n"
+	// segPrefix/segSuffix frame segment file names: seg-000001.psr.
+	segPrefix = "seg-"
+	segSuffix = ".psr"
+	// recHeaderLen is key (8) + payload length (4).
+	recHeaderLen = 12
+	// recSumLen is the trailing checksum.
+	recSumLen = 8
+	// MaxPayload bounds one record's payload; anything larger in a length
+	// field is treated as corruption, which also stops a desynced scan
+	// from allocating garbage.
+	MaxPayload = 1 << 20
+)
+
+// Codec converts values to and from their durable byte form. Encodings
+// must be canonical and versioned (see Enc): Append writes the schema
+// version first, Decode rejects payloads it does not understand — the
+// rejection is what turns schema evolution into recomputation instead of
+// misreading.
+type Codec[V any] interface {
+	// Append serializes v onto dst and returns the extended slice.
+	Append(dst []byte, v V) []byte
+	// Decode parses one durable payload.
+	Decode(payload []byte) (V, error)
+}
+
+// Option configures Open and Merge.
+type Option func(*options)
+
+type options struct {
+	warn io.Writer
+}
+
+// WithWarnWriter routes corruption warnings (default os.Stderr).
+func WithWarnWriter(w io.Writer) Option {
+	return func(o *options) { o.warn = w }
+}
+
+// Disk is the durable Store tier: an in-memory index/cache over append-only
+// segment files. Get is a pure memory-tier lookup (the open scan loads
+// every intact record), Put appends one record to this process's segment.
+type Disk[V any] struct {
+	dir   string
+	codec Codec[V]
+	memo  *cache.Memo[V]
+	warn  io.Writer
+
+	mu        sync.Mutex
+	seg       *os.File // this process's segment; created lazily on first Put
+	nextSeg   int      // next segment number to try for O_EXCL creation
+	loaded    uint64
+	appended  uint64
+	corrupt   uint64
+	diskBytes int64
+}
+
+// Open opens (creating if needed) the store directory at dir, scans every
+// segment into the in-memory index, and returns the store. Corrupt or
+// undecodable records are skipped with a warning and will simply be
+// recomputed and re-appended by the run.
+func Open[V any](dir string, codec Codec[V], opts ...Option) (*Disk[V], error) {
+	o := options{warn: os.Stderr}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	d := &Disk[V]{dir: dir, codec: codec, memo: cache.NewMemo[V](), warn: o.warn, nextSeg: 1}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		if s.n >= d.nextSeg {
+			d.nextSeg = s.n + 1
+		}
+		loaded, corrupt, bytes := scanSegment(s.path, codec, d.warn, d.memo.Put)
+		d.loaded += loaded
+		d.corrupt += corrupt
+		d.diskBytes += bytes
+	}
+	return d, nil
+}
+
+// Dir returns the store's directory.
+func (d *Disk[V]) Dir() string { return d.dir }
+
+// Get implements Store: a memory-tier lookup (every intact durable record
+// was loaded at open).
+func (d *Disk[V]) Get(key uint64) (V, bool) { return d.memo.Get(key) }
+
+// Put implements Store: index the value and append one durable record.
+// Re-puts of a resident key are dropped (values are deterministic, so the
+// record on disk is already correct) — merges and racing workers cannot
+// bloat the store.
+func (d *Disk[V]) Put(key uint64, v V) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.memo.Contains(key) {
+		return
+	}
+	d.memo.Put(key, v)
+	if err := d.append(key, v); err != nil {
+		// The run is still correct without the record — it just will not
+		// be incremental. Surface the degradation once per failure.
+		fmt.Fprintf(d.warn, "resultstore: %s: append failed: %v (run continues, result not persisted)\n", d.dir, err)
+	}
+}
+
+// append writes one record to this process's segment, creating the segment
+// on first use. Callers hold d.mu.
+func (d *Disk[V]) append(key uint64, v V) error {
+	if d.seg == nil {
+		for {
+			path := filepath.Join(d.dir, fmt.Sprintf("%s%06d%s", segPrefix, d.nextSeg, segSuffix))
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+			d.nextSeg++
+			if err == nil {
+				if _, err := f.Write([]byte(segMagic)); err != nil {
+					f.Close()
+					return err
+				}
+				d.seg = f
+				d.diskBytes += int64(len(segMagic))
+				break
+			}
+			if !os.IsExist(err) {
+				return err
+			}
+			// Another process claimed this number between our open-scan and
+			// now; try the next one.
+		}
+	}
+	rec := make([]byte, 0, recHeaderLen+recSumLen+64)
+	rec = binary.LittleEndian.AppendUint64(rec, key)
+	rec = append(rec, 0, 0, 0, 0) // payload length, patched below
+	rec = d.codec.Append(rec, v)
+	payloadLen := len(rec) - recHeaderLen
+	if payloadLen > MaxPayload {
+		return fmt.Errorf("record payload %d bytes exceeds MaxPayload", payloadLen)
+	}
+	binary.LittleEndian.PutUint32(rec[8:], uint32(payloadLen))
+	rec = binary.LittleEndian.AppendUint64(rec, sumRecord(rec[:recHeaderLen+payloadLen]))
+	// One Write call per record: either the whole record lands or the tail
+	// is torn, and the open scan discards torn tails.
+	if _, err := d.seg.Write(rec); err != nil {
+		return err
+	}
+	d.appended++
+	d.diskBytes += int64(len(rec))
+	return nil
+}
+
+// Len implements Store.
+func (d *Disk[V]) Len() int { return d.memo.Len() }
+
+// Hits implements Store.
+func (d *Disk[V]) Hits() uint64 { return d.memo.Hits() }
+
+// Misses implements Store.
+func (d *Disk[V]) Misses() uint64 { return d.memo.Misses() }
+
+// Stats implements Store.
+func (d *Disk[V]) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := Stats{Hits: d.memo.Hits(), Misses: d.memo.Misses(), Entries: d.memo.Len()}
+	s.Loaded = d.loaded
+	s.Appended = d.appended
+	s.Corrupt = d.corrupt
+	s.DiskBytes = d.diskBytes
+	return s
+}
+
+// Close implements Store: syncs and closes this process's segment. The
+// store directory itself is a cache — deleting it at any time is safe and
+// only costs recomputation.
+func (d *Disk[V]) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seg == nil {
+		return nil
+	}
+	f := d.seg
+	d.seg = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Merge loads every intact record of the stores at dirs into dst — the
+// shard-assembly path: N shard runs each persist their partition, and one
+// merge run unions the stores into a single warm index (persisting the
+// union too, when dst is itself disk-backed). A missing directory is an
+// error: a typo'd shard path must not silently assemble a partial figure.
+func Merge[V any](dst Store[V], codec Codec[V], dirs []string, opts ...Option) error {
+	o := options{warn: os.Stderr}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return fmt.Errorf("resultstore: merge: %q is not a store directory", dir)
+		}
+		segs, err := listSegments(dir)
+		if err != nil {
+			return err
+		}
+		var merged, corrupt uint64
+		for _, s := range segs {
+			loaded, bad, _ := scanSegment(s.path, codec, o.warn, dst.Put)
+			merged += loaded
+			corrupt += bad
+		}
+		// Fold the merge into the destination's audit counters: a
+		// disk-backed destination counts merged records as loaded (its Put
+		// already persisted the new ones), an in-memory one tracks them on
+		// its own merge counters — either way the -v stats line reports
+		// corruption met along the way instead of dropping it.
+		switch d := dst.(type) {
+		case *Disk[V]:
+			d.mu.Lock()
+			d.loaded += merged
+			d.corrupt += corrupt
+			d.mu.Unlock()
+		case *Mem[V]:
+			d.merged.Add(merged)
+			d.corrupt.Add(corrupt)
+		}
+	}
+	return nil
+}
+
+// segment is one discovered segment file.
+type segment struct {
+	path string
+	n    int
+}
+
+// listSegments returns dir's segment files in creation order.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var out []segment
+	for _, e := range entries {
+		n, ok := segmentNumber(e.Name())
+		if !ok || e.IsDir() {
+			continue
+		}
+		out = append(out, segment{path: filepath.Join(dir, e.Name()), n: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].n < out[j].n })
+	return out, nil
+}
+
+// segmentNumber parses an exact segment file name — segPrefix, digits,
+// segSuffix, nothing else — so backup copies (seg-000001.psr.bak) and
+// editor/rsync temp files never scan (or double-load) as segments.
+func segmentNumber(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if mid == "" {
+		return 0, false
+	}
+	n := 0
+	for _, c := range []byte(mid) {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// sumRecord checksums a record's key+len+payload bytes.
+func sumRecord(rec []byte) uint64 {
+	return cache.HashBytes(rec)
+}
+
+// scanSegment walks one segment, calling put for every provably-intact,
+// decodable record. It returns how many records were loaded, how many were
+// skipped as corrupt, and the segment's byte size (counted whole — corrupt
+// bytes still occupy disk).
+func scanSegment[V any](path string, codec Codec[V], warn io.Writer, put func(key uint64, v V)) (loaded, corrupt uint64, size int64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(warn, "resultstore: %s: unreadable segment: %v (its results will be recomputed)\n", path, err)
+		return 0, 1, 0
+	}
+	size = int64(len(data))
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		fmt.Fprintf(warn, "resultstore: %s: bad segment header — skipping segment (its results will be recomputed)\n", path)
+		return 0, 1, size
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		if len(data)-off < recHeaderLen+recSumLen {
+			fmt.Fprintf(warn, "resultstore: %s: torn record at offset %d — dropping tail (will be recomputed)\n", path, off)
+			corrupt++
+			break
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off+8:]))
+		end := off + recHeaderLen + payloadLen + recSumLen
+		if payloadLen > MaxPayload || end > len(data) {
+			fmt.Fprintf(warn, "resultstore: %s: torn or corrupt record at offset %d — dropping tail (will be recomputed)\n", path, off)
+			corrupt++
+			break
+		}
+		body := data[off : off+recHeaderLen+payloadLen]
+		sum := binary.LittleEndian.Uint64(data[off+recHeaderLen+payloadLen:])
+		if sumRecord(body) != sum {
+			fmt.Fprintf(warn, "resultstore: %s: checksum mismatch at offset %d — skipping record (will be recomputed)\n", path, off)
+			corrupt++
+			off = end
+			continue
+		}
+		key := binary.LittleEndian.Uint64(body)
+		v, err := codec.Decode(body[recHeaderLen:])
+		if err != nil {
+			fmt.Fprintf(warn, "resultstore: %s: undecodable record at offset %d: %v — skipping record (will be recomputed)\n", path, off, err)
+			corrupt++
+			off = end
+			continue
+		}
+		put(key, v)
+		loaded++
+		off = end
+	}
+	return loaded, corrupt, size
+}

@@ -1,0 +1,399 @@
+package resultstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// u64Codec is the test codec: a version byte plus one fixed-width uint64.
+type u64Codec struct{}
+
+const u64Schema = 9
+
+func (u64Codec) Append(dst []byte, v uint64) []byte {
+	dst = append(dst, u64Schema)
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func (u64Codec) Decode(p []byte) (uint64, error) {
+	if len(p) != 9 {
+		return 0, fmt.Errorf("record is %d bytes, want 9", len(p))
+	}
+	if p[0] != u64Schema {
+		return 0, fmt.Errorf("schema %d, want %d", p[0], u64Schema)
+	}
+	return binary.LittleEndian.Uint64(p[1:]), nil
+}
+
+func openTest(t *testing.T, dir string, warn *bytes.Buffer) *Disk[uint64] {
+	t.Helper()
+	d, err := Open[uint64](dir, u64Codec{}, WithWarnWriter(warn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDiskRoundTrip: a second process (re-open) sees everything the first
+// persisted, with the audit counters telling the story.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	for k := uint64(0); k < 100; k++ {
+		d.Put(k, k*3)
+	}
+	if st := d.Stats(); st.Appended != 100 || st.Loaded != 0 {
+		t.Fatalf("cold stats = %+v, want 100 appended", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openTest(t, dir, &warn)
+	defer d2.Close()
+	st := d2.Stats()
+	if st.Loaded != 100 || st.Entries != 100 || st.Corrupt != 0 {
+		t.Fatalf("warm stats = %+v, want 100 loaded entries", st)
+	}
+	if st.DiskBytes == 0 {
+		t.Fatal("warm store reports 0 bytes on disk")
+	}
+	for k := uint64(0); k < 100; k++ {
+		v, ok := d2.Get(k)
+		if !ok || v != k*3 {
+			t.Fatalf("Get(%d) = %d, %t", k, v, ok)
+		}
+	}
+	if d2.Hits() != 100 || d2.Misses() != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 100/0", d2.Hits(), d2.Misses())
+	}
+	if warn.Len() != 0 {
+		t.Fatalf("unexpected warnings: %s", warn.String())
+	}
+}
+
+// TestDiskPutIsIdempotent: re-puts (merge overlaps, racing workers) do not
+// bloat the segment.
+func TestDiskPutIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	d.Put(7, 42)
+	d.Put(7, 42)
+	if st := d.Stats(); st.Appended != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 appended entry", st)
+	}
+	d.Close()
+}
+
+// segPath returns the store's single segment file.
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "seg-*.psr"))
+	if err != nil || len(m) != 1 {
+		t.Fatalf("want exactly one segment, got %v (%v)", m, err)
+	}
+	return m[0]
+}
+
+// writeStore persists keys 0..n-1 (value key+1000) and returns the segment
+// path.
+func writeStore(t *testing.T, dir string, n int) string {
+	t.Helper()
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	for k := 0; k < n; k++ {
+		d.Put(uint64(k), uint64(k)+1000)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return segPath(t, dir)
+}
+
+// TestDiskTruncatedSegmentDropsTail: a torn final write (crash) loses only
+// the torn record; everything before it still loads, and the scan warns.
+func TestDiskTruncatedSegmentDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	seg := writeStore(t, dir, 10)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	defer d.Close()
+	st := d.Stats()
+	if st.Loaded != 9 || st.Corrupt == 0 {
+		t.Fatalf("stats after truncation = %+v, want 9 loaded and corruption counted", st)
+	}
+	if !strings.Contains(warn.String(), "torn") {
+		t.Fatalf("expected a torn-record warning, got %q", warn.String())
+	}
+	if _, ok := d.Get(9); ok {
+		t.Fatal("the torn record must not load")
+	}
+	if v, ok := d.Get(8); !ok || v != 1008 {
+		t.Fatal("records before the tear must load")
+	}
+}
+
+// TestDiskFlippedByteSkipsRecord: a checksum failure skips exactly that
+// record and keeps scanning the rest of the segment.
+func TestDiskFlippedByteSkipsRecord(t *testing.T) {
+	dir := t.TempDir()
+	seg := writeStore(t, dir, 10)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the first record: offset = 8 (magic) + 12
+	// (header) + 4 (inside the payload).
+	data[8+12+4] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	defer d.Close()
+	st := d.Stats()
+	if st.Loaded != 9 || st.Corrupt != 1 {
+		t.Fatalf("stats after flip = %+v, want 9 loaded / 1 corrupt", st)
+	}
+	if !strings.Contains(warn.String(), "checksum") {
+		t.Fatalf("expected a checksum warning, got %q", warn.String())
+	}
+	if _, ok := d.Get(0); ok {
+		t.Fatal("the corrupted record must not load")
+	}
+	if v, ok := d.Get(9); !ok || v != 1009 {
+		t.Fatal("records after the corruption must still load")
+	}
+}
+
+// TestDiskWrongSchemaVersionSkipsRecord: records from a future or past
+// schema decode-fail, warn, and are recomputed — never misread.
+func TestDiskWrongSchemaVersionSkipsRecord(t *testing.T) {
+	dir := t.TempDir()
+	// Write with a codec whose schema byte differs.
+	d, err := Open[uint64](dir, altCodec{}, WithWarnWriter(os.Stderr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(1, 11)
+	d.Put(2, 22)
+	d.Close()
+
+	var warn bytes.Buffer
+	d2 := openTest(t, dir, &warn)
+	defer d2.Close()
+	st := d2.Stats()
+	if st.Loaded != 0 || st.Corrupt != 2 {
+		t.Fatalf("stats = %+v, want 0 loaded / 2 corrupt (wrong schema)", st)
+	}
+	if !strings.Contains(warn.String(), "schema") {
+		t.Fatalf("expected a schema warning, got %q", warn.String())
+	}
+	if _, ok := d2.Get(1); ok {
+		t.Fatal("wrong-schema records must not load")
+	}
+}
+
+// altCodec writes valid records under a different schema byte.
+type altCodec struct{}
+
+func (altCodec) Append(dst []byte, v uint64) []byte {
+	dst = append(dst, u64Schema+1)
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func (altCodec) Decode(p []byte) (uint64, error) {
+	if len(p) != 9 || p[0] != u64Schema+1 {
+		return 0, fmt.Errorf("schema mismatch")
+	}
+	return binary.LittleEndian.Uint64(p[1:]), nil
+}
+
+// TestDiskBadHeaderSkipsSegment: a file that is not a segment is skipped
+// whole, without aborting the open.
+func TestDiskBadHeaderSkipsSegment(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 3)
+	if err := os.WriteFile(filepath.Join(dir, "seg-000099.psr"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	defer d.Close()
+	if st := d.Stats(); st.Loaded != 3 || st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want 3 loaded / 1 corrupt segment", st)
+	}
+	if !strings.Contains(warn.String(), "header") {
+		t.Fatalf("expected a header warning, got %q", warn.String())
+	}
+}
+
+// TestDiskSecondWriterGetsOwnSegment: sequential processes append to fresh
+// segments and the union loads.
+func TestDiskSecondWriterGetsOwnSegment(t *testing.T) {
+	dir := t.TempDir()
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	d.Put(1, 100)
+	d.Close()
+	d2 := openTest(t, dir, &warn)
+	d2.Put(2, 200)
+	d2.Close()
+
+	m, _ := filepath.Glob(filepath.Join(dir, "seg-*.psr"))
+	if len(m) != 2 {
+		t.Fatalf("want 2 segments, got %v", m)
+	}
+	d3 := openTest(t, dir, &warn)
+	defer d3.Close()
+	if st := d3.Stats(); st.Loaded != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want both writers' records", st)
+	}
+}
+
+// TestMergeUnionsStores: Merge assembles N shard stores into one
+// destination; a typo'd directory fails loudly.
+func TestMergeUnionsStores(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	var warn bytes.Buffer
+	for si, dir := range dirs {
+		d := openTest(t, dir, &warn)
+		for k := si; k < 10; k += 2 {
+			d.Put(uint64(k), uint64(k)*7)
+		}
+		d.Close()
+	}
+	dst := NewMem[uint64]()
+	if err := Merge[uint64](dst, u64Codec{}, dirs, WithWarnWriter(&warn)); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 10 {
+		t.Fatalf("merged %d entries, want 10", dst.Len())
+	}
+	for k := uint64(0); k < 10; k++ {
+		if v, ok := dst.Get(k); !ok || v != k*7 {
+			t.Fatalf("merged Get(%d) = %d, %t", k, v, ok)
+		}
+	}
+	if err := Merge[uint64](dst, u64Codec{}, []string{filepath.Join(dirs[0], "no-such-shard")}); err == nil {
+		t.Fatal("merging a missing directory must fail loudly")
+	}
+}
+
+// TestSegmentNameMatchIsAnchored: only exact seg-NNNNNN.psr names are
+// segments — backup copies and temp files must neither double-load records
+// nor inflate the corruption counters.
+func TestSegmentNameMatchIsAnchored(t *testing.T) {
+	dir := t.TempDir()
+	seg := writeStore(t, dir, 3)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stray := range []string{"seg-000001.psr.bak", "seg-000001.psr.tmp", "seg-.psr", "seg-1x.psr", "xseg-000002.psr"} {
+		if err := os.WriteFile(filepath.Join(dir, stray), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	defer d.Close()
+	if st := d.Stats(); st.Loaded != 3 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want only the real segment's 3 records", st)
+	}
+	if warn.Len() != 0 {
+		t.Fatalf("stray files caused warnings: %s", warn.String())
+	}
+}
+
+// TestNilMemIsAlwaysMissStore: a typed-nil *Mem behind the Store interface
+// behaves like the pointer-typed memo era — no caching, no panic.
+func TestNilMemIsAlwaysMissStore(t *testing.T) {
+	var m *Mem[uint64]
+	var st Store[uint64] = m
+	st.Put(1, 10)
+	if _, ok := st.Get(1); ok {
+		t.Fatal("nil store returned a value")
+	}
+	if st.Len() != 0 || st.Hits() != 0 || st.Misses() != 0 {
+		t.Fatal("nil store reports non-zero counters")
+	}
+	if (st.Stats() != Stats{}) {
+		t.Fatal("nil store reports non-zero stats")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeSurfacesCorruption: corruption met while merging lands in the
+// destination's audit counters for both destination kinds — the -v stats
+// line must not report a clean merge over a damaged shard store.
+func TestMergeSurfacesCorruption(t *testing.T) {
+	src := t.TempDir()
+	seg := writeStore(t, src, 4)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8+12+2] ^= 0x40 // flip a byte in the first record's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warn bytes.Buffer
+	mem := NewMem[uint64]()
+	if err := Merge[uint64](mem, u64Codec{}, []string{src}, WithWarnWriter(&warn)); err != nil {
+		t.Fatal(err)
+	}
+	if st := mem.Stats(); st.Loaded != 3 || st.Corrupt != 1 {
+		t.Fatalf("mem merge stats = %+v, want 3 loaded / 1 corrupt", st)
+	}
+
+	disk := openTest(t, t.TempDir(), &warn)
+	defer disk.Close()
+	if err := Merge[uint64](disk, u64Codec{}, []string{src}, WithWarnWriter(&warn)); err != nil {
+		t.Fatal(err)
+	}
+	if st := disk.Stats(); st.Loaded != 3 || st.Corrupt != 1 {
+		t.Fatalf("disk merge stats = %+v, want 3 loaded / 1 corrupt", st)
+	}
+}
+
+// TestMergeIntoDiskPersistsUnion: merging into a disk-backed destination
+// also persists the union, so the merged store is itself warm.
+func TestMergeIntoDiskPersistsUnion(t *testing.T) {
+	src, dstDir := t.TempDir(), t.TempDir()
+	var warn bytes.Buffer
+	d := openTest(t, src, &warn)
+	d.Put(5, 55)
+	d.Close()
+
+	dst := openTest(t, dstDir, &warn)
+	if err := Merge[uint64](dst, u64Codec{}, []string{src}, WithWarnWriter(&warn)); err != nil {
+		t.Fatal(err)
+	}
+	dst.Close()
+
+	re := openTest(t, dstDir, &warn)
+	defer re.Close()
+	if v, ok := re.Get(5); !ok || v != 55 {
+		t.Fatal("merged record did not persist in the destination store")
+	}
+}

@@ -1,0 +1,72 @@
+package resultstore
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestEncDecRoundTrip: every appended value reads back exactly, including
+// float bit patterns.
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.Version(3)
+	e.U64(1<<63 + 5)
+	e.I64(-42)
+	e.Int(7)
+	e.F64(3.14159)
+	e.Str("hello")
+
+	b := e.Bytes()
+	if b[0] != 3 {
+		t.Fatalf("version byte = %d", b[0])
+	}
+	d := NewDec(b[1:])
+	if got := d.U64(); got != 1<<63+5 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.I64(); got != 7 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Fatalf("F64 = %v", got)
+	}
+}
+
+// TestEncStrIsLengthPrefixed: adjacent strings cannot forge each other's
+// boundaries (the "t|d"+"x" vs "t"+"d|x" collision class).
+func TestEncStrIsLengthPrefixed(t *testing.T) {
+	var a, b Enc
+	a.Str("t|d")
+	a.Str("x")
+	b.Str("t")
+	b.Str("d|x")
+	if a.Sum64() == b.Sum64() {
+		t.Fatal("shifted string boundaries must not collide")
+	}
+}
+
+// TestEncSum64MatchesHashKey: the byte and string FNV streams agree, so
+// fingerprints hash identically through either path.
+func TestEncSum64MatchesHashKey(t *testing.T) {
+	var e Enc
+	e.b = []byte("fingerprint")
+	if e.Sum64() != cache.HashKey("fingerprint") {
+		t.Fatal("HashBytes and HashKey diverged")
+	}
+}
+
+// TestDecPastEndReturnsZeros: the decoder is total — short input yields
+// zeros, not a panic (the caller length-checks records up front).
+func TestDecPastEndReturnsZeros(t *testing.T) {
+	d := NewDec([]byte{1, 2, 3})
+	if got := d.U64(); got != 0 {
+		t.Fatalf("short U64 = %d, want 0", got)
+	}
+	if got := d.U64(); got != 0 {
+		t.Fatalf("exhausted U64 = %d, want 0", got)
+	}
+}

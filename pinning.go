@@ -27,6 +27,7 @@ import (
 	"repro/internal/grubconf"
 	"repro/internal/model"
 	"repro/internal/platform"
+	"repro/internal/resultstore"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -90,9 +91,31 @@ type (
 	SweepCell = experiments.SweepCell
 	// TrialResult is the memoizable outcome of one simulated trial.
 	TrialResult = experiments.TrialResult
-	// TrialMemo caches trial results across runs and sweeps; share one via
+	// TrialStore is the pluggable trial-result store behind
+	// ExperimentConfig.Memo: the in-memory memo, or a durable disk-backed
+	// store (OpenTrialStore) whose results survive the process and merge
+	// across shard runs.
+	TrialStore = experiments.TrialStore
+	// TrialMemo is the in-memory TrialStore tier; share one via
 	// ExperimentConfig.Memo to skip already-simulated cells.
 	TrialMemo = experiments.TrialMemo
+	// StoreStats is a TrialStore's counter snapshot: hits, misses
+	// (= simulations executed), records loaded/appended, corrupt records
+	// skipped and bytes on disk.
+	StoreStats = resultstore.Stats
+
+	// TrialExecutor is the pluggable trial-execution strategy behind
+	// ExperimentConfig.Executor.
+	TrialExecutor = experiments.Executor
+	// SerialExecutor runs every trial on the calling goroutine.
+	SerialExecutor = experiments.Serial
+	// PoolExecutor fans trials across an atomic-claim worker pool (the
+	// default, sized by ExperimentConfig.Workers).
+	PoolExecutor = experiments.Pool
+	// ShardExecutor deterministically partitions every trial grid so one
+	// experiment can run across N machines whose durable stores are merged
+	// afterwards (MergeTrialStores).
+	ShardExecutor = experiments.Shard
 
 	// OverheadModel is the fitted §VI analytic law R = PTO + A·exp(−CHR/τ).
 	OverheadModel = model.Model
@@ -196,8 +219,23 @@ func RunSweep(spec SweepSpec, cfg ExperimentConfig) (*SweepResult, error) {
 	return experiments.Sweep(cfg, spec)
 }
 
-// NewTrialMemo returns an empty trial memo for ExperimentConfig.Memo.
+// NewTrialMemo returns an empty in-memory trial store for
+// ExperimentConfig.Memo.
 func NewTrialMemo() *TrialMemo { return experiments.NewTrialMemo() }
+
+// OpenTrialStore opens (creating if needed) the durable trial store at dir
+// for ExperimentConfig.Memo: intact records load at open, newly-simulated
+// trials append, so repeated runs are incremental across processes.
+// Corrupt or stale-schema records are skipped with a warning and
+// recomputed — never replayed wrong. Close the store to flush.
+func OpenTrialStore(dir string) (TrialStore, error) { return experiments.OpenTrialStore(dir) }
+
+// MergeTrialStores loads every intact record of the trial stores at dirs
+// into dst — the assembly step after sharded runs (ShardExecutor, or the
+// CLIs' -shard/-store flags) have each persisted their grid partition.
+func MergeTrialStores(dst TrialStore, dirs ...string) error {
+	return experiments.MergeTrialStores(dst, dirs...)
+}
 
 // ParseCPUList parses Linux cpu-list syntax ("0-3,8,10-11").
 func ParseCPUList(list string) (CPUSet, error) { return topology.ParseList(list) }
