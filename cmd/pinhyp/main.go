@@ -1,0 +1,123 @@
+// Command pinhyp runs the hypothesis harness: every registered falsifiable
+// claim (or one named claim) executes its scenario across adaptively-many
+// seeds and the confirm/refute verdicts render as a deterministic
+// FINDINGS.md — byte-identical at any -workers count and any -store
+// warmth, which is what lets the committed findings file act as a
+// regression gate.
+//
+// Usage:
+//
+//	pinhyp -list                         # catalog: name, scenario, claim
+//	pinhyp -run all                      # run everything, FINDINGS.md to stdout
+//	pinhyp -run all -findings FINDINGS.md
+//	pinhyp -run nesting-depth-compounds  # one hypothesis
+//	pinhyp -run all -quick               # CI profile (quick workloads)
+//	pinhyp -run all -store runs/ -v      # durable store: warm reruns simulate nothing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/hypotheses"
+	"repro/internal/storecli"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list registered hypotheses and exit")
+		run       = flag.String("run", "", "hypothesis to run, or \"all\"")
+		findings  = flag.String("findings", "", "write FINDINGS.md to this path (default: stdout)")
+		seed      = flag.Uint64("seed", 42, "harness base seed")
+		quick     = flag.Bool("quick", false, "shrink workloads for a fast pass (the CI profile)")
+		workers   = flag.Int("workers", 0, "per-scenario trial fan-out (0 = GOMAXPROCS, 1 = serial)")
+		resamples = flag.Int("resamples", 1000, "bootstrap resample count")
+		store     = flag.String("store", "", "durable trial store directory: results persist and repeat runs replay instead of simulating")
+		merge     = flag.String("merge", "", "comma list of trial store directories to load before running")
+		progress  = flag.Bool("progress", false, "report per-hypothesis seed progress on stderr")
+		verbose   = flag.Bool("v", false, "print trial store statistics on stderr after the run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, h := range hypotheses.All() {
+			fmt.Printf("%-32s %-12s %s\n", h.Name, h.Scenario, h.Claim)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "pinhyp: nothing to do — pass -list or -run name|all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// The store flags ride the shared storecli surface so pinhyp cannot
+	// drift from pinsim/pinsweep in store semantics; the experiments.Config
+	// is only the carrier, its Memo is what the harness borrows.
+	var ecfg experiments.Config
+	_, finishStore, err := storecli.Apply("pinhyp", &ecfg, storecli.Options{
+		Store: *store, Merge: *merge, Verbose: *verbose,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer finishStore()
+
+	cfg := hypotheses.Config{
+		Seed:      *seed,
+		Quick:     *quick,
+		Workers:   *workers,
+		Store:     ecfg.Memo,
+		Resamples: *resamples,
+	}
+	if *progress {
+		cfg.Progress = func(name string, seeds int) {
+			fmt.Fprintf(os.Stderr, "pinhyp: %s: seed %d done\n", name, seeds)
+		}
+	}
+
+	var found []hypotheses.Finding
+	if *run == "all" {
+		found, err = hypotheses.RunAll(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		h, ok := hypotheses.ByName(*run)
+		if !ok {
+			fatalf("%v", hypotheses.UnknownError(*run))
+		}
+		f, err := hypotheses.Run(h, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		found = []hypotheses.Finding{f}
+	}
+
+	profile := hypotheses.Profile{Quick: *quick, Seed: *seed, Resamples: *resamples}
+	out := os.Stdout
+	if *findings != "" {
+		f, err := os.Create(*findings)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+		out = f
+	}
+	hypotheses.RenderFindings(out, found, profile)
+
+	// A refuted or inconclusive finding is a result, not a failure: the
+	// exit code stays 0 so the regression gate is the byte-compare against
+	// the committed FINDINGS.md, where a status flip shows up as a diff.
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pinhyp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"sort"
 
 	"repro/internal/platform"
@@ -20,6 +22,10 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// bootResamples is the bootstrap resample count behind every SweepCell
+// interval.
+const bootResamples = 1000
 
 // WorkloadNames are the workload classes a sweep can request, in Table I
 // order plus the §VI network extension. Each accepts the aliases the driver
@@ -112,6 +118,13 @@ type SweepCell struct {
 	Ratio float64
 	// Summary aggregates the cell's repetitions.
 	Summary stats.Summary
+	// BootCI is the 95% percentile-bootstrap interval of the cell mean —
+	// the distribution-free companion to Summary.CI95's Student-t interval,
+	// meaningful at the small rep counts sweeps run with. Deterministic:
+	// the resampling RNG is seeded from the cell's content, like the trial
+	// seeds, so the interval is identical at any worker count and store
+	// warmth.
+	BootCI stats.Interval
 	// Breakdown is the overhead attribution of the last repetition.
 	Breakdown sched.Breakdown
 }
@@ -205,6 +218,14 @@ func Sweep(cfg Config, spec SweepSpec) (*SweepResult, error) {
 			pc.cell.Breakdown = r.Breakdown
 		}
 		pc.cell.Summary = stats.Summarize(vals)
+		// Content-derived bootstrap seed, for the same reason the trial
+		// seeds are content-derived: the same cell reports the same interval
+		// in every sweep that contains it.
+		bseed := seedFor(cfg.Seed, 0x42_53, // "BS": decorrelated from trial streams
+			uint64(pc.cell.Spec.Kind), uint64(pc.cell.Spec.Mode),
+			uint64(pc.cell.Cores), uint64(pc.cell.MemGB), workloadTag(pc.cell.Workload))
+		rng := rand.New(rand.NewSource(int64(bseed & math.MaxInt64)))
+		pc.cell.BootCI = stats.BootstrapCI(vals, 0.95, bootResamples, rng)
 		out.Cells = append(out.Cells, pc.cell)
 	}
 	out.computeRatios()
@@ -265,13 +286,13 @@ func (r *SweepResult) Cell(label, wname string, cores, memGB int) (SweepCell, bo
 }
 
 // RenderCSV writes one row per cell:
-// platform,workload,cores,mem_gb,chr,mean_s,ci95_s,n,ratio.
+// platform,workload,cores,mem_gb,chr,mean_s,ci95_s,boot_lo_s,boot_hi_s,n,ratio.
 func (r *SweepResult) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, "platform,workload,cores,mem_gb,chr,mean_s,ci95_s,n,ratio")
+	fmt.Fprintln(w, "platform,workload,cores,mem_gb,chr,mean_s,ci95_s,boot_lo_s,boot_hi_s,n,ratio")
 	for _, c := range r.Cells {
-		fmt.Fprintf(w, "%s,%s,%d,%d,%.4f,%.6f,%.6f,%d,%.4f\n",
+		fmt.Fprintf(w, "%s,%s,%d,%d,%.4f,%.6f,%.6f,%.6f,%.6f,%d,%.4f\n",
 			c.Platform, c.Workload, c.Cores, c.MemGB, c.CHR,
-			c.Summary.Mean, c.Summary.CI95, c.Summary.N, c.Ratio)
+			c.Summary.Mean, c.Summary.CI95, c.BootCI.Lo, c.BootCI.Hi, c.Summary.N, c.Ratio)
 	}
 }
 
@@ -322,7 +343,7 @@ func (r *SweepResult) RenderText(w io.Writer) {
 		})
 		fmt.Fprintf(w, "%-14s", "")
 		for _, k := range cols {
-			fmt.Fprintf(w, " %16s", fmt.Sprintf("%dc/%dGB", k.cores, k.mem))
+			fmt.Fprintf(w, " %30s", fmt.Sprintf("%dc/%dGB", k.cores, k.mem))
 		}
 		fmt.Fprintln(w)
 		for _, label := range rows {
@@ -331,14 +352,18 @@ func (r *SweepResult) RenderText(w io.Writer) {
 				var cell string
 				for _, c := range cells {
 					if c.Platform == label && c.Cores == k.cores && c.MemGB == k.mem {
-						cell = fmt.Sprintf("%.2f±%.2f", c.Summary.Mean, c.Summary.CI95)
+						// mean ± t-interval, then the bootstrap interval in
+						// brackets (they agree when reps are well-behaved;
+						// divergence flags a skewed cell).
+						cell = fmt.Sprintf("%.2f±%.2f [%.2f,%.2f]",
+							c.Summary.Mean, c.Summary.CI95, c.BootCI.Lo, c.BootCI.Hi)
 						if c.Ratio > 0 {
 							cell += fmt.Sprintf(" (%.2fx)", c.Ratio)
 						}
 						break
 					}
 				}
-				fmt.Fprintf(w, " %16s", cell)
+				fmt.Fprintf(w, " %30s", cell)
 			}
 			fmt.Fprintln(w)
 		}

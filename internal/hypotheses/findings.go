@@ -1,0 +1,88 @@
+package hypotheses
+
+// The FINDINGS.md renderer. The table is the harness's public artifact:
+// byte-deterministic (no timestamps, no environment), so a committed copy
+// is a regression gate — any model change that moves an effect past a null
+// boundary, or even nudges a CI digit, shows up as a diff.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Profile describes the run parameters a findings file was produced under;
+// it is rendered into the header so a quick-profile file cannot be
+// mistaken for a full-scale one.
+type Profile struct {
+	Quick     bool
+	Seed      uint64
+	Resamples int
+}
+
+// String renders the profile line.
+func (p Profile) String() string {
+	mode := "full"
+	if p.Quick {
+		mode = "quick"
+	}
+	return fmt.Sprintf("profile: %s · base seed %d · 95%% BCa bootstrap CIs (%d resamples)",
+		mode, p.Seed, p.Resamples)
+}
+
+// num renders a value for the findings table: fixed precision so the file
+// is byte-stable, "n/a" for NaN, and no "-0.000" — a value that is zero at
+// display precision renders as zero.
+func num(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	if math.Abs(v) < 0.0005 {
+		v = 0
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// RenderFindings writes the findings as a deterministic FINDINGS.md
+// document: one header, one methodology paragraph, one table row per
+// finding in the given order (RunAll already sorts by name).
+func RenderFindings(w io.Writer, findings []Finding, profile Profile) {
+	fmt.Fprintln(w, "# FINDINGS — hypothesis harness")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, profile.String())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Each hypothesis states a falsifiable claim about the simulated platforms,")
+	fmt.Fprintln(w, "runs its scenario across adaptively-chosen seeds (one repetition per seed,")
+	fmt.Fprintln(w, "seeds added until the effect CI is tight or the policy cap is hit), reduces")
+	fmt.Fprintln(w, "each run to a scalar effect, and is judged against its null boundary:")
+	fmt.Fprintln(w, "**Confirmed** — the 95% CI lies strictly on the claimed side of the null;")
+	fmt.Fprintln(w, "**Refuted** — strictly on the opposite side; **Inconclusive** — the CI")
+	fmt.Fprintln(w, "straddles the boundary. See `hypotheses/README.md` for the catalog and")
+	fmt.Fprintln(w, "methodology.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Hypothesis | Status | Effect (95% CI) | Claimed | Seeds | Scenario | Claim |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	for _, f := range findings {
+		h := f.Hypothesis
+		fmt.Fprintf(w, "| %s | **%s** | %s [%s, %s] | %s %s | %d | %s | %s |\n",
+			h.Name, f.Status,
+			num(f.Effect), num(f.CI.Lo), num(f.CI.Hi),
+			h.Predicate.Direction, num(h.Predicate.Null),
+			f.Seeds, h.Scenario,
+			sanitizeCell(h.Claim))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Effects are per-seed scalars (see each hypothesis's `Predicate.Detail`):")
+	for _, f := range findings {
+		fmt.Fprintf(w, "- **%s** — %s\n", f.Hypothesis.Name, sanitizeCell(f.Hypothesis.Predicate.Detail))
+	}
+}
+
+// sanitizeCell keeps free text table-safe: pipes and newlines would break
+// the markdown row.
+func sanitizeCell(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}

@@ -1,0 +1,126 @@
+package hypotheses
+
+// The findings gate. hypotheses/FINDINGS.md is a committed artifact: these
+// tests prove the harness regenerates it byte-for-byte at several worker
+// counts (trial fan-out must not leak into statistics), and that a warm
+// durable store replays the whole harness with zero simulations while
+// producing the same bytes. A legitimate model change that moves an effect
+// regenerates the file (see hypotheses/README.md); an accidental one fails
+// here first.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// goldenPath is the committed quick-profile findings file, relative to this
+// package directory.
+const goldenPath = "../../hypotheses/FINDINGS.md"
+
+// goldenConfig mirrors `pinhyp -run all -quick` at its default seed.
+func goldenConfig() Config {
+	return Config{Seed: 42, Quick: true, Resamples: 1000}
+}
+
+// renderAll runs every hypothesis under cfg and renders the findings
+// document exactly the way cmd/pinhyp does.
+func renderAll(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	found, err := RunAll(cfg)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	var buf bytes.Buffer
+	RenderFindings(&buf, found, Profile{Quick: cfg.Quick, Seed: cfg.Seed, Resamples: cfg.Resamples})
+	return buf.Bytes()
+}
+
+// diffLine points at the first differing line, so a golden failure reads as
+// "which hypothesis moved" instead of a byte offset.
+func diffLine(got, want []byte) string {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return "line " + string(rune('0'+i/10)) + string(rune('0'+i%10)) +
+				":\n got: " + string(g[i]) + "\nwant: " + string(w[i])
+		}
+	}
+	return "length mismatch"
+}
+
+func TestFindingsMatchGoldenAtAnyWorkerCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick harness several times")
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("committed findings missing: %v (regenerate with `pinhyp -run all -quick -findings hypotheses/FINDINGS.md`)", err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		cfg := goldenConfig()
+		cfg.Workers = workers
+		got := renderAll(t, cfg)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("findings at -workers %d diverge from committed hypotheses/FINDINGS.md\n%s",
+				workers, diffLine(got, want))
+		}
+	}
+}
+
+func TestFindingsWarmStoreRerunSimulatesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick harness twice")
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("committed findings missing: %v", err)
+	}
+	dir := t.TempDir()
+
+	// Cold run: simulates everything, persists every trial.
+	st, err := experiments.OpenTrialStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	cfg.Store = st
+	cold := renderAll(t, cfg)
+	cs := st.Stats()
+	if cs.Misses == 0 || cs.Appended == 0 {
+		t.Fatalf("cold run should simulate and persist, got stats %+v", cs)
+	}
+	if !bytes.Equal(cold, want) {
+		t.Fatalf("store-backed run diverges from committed findings\n%s", diffLine(cold, want))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm rerun in a fresh process-equivalent (fresh open over the same
+	// directory): every trial must replay from disk — zero simulations —
+	// and the bytes must not move.
+	st2, err := experiments.OpenTrialStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	cfg2 := goldenConfig()
+	cfg2.Workers = 4
+	cfg2.Store = st2
+	warm := renderAll(t, cfg2)
+	ws := st2.Stats()
+	if ws.Misses != 0 {
+		t.Fatalf("warm rerun simulated %d trials, want 0 (stats %+v)", ws.Misses, ws)
+	}
+	if ws.Loaded == 0 {
+		t.Fatalf("warm rerun loaded no durable records, stats %+v", ws)
+	}
+	if !bytes.Equal(warm, want) {
+		t.Fatalf("warm rerun diverges from committed findings\n%s", diffLine(warm, want))
+	}
+}

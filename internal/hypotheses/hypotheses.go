@@ -1,0 +1,147 @@
+// Package hypotheses turns the reproducer into a research instrument.
+// Where the figure pipeline answers "what does the simulated platform do",
+// a Hypothesis states what it *should* do — a falsifiable claim drawn from
+// the paper or the related cross-platform studies — and checks it
+// statistically: the referenced scenario (from the experiments registry)
+// runs across K deterministic seeds, a Predicate reduces each seed's
+// figure to one scalar effect, and the effect sample's bootstrap
+// confidence interval decides Confirmed / Refuted / Inconclusive against
+// the claim's null boundary. Seed counts are adaptive (stats.RunUntilTight
+// adds seeds until the interval is tight or a cap is hit), every scenario
+// run flows through the ordinary RunScenario + TrialStore path (so reruns
+// replay from a warm store with zero simulations), and the rendered
+// FINDINGS.md is byte-deterministic — which is what lets the whole harness
+// double as the repo's deepest regression test: a model change that flips
+// a committed finding fails CI.
+package hypotheses
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// Direction is the side of the null boundary a claim predicts the effect
+// falls on.
+type Direction int
+
+const (
+	// Above claims the effect exceeds the null value.
+	Above Direction = 1
+	// Below claims the effect falls short of the null value.
+	Below Direction = -1
+)
+
+// String renders the direction as its comparison operator.
+func (d Direction) String() string {
+	if d == Below {
+		return "<"
+	}
+	return ">"
+}
+
+// Predicate reduces one scenario run (one seed's Figure) to a scalar
+// effect and states where that effect must fall for the claim to hold.
+type Predicate struct {
+	// Effect extracts the per-seed effect from the scenario's figure —
+	// typically a ratio or difference of cell means (see the Cell helpers).
+	Effect func(f experiments.Figure) (float64, error)
+	// Detail documents what Effect measures, for the findings table.
+	Detail string
+	// Null is the no-effect boundary (1 for ratios, 0 for differences).
+	Null float64
+	// Direction is the side of Null the claim predicts.
+	Direction Direction
+}
+
+// SeedPolicy is a hypothesis's adaptive seed-count policy: at least Min
+// seeds always run, then seeds are added until the effect's bootstrap
+// interval half-width is within RelTol of the mean effect, or Max is hit.
+type SeedPolicy struct {
+	Min, Max int
+	RelTol   float64
+}
+
+func (p SeedPolicy) withDefaults() SeedPolicy {
+	if p.Min <= 0 {
+		p.Min = 5
+	}
+	if p.Max < p.Min {
+		p.Max = 2 * p.Min
+	}
+	if p.RelTol <= 0 {
+		p.RelTol = 0.05
+	}
+	return p
+}
+
+// Hypothesis is one falsifiable claim: a scenario to run, a predicate to
+// evaluate it, and a seed policy for how much evidence to gather.
+type Hypothesis struct {
+	// Name is the registry key (`pinhyp -run <name>`), kebab-case.
+	Name string
+	// Claim is the falsifiable statement, one sentence.
+	Claim string
+	// Source cites where the claim comes from (paper section, PAPERS.md
+	// study).
+	Source string
+	// Scenario names the experiments-registry scenario the claim is
+	// evaluated on.
+	Scenario string
+	// Seeds is the adaptive seed-count policy.
+	Seeds SeedPolicy
+	// Predicate is the per-seed evaluation.
+	Predicate Predicate
+}
+
+// Validate checks the hypothesis is runnable: named, sourced from a
+// registered scenario, with a predicate.
+func (h Hypothesis) Validate() error {
+	if h.Name == "" {
+		return fmt.Errorf("hypotheses: hypothesis needs a name")
+	}
+	if h.Claim == "" {
+		return fmt.Errorf("hypotheses: %s needs a claim", h.Name)
+	}
+	if h.Scenario == "" {
+		return fmt.Errorf("hypotheses: %s needs a scenario", h.Name)
+	}
+	if _, ok := experiments.ScenarioByName(h.Scenario); !ok {
+		return fmt.Errorf("hypotheses: %s references unregistered scenario %q", h.Name, h.Scenario)
+	}
+	if h.Predicate.Effect == nil {
+		return fmt.Errorf("hypotheses: %s needs a predicate effect", h.Name)
+	}
+	if h.Predicate.Direction != Above && h.Predicate.Direction != Below {
+		return fmt.Errorf("hypotheses: %s needs a predicate direction (Above or Below)", h.Name)
+	}
+	return nil
+}
+
+// CellMean returns the mean of one (series, x-label) cell of a figure,
+// failing loudly on a label the figure does not carry — a renamed series
+// must break the hypothesis, not silently zero its effect.
+func CellMean(f experiments.Figure, series, x string) (float64, error) {
+	c, ok := f.Cell(series, x)
+	if !ok {
+		return 0, fmt.Errorf("hypotheses: figure %s has no cell (%q, %q)", f.ID, series, x)
+	}
+	return c.Summary.Mean, nil
+}
+
+// CellRatio returns the ratio of two cell means sharing an x-label — the
+// per-seed form of the paper's overhead ratio.
+func CellRatio(f experiments.Figure, numSeries, denSeries, x string) (float64, error) {
+	num, err := CellMean(f, numSeries, x)
+	if err != nil {
+		return 0, err
+	}
+	den, err := CellMean(f, denSeries, x)
+	if err != nil {
+		return 0, err
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("hypotheses: figure %s cell (%q, %q) mean is zero", f.ID, denSeries, x)
+	}
+	return num / den, nil
+}

@@ -1,0 +1,72 @@
+package hypotheses
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func iv(lo, hi float64) stats.Interval {
+	return stats.Interval{Lo: lo, Hi: hi, Confidence: 0.95}
+}
+
+func TestVerdictRule(t *testing.T) {
+	above := Predicate{Null: 1, Direction: Above}
+	below := Predicate{Null: 1, Direction: Below}
+	cases := []struct {
+		name string
+		p    Predicate
+		ci   stats.Interval
+		want Status
+	}{
+		{"above-confirmed", above, iv(1.1, 1.3), Confirmed},
+		{"above-refuted", above, iv(0.7, 0.9), Refuted},
+		{"above-straddles", above, iv(0.9, 1.1), Inconclusive},
+		{"above-touching-null", above, iv(1.0, 1.2), Inconclusive},
+		{"below-confirmed", below, iv(0.7, 0.9), Confirmed},
+		{"below-refuted", below, iv(1.1, 1.3), Refuted},
+		{"nan", above, iv(math.NaN(), math.NaN()), Inconclusive},
+	}
+	for _, c := range cases {
+		if got := verdict(c.p, c.ci); got != c.want {
+			t.Errorf("%s: verdict = %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCatalogRegistered(t *testing.T) {
+	hs := All()
+	if len(hs) < 6 {
+		t.Fatalf("catalog has %d hypotheses, want >= 6", len(hs))
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i-1].Name >= hs[i].Name {
+			t.Fatalf("All() not sorted: %q before %q", hs[i-1].Name, hs[i].Name)
+		}
+	}
+	for _, h := range hs {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: %v", h.Name, err)
+		}
+		if h.Claim == "" || h.Source == "" || h.Predicate.Detail == "" {
+			t.Errorf("%s: catalog entries must carry claim, source and effect detail", h.Name)
+		}
+	}
+	if _, ok := ByName("vm-overhead-positive"); !ok {
+		t.Fatal("ByName missed a registered hypothesis")
+	}
+	if _, ok := ByName("no-such-hypothesis"); ok {
+		t.Fatal("ByName invented a hypothesis")
+	}
+	if err := UnknownError("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("UnknownError = %v", err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Above.String() != ">" || Below.String() != "<" {
+		t.Fatalf("Direction strings: %q %q", Above.String(), Below.String())
+	}
+}

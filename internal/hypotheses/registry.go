@@ -1,0 +1,82 @@
+package hypotheses
+
+// The hypothesis registry mirrors the scenario registry: a name-indexed
+// catalog populated at init (catalog.go) and extensible by library users.
+// pinhyp dispatches -run through it, and the golden findings test runs
+// every registered entry — registering a hypothesis IS enrolling it in CI.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Hypothesis{}
+)
+
+// Register validates h and adds it to the registry. Registering a name
+// twice is an error — hypotheses are identities, not defaults to override.
+func Register(h Hypothesis) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	h.Seeds = h.Seeds.withDefaults()
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[h.Name]; dup {
+		return fmt.Errorf("hypotheses: %q already registered", h.Name)
+	}
+	registry[h.Name] = h
+	return nil
+}
+
+// MustRegister is Register for init-time registration.
+func MustRegister(h Hypothesis) {
+	if err := Register(h); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns every registered hypothesis name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName looks a hypothesis up.
+func ByName(name string) (Hypothesis, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	h, ok := registry[name]
+	return h, ok
+}
+
+// All returns every registered hypothesis in sorted-name order — the
+// `pinhyp -run all` and golden-test iteration order, so the findings table
+// is deterministic.
+func All() []Hypothesis {
+	names := Names()
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Hypothesis, 0, len(names))
+	for _, name := range names {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// UnknownError is the lookup failure every caller should surface: it
+// carries the sorted list of registered names.
+func UnknownError(name string) error {
+	return fmt.Errorf("hypotheses: unknown hypothesis %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,360 @@
+package stats
+
+// The resampling backbone of the hypothesis harness. The paper reports
+// Student-t 95% intervals (Summary.CI95); hypothesis runs need intervals
+// that do not lean on normality — per-seed effect sizes are ratios of
+// means, whose sampling distribution is skewed at the small seed counts a
+// CI-speed run can afford. BootstrapCI gives the percentile interval,
+// BootstrapCIBCa the bias-corrected-and-accelerated one (the estimator the
+// findings report), RatioOfMeansCI the paired effect-size helper, and
+// RunUntilTight the adaptive rep-count loop: keep adding repetitions until
+// the interval is tight relative to the mean, or a cap is hit. All of it is
+// deterministic — every resample draw comes from an injected *rand.Rand
+// (or a caller-chosen seed), never from global randomness — because the
+// findings table is locked byte-for-byte by a golden test.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Interval is a two-sided confidence interval with its nominal coverage.
+type Interval struct {
+	Lo, Hi float64
+	// Confidence is the nominal coverage level, e.g. 0.95.
+	Confidence float64
+}
+
+// HalfWidth returns half the interval's width.
+func (iv Interval) HalfWidth() float64 { return (iv.Hi - iv.Lo) / 2 }
+
+// Contains reports whether x lies inside the closed interval.
+func (iv Interval) Contains(x float64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// Above reports whether the whole interval lies strictly above x.
+func (iv Interval) Above(x float64) bool { return iv.Lo > x }
+
+// Below reports whether the whole interval lies strictly below x.
+func (iv Interval) Below(x float64) bool { return iv.Hi < x }
+
+// String renders "[lo, hi]" compactly.
+func (iv Interval) String() string { return fmt.Sprintf("[%.4g, %.4g]", iv.Lo, iv.Hi) }
+
+// nanInterval is the degenerate answer for unusable samples.
+func nanInterval(confidence float64) Interval {
+	return Interval{Lo: math.NaN(), Hi: math.NaN(), Confidence: confidence}
+}
+
+// BootstrapCI returns the percentile bootstrap confidence interval of the
+// mean of xs: resamples bootstrap means are drawn with replacement using
+// rng, and the interval is the (α/2, 1−α/2) quantile pair. An empty sample
+// yields a NaN interval; a single observation yields the degenerate
+// [x, x].
+func BootstrapCI(xs []float64, confidence float64, resamples int, rng *rand.Rand) Interval {
+	means := bootstrapMeans(xs, resamples, rng)
+	if means == nil {
+		if len(xs) == 1 {
+			return Interval{Lo: xs[0], Hi: xs[0], Confidence: confidence}
+		}
+		return nanInterval(confidence)
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	return Interval{
+		Lo:         quantileSorted(means, alpha),
+		Hi:         quantileSorted(means, 1-alpha),
+		Confidence: confidence,
+	}
+}
+
+// BootstrapCIBCa returns the bias-corrected and accelerated (BCa)
+// bootstrap confidence interval of the mean of xs (Efron 1987): the
+// percentile endpoints are shifted by the bias correction z₀ (the normal
+// quantile of the fraction of bootstrap means below the sample mean) and
+// the acceleration a (from the jackknife skewness of the mean). For
+// symmetric samples it agrees with BootstrapCI; for the skewed ratio
+// distributions hypothesis effects follow it keeps the nominal coverage.
+func BootstrapCIBCa(xs []float64, confidence float64, resamples int, rng *rand.Rand) Interval {
+	means := bootstrapMeans(xs, resamples, rng)
+	if means == nil {
+		if len(xs) == 1 {
+			return Interval{Lo: xs[0], Hi: xs[0], Confidence: confidence}
+		}
+		return nanInterval(confidence)
+	}
+	sort.Float64s(means)
+	theta := mean(xs)
+	if math.IsNaN(theta) {
+		return nanInterval(confidence)
+	}
+
+	// Bias correction: the normal quantile of the proportion of bootstrap
+	// means strictly below the observed mean, clamped away from 0 and 1 so
+	// a degenerate (constant) bootstrap distribution cannot produce ±Inf.
+	below := 0
+	for _, m := range means {
+		if m < theta {
+			below++
+		}
+	}
+	b := len(means)
+	prop := (float64(below) + 0.5) / (float64(b) + 1)
+	z0 := NormalQuantile(prop)
+
+	// Acceleration: jackknife estimate from leave-one-out means.
+	accel := jackknifeAcceleration(xs)
+
+	alpha := (1 - confidence) / 2
+	adj := func(z float64) float64 {
+		num := z0 + z
+		return NormalCDF(z0 + num/(1-accel*num))
+	}
+	lo := adj(NormalQuantile(alpha))
+	hi := adj(NormalQuantile(1 - alpha))
+	return Interval{
+		Lo:         quantileSorted(means, lo),
+		Hi:         quantileSorted(means, hi),
+		Confidence: confidence,
+	}
+}
+
+// RatioOfMeansCI is the paired effect-size helper: the ratio of the means
+// of num over den (e.g. vanilla time over pinned time, paired by seed),
+// with a percentile bootstrap interval obtained by resampling index pairs
+// — the pairing is preserved, which is what keeps between-seed variance
+// out of the interval. The slices must be the same non-zero length.
+func RatioOfMeansCI(num, den []float64, confidence float64, resamples int, rng *rand.Rand) (float64, Interval, error) {
+	if len(num) == 0 || len(num) != len(den) {
+		return 0, nanInterval(confidence), fmt.Errorf("stats: ratio of means needs equal-length non-empty samples, got %d and %d", len(num), len(den))
+	}
+	dm := mean(den)
+	if dm == 0 {
+		return 0, nanInterval(confidence), fmt.Errorf("stats: ratio of means: denominator mean is zero")
+	}
+	ratio := mean(num) / dm
+	if resamples <= 0 || rng == nil || len(num) == 1 {
+		return ratio, Interval{Lo: ratio, Hi: ratio, Confidence: confidence}, nil
+	}
+	n := len(num)
+	ratios := make([]float64, 0, resamples)
+	for b := 0; b < resamples; b++ {
+		var ns, ds float64
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			ns += num[j]
+			ds += den[j]
+		}
+		if ds != 0 {
+			ratios = append(ratios, ns/ds)
+		}
+	}
+	if len(ratios) == 0 {
+		return ratio, nanInterval(confidence), nil
+	}
+	sort.Float64s(ratios)
+	alpha := (1 - confidence) / 2
+	return ratio, Interval{
+		Lo:         quantileSorted(ratios, alpha),
+		Hi:         quantileSorted(ratios, 1-alpha),
+		Confidence: confidence,
+	}, nil
+}
+
+// TightOpts configures RunUntilTight.
+type TightOpts struct {
+	// Min and Max bound the sample count: Min samples are always drawn
+	// (raised to 2 — one observation has no interval), then samples are
+	// added until the interval is tight or Max is reached. Max below Min is
+	// raised to Min.
+	Min, Max int
+	// RelTol is the target: stop once the interval half-width is at most
+	// RelTol·|mean|. Zero (or a zero mean) means no early stop — run to Max.
+	RelTol float64
+	// Confidence is the interval's nominal coverage (default 0.95).
+	Confidence float64
+	// Resamples is the bootstrap resample count (default 1000).
+	Resamples int
+	// Seed seeds the bootstrap RNG. Every tightness check re-seeds, so the
+	// stop decision — and therefore the sample count — is a pure function
+	// of the observed values: reruns and replays take identical paths.
+	Seed int64
+}
+
+func (o TightOpts) withDefaults() TightOpts {
+	if o.Min < 2 {
+		o.Min = 2
+	}
+	if o.Max < o.Min {
+		o.Max = o.Min
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.Resamples <= 0 {
+		o.Resamples = 1000
+	}
+	return o
+}
+
+// RunUntilTight is the adaptive rep-count loop: it draws sample(0..Min-1),
+// then keeps drawing while the bootstrap interval of the mean is wider
+// than RelTol·|mean| and the count is below Max. It returns the values
+// drawn and the final interval. A sample error aborts the loop and is
+// returned with the values drawn so far.
+func RunUntilTight(opts TightOpts, sample func(i int) (float64, error)) ([]float64, Interval, error) {
+	opts = opts.withDefaults()
+	values := make([]float64, 0, opts.Min)
+	ci := nanInterval(opts.Confidence)
+	for i := 0; i < opts.Max; i++ {
+		v, err := sample(i)
+		if err != nil {
+			return values, ci, err
+		}
+		values = append(values, v)
+		if len(values) < opts.Min {
+			continue
+		}
+		rng := rand.New(rand.NewSource(opts.Seed))
+		ci = BootstrapCI(values, opts.Confidence, opts.Resamples, rng)
+		if opts.RelTol > 0 {
+			if m := math.Abs(mean(values)); m > 0 && ci.HalfWidth() <= opts.RelTol*m {
+				break
+			}
+		}
+	}
+	return values, ci, nil
+}
+
+// bootstrapMeans draws the bootstrap distribution of the mean, or nil when
+// the sample or configuration cannot support one (empty or singleton
+// sample, no resamples, no RNG).
+func bootstrapMeans(xs []float64, resamples int, rng *rand.Rand) []float64 {
+	n := len(xs)
+	if n < 2 || resamples <= 0 || rng == nil {
+		return nil
+	}
+	means := make([]float64, resamples)
+	for b := range means {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[b] = sum / float64(n)
+	}
+	return means
+}
+
+// jackknifeAcceleration estimates the BCa acceleration constant from the
+// skewness of the leave-one-out means. A sample whose jackknife variance
+// vanishes (all values equal) has zero acceleration.
+func jackknifeAcceleration(xs []float64) float64 {
+	n := len(xs)
+	if n < 3 {
+		return 0
+	}
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	loo := make([]float64, n)
+	var looMean float64
+	for i, x := range xs {
+		loo[i] = (total - x) / float64(n-1)
+		looMean += loo[i]
+	}
+	looMean /= float64(n)
+	var num, den float64
+	for _, m := range loo {
+		d := looMean - m
+		num += d * d * d
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / (6 * math.Pow(den, 1.5))
+}
+
+// quantileSorted returns the q-th (0..1) quantile of a sorted sample by
+// nearest rank, clamping out-of-range and NaN q to the extremes.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if math.IsNaN(q) || q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// mean returns the arithmetic mean (NaN for an empty sample).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// NormalCDF is the standard normal cumulative distribution Φ(x).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// normalQuantile coefficients: Acklam's rational approximation to the
+// inverse standard normal CDF (relative error < 1.15e-9 over (0,1)).
+var (
+	nqA = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	nqB = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	nqC = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	nqD = [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+)
+
+// NormalQuantile is the inverse standard normal CDF Φ⁻¹(p). p outside
+// (0, 1) returns ∓Inf; NaN propagates.
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p):
+		return math.NaN()
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	var q, r float64
+	switch {
+	case p < pLow:
+		q = math.Sqrt(-2 * math.Log(p))
+		return (((((nqC[0]*q+nqC[1])*q+nqC[2])*q+nqC[3])*q+nqC[4])*q + nqC[5]) /
+			((((nqD[0]*q+nqD[1])*q+nqD[2])*q+nqD[3])*q + 1)
+	case p > pHigh:
+		q = math.Sqrt(-2 * math.Log(1-p))
+		return -(((((nqC[0]*q+nqC[1])*q+nqC[2])*q+nqC[3])*q+nqC[4])*q + nqC[5]) /
+			((((nqD[0]*q+nqD[1])*q+nqD[2])*q+nqD[3])*q + 1)
+	default:
+		q = p - 0.5
+		r = q * q
+		return (((((nqA[0]*r+nqA[1])*r+nqA[2])*r+nqA[3])*r+nqA[4])*r + nqA[5]) * q /
+			(((((nqB[0]*r+nqB[1])*r+nqB[2])*r+nqB[3])*r+nqB[4])*r + 1)
+	}
+}

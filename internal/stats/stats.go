@@ -123,6 +123,13 @@ func PercentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
+	// A NaN percentile would sail through both range clamps (every NaN
+	// comparison is false) and turn into an implementation-defined int
+	// conversion — historically an out-of-range index panic. There is no
+	// meaningful rank for it; answer in kind.
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
 	if p < 0 {
 		p = 0
 	}

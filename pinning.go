@@ -25,9 +25,11 @@ import (
 	"repro/internal/cpumanager"
 	"repro/internal/experiments"
 	"repro/internal/grubconf"
+	"repro/internal/hypotheses"
 	"repro/internal/model"
 	"repro/internal/platform"
 	"repro/internal/resultstore"
+	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -116,6 +118,24 @@ type (
 	// experiment can run across N machines whose durable stores are merged
 	// afterwards (MergeTrialStores).
 	ShardExecutor = experiments.Shard
+
+	// Hypothesis is one falsifiable claim over a registered scenario: a
+	// predicate reduces each per-seed scenario run to a scalar effect, and
+	// the effect sample's bootstrap interval is judged against a null
+	// boundary (see cmd/pinhyp and hypotheses/README.md).
+	Hypothesis = hypotheses.Hypothesis
+	// HypothesisPredicate extracts a hypothesis's scalar effect from a
+	// figure and states its null boundary and claimed direction.
+	HypothesisPredicate = hypotheses.Predicate
+	// HypothesisConfig controls a hypothesis run (seed, quick mode, trial
+	// fan-out, trial store, resample count).
+	HypothesisConfig = hypotheses.Config
+	// HypothesisFinding is one evaluated hypothesis: status, mean effect,
+	// bootstrap interval, seeds drawn.
+	HypothesisFinding = hypotheses.Finding
+	// BootstrapInterval is a two-sided confidence interval with its nominal
+	// coverage (see BootstrapCI / BootstrapCIBCa in internal/stats).
+	BootstrapInterval = stats.Interval
 
 	// OverheadModel is the fitted §VI analytic law R = PTO + A·exp(−CHR/τ).
 	OverheadModel = model.Model
@@ -236,6 +256,46 @@ func OpenTrialStore(dir string) (TrialStore, error) { return experiments.OpenTri
 func MergeTrialStores(dst TrialStore, dirs ...string) error {
 	return experiments.MergeTrialStores(dst, dirs...)
 }
+
+// Claimed directions for HypothesisPredicate.Direction.
+const (
+	// HypothesisAbove claims the effect lies above the null boundary.
+	HypothesisAbove = hypotheses.Above
+	// HypothesisBelow claims the effect lies below the null boundary.
+	HypothesisBelow = hypotheses.Below
+)
+
+// HypothesisCellMean extracts one (series, x-label) cell mean from a
+// figure — the building block of hypothesis predicates. Missing cells are
+// an error, never a silent zero.
+func HypothesisCellMean(f Figure, series, x string) (float64, error) {
+	return hypotheses.CellMean(f, series, x)
+}
+
+// HypothesisCellRatio is the ratio of two series' cell means at the same
+// x-label (e.g. vanilla over pinned).
+func HypothesisCellRatio(f Figure, numSeries, denSeries, x string) (float64, error) {
+	return hypotheses.CellRatio(f, numSeries, denSeries, x)
+}
+
+// RunHypothesis evaluates one falsifiable claim: its scenario runs across
+// adaptively-many seeds and the effect's BCa bootstrap interval decides
+// Confirmed/Refuted/Inconclusive.
+func RunHypothesis(h Hypothesis, cfg HypothesisConfig) (HypothesisFinding, error) {
+	return hypotheses.Run(h, cfg)
+}
+
+// RunAllHypotheses evaluates every registered hypothesis in sorted-name
+// order (the committed hypotheses/FINDINGS.md is this, rendered).
+func RunAllHypotheses(cfg HypothesisConfig) ([]HypothesisFinding, error) {
+	return hypotheses.RunAll(cfg)
+}
+
+// RegisterHypothesis adds a user-defined hypothesis to the name registry.
+func RegisterHypothesis(h Hypothesis) error { return hypotheses.Register(h) }
+
+// HypothesisNames lists every registered hypothesis, sorted.
+func HypothesisNames() []string { return hypotheses.Names() }
 
 // ParseCPUList parses Linux cpu-list syntax ("0-3,8,10-11").
 func ParseCPUList(list string) (CPUSet, error) { return topology.ParseList(list) }
