@@ -106,7 +106,7 @@ type Group struct {
 	throttledAt    sim.Time
 	throttleSpread int             // spread snapshot at the throttle point
 	spread         topology.CPUSet // CPUs that ran group tasks this period
-	periodTimer    *sim.Timer      // bandwidth-period tick; nil until first armed
+	periodTimer    sim.Timer       // bandwidth-period tick; bound at first arm
 	onUnthrottle   func(churnPerThread sim.Time)
 	runnable       int     // runnable threads, maintained by the scheduler
 	live           int     // unfinished threads, maintained by the scheduler
@@ -227,7 +227,7 @@ func (g *Group) AcctCost() sim.Time {
 
 // ensurePeriod lazily starts the bandwidth period timer.
 func (g *Group) ensurePeriod() {
-	if g.Quota() == 0 || (g.periodTimer != nil && g.periodTimer.Pending()) {
+	if g.Quota() == 0 || (g.periodTimer.Bound() && g.periodTimer.Pending()) {
 		return
 	}
 	g.periodStart = g.ctl.eng.Now()
@@ -235,13 +235,18 @@ func (g *Group) ensurePeriod() {
 }
 
 func (g *Group) schedulePeriodRefresh() {
-	if g.periodTimer == nil {
-		// The callback is bound once; every later period tick reuses a
-		// pooled event slot with no per-period allocation.
-		g.periodTimer = g.ctl.eng.NewTimer(g.refreshPeriod)
+	if !g.periodTimer.Bound() {
+		// The static callback is bound once to the embedded timer; every
+		// later period tick reuses a pooled event slot, so steady-state
+		// bandwidth enforcement allocates nothing — not even the Timer or a
+		// method-value closure.
+		g.periodTimer.InitArg(g.ctl.eng, groupPeriodFired, g)
 	}
 	g.periodTimer.ResetAt(g.periodStart + g.ctl.P.Period)
 }
+
+// groupPeriodFired is the static bandwidth-period callback.
+func groupPeriodFired(a any) { a.(*Group).refreshPeriod() }
 
 func (g *Group) refreshPeriod() {
 	g.Stats.PeriodsElapsed++
@@ -343,7 +348,7 @@ func (g *Group) ThrottleCost() sim.Time {
 
 // Stop cancels the group's timers (end of run).
 func (g *Group) Stop() {
-	if g.periodTimer != nil {
+	if g.periodTimer.Bound() {
 		g.periodTimer.Stop()
 	}
 }

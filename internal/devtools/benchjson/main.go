@@ -58,9 +58,11 @@ type suite struct {
 
 var suites = []suite{
 	{pkg: ".", pattern: "^(BenchmarkEngineEvents|BenchmarkSchedulerSlice|BenchmarkCPUSetOps|BenchmarkTraceCollector)$"},
-	// The idle-balancing fast path: one pick on a busy two-LLC host, and
-	// the empty-world probe the group-load index short-circuits.
-	{pkg: "./internal/sched", pattern: "^(BenchmarkStealScan|BenchmarkStealMiss)$"},
+	// The idle-balancing fast path: one pick on a busy two-LLC host, the
+	// empty-world probe the group-load index short-circuits, and the same
+	// pick on the saturated 1024-CPU dual-socket host (the word-masked
+	// scan / O(occupied sockets) scalability witness).
+	{pkg: "./internal/sched", pattern: "^(BenchmarkStealScan|BenchmarkStealMiss|BenchmarkBigTopology)$"},
 	// One full quick figure: the end-to-end number every micro-win must
 	// eventually show up in. Six iterations (~150ms) per sample keep the
 	// macro measurement's noise inside the 30% baseline gates.
@@ -68,6 +70,9 @@ var suites = []suite{
 	// The declarative engine's dispatch machinery alone (no trials): the
 	// -fraction gate holds it under 5% of the same-run QuickFig3Serial.
 	{pkg: "./internal/experiments", pattern: "^BenchmarkScenarioDispatch$"},
+	// The warm-replay path of a whole figure (every trial a memo hit, zero
+	// simulations): the per-grid reassembly cost of million-trial sweeps.
+	{pkg: "./internal/experiments", pattern: "^BenchmarkMillionTrialReplay$"},
 	// The trial store's warm-hit path vs. the plain in-memory memo hit:
 	// the -fraction gate holds the disk-backed Get within 10% of the memo
 	// hit in the same run, so durability stays an open-time cost. The

@@ -249,7 +249,14 @@ func runStack(cfg Config, host *topology.Topology, stack platform.Stack, size in
 		return 0, sched.Breakdown{}, fmt.Errorf("experiments: %d workloads for %d tenant slot(s)",
 			len(ws), len(d.Tenants))
 	}
-	insts := make([]workload.Instance, len(d.Tenants))
+	// Single-digit tenant counts are the norm; the stack buffer keeps the
+	// per-trial instance list allocation-free.
+	var instBuf [4]workload.Instance
+	insts := instBuf[:0]
+	if len(d.Tenants) > len(instBuf) {
+		insts = make([]workload.Instance, 0, len(d.Tenants))
+	}
+	insts = insts[:len(d.Tenants)]
 	for ti, slot := range d.Tenants {
 		env := workload.EnvFor(d.M, slot.Group, slot.Affinity, slot.Cores)
 		if memGB > 0 {

@@ -15,17 +15,21 @@ func (f *Figure) RenderText(w io.Writer) {
 	rows := make([][]string, 0, len(f.Series)+1)
 	head := append([]string{""}, f.XLabels...)
 	rows = append(rows, head)
+	// One reused format buffer: each cell costs exactly its final string,
+	// not intermediate Sprintf results and concatenations.
+	var buf []byte
 	for _, s := range f.Series {
-		row := []string{s.Label}
+		row := make([]string, 0, len(s.Cells)+1)
+		row = append(row, s.Label)
 		for _, c := range s.Cells {
-			cell := fmt.Sprintf("%.2f±%.2f", c.Summary.Mean, c.Summary.CI95)
+			buf = fmt.Appendf(buf[:0], "%.2f±%.2f", c.Summary.Mean, c.Summary.CI95)
 			if f.BaselineIdx >= 0 && s.Label != f.Series[f.BaselineIdx].Label {
-				cell += fmt.Sprintf(" (%.2fx)", c.Ratio)
+				buf = fmt.Appendf(buf, " (%.2fx)", c.Ratio)
 			}
 			if c.OutOfRange {
-				cell += " [OOR]"
+				buf = append(buf, " [OOR]"...)
 			}
-			row = append(row, cell)
+			row = append(row, string(buf))
 		}
 		rows = append(rows, row)
 	}

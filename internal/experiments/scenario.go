@@ -429,14 +429,27 @@ func RunScenario(cfg Config, sc Scenario) (Figure, error) {
 
 	nC := len(sc.Cells)
 	results := make([]TrialResult, len(sc.Series)*nC*reps)
-	err := forEachTrial(cfg, len(results), func(i int) error {
+	// Tenant workload lists depend only on (series, cell) and seeds are a
+	// pure derivation, so both are precomputed outside the trial fan-out:
+	// the per-trial closure itself then allocates nothing.
+	wlists := make([][]workload.Workload, len(sc.Series)*nC)
+	for si := range sc.Series {
+		for ci := range sc.Cells {
+			wlists[si*nC+ci] = workloadsFor(si, ci)
+		}
+	}
+	seeds := make([]uint64, len(results))
+	parts := make([]uint64, 0, len(sc.SeedTag)+3)
+	for i := range seeds {
 		si, ci, rep := i/(nC*reps), i/reps%nC, i%reps
-		parts := make([]uint64, 0, len(sc.SeedTag)+3)
-		parts = append(parts, sc.SeedTag...)
+		parts = append(parts[:0], sc.SeedTag...)
 		parts = append(parts, uint64(si), uint64(ci), uint64(rep))
-		seed := seedFor(cfg.Seed, parts...)
+		seeds[i] = seedFor(cfg.Seed, parts...)
+	}
+	err := forEachTrial(cfg, len(results), func(i int) error {
+		si, ci := i/(nC*reps), i/reps%nC
 		r, err := runTrial(cfg, plans[ci].host, stacks[si], sc.Cells[ci].Cores,
-			workloadsFor(si, ci), plans[ci].memGB, seed)
+			wlists[si*nC+ci], plans[ci].memGB, seeds[i])
 		if err != nil {
 			return fmt.Errorf("%s %s %s: %w", sc.Name, sc.Series[si].Label, sc.Cells[ci].Label, err)
 		}

@@ -21,6 +21,27 @@ func BenchmarkMemoHit(b *testing.B) {
 	}
 }
 
+// BenchmarkMillionTrialReplay measures the warm-replay path of a whole
+// figure: every trial of the grid hits the memo, so one op is the full
+// runner machinery — grid derivation, seed substreams, store lookups,
+// aggregation, rendering-side stats — with zero simulations. This per-grid
+// cost, times shards, is what bounds how fast a million-trial sweep
+// reassembles from warm stores; the CI gate tracks it against the
+// committed baseline so replay stays orders of magnitude under cold runs.
+func BenchmarkMillionTrialReplay(b *testing.B) {
+	cfg := Config{Quick: true, Reps: 2, Seed: 1234, Workers: 1, Memo: NewTrialMemo()}
+	if _, err := RunFig3(cfg); err != nil {
+		b.Fatal(err) // cold run fills the memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStoreHit measures the warm-hit path of the disk-backed store: a
 // Get whose record was loaded from a segment at open. CI holds it within
 // 10% of BenchmarkMemoHit in the same run (benchjson -fraction

@@ -15,6 +15,7 @@ package hypervisor
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -115,13 +116,44 @@ type VMSpec struct {
 	Containerized bool
 }
 
+// guestTopoCache interns guest topologies: a sweep builds the same few
+// (name, vCPUs) shapes thousands of times, and each topology.New carries an
+// O(n²) distance matrix. Topologies are immutable after New, and GuestConfig
+// never mutates the shared instance, so interning is safe; the mutex covers
+// trial workers building guests in parallel.
+var guestTopoCache struct {
+	sync.Mutex
+	m map[guestTopoKey]*topology.Topology
+}
+
+type guestTopoKey struct {
+	name  string
+	vcpus int
+}
+
 // GuestTopology returns the flat topology a guest sees: one virtual socket of
-// single-thread vCPUs (QEMU default without explicit -smp topology).
+// single-thread vCPUs (QEMU default without explicit -smp topology). The
+// returned topology is shared across calls with the same name and vCPU count
+// and must not be mutated.
 func GuestTopology(spec VMSpec) (*topology.Topology, error) {
 	if spec.VCPUs <= 0 {
 		return nil, fmt.Errorf("hypervisor: VM %q needs at least one vCPU", spec.Name)
 	}
-	return topology.New("guest-"+spec.Name, 1, spec.VCPUs, 1)
+	key := guestTopoKey{name: spec.Name, vcpus: spec.VCPUs}
+	guestTopoCache.Lock()
+	defer guestTopoCache.Unlock()
+	if t := guestTopoCache.m[key]; t != nil {
+		return t, nil
+	}
+	t, err := topology.New("guest-"+spec.Name, 1, spec.VCPUs, 1)
+	if err != nil {
+		return nil, err
+	}
+	if guestTopoCache.m == nil {
+		guestTopoCache.m = make(map[guestTopoKey]*topology.Topology)
+	}
+	guestTopoCache.m[key] = t
+	return t, nil
 }
 
 // NewGuest builds the guest machine for spec on the given host. The guest

@@ -80,6 +80,11 @@ type Controller struct {
 	P        Params
 	topo     *topology.Topology
 	channels []*Channel
+	// Embedded backing for the default two-channel device set (NIC + disk):
+	// controllers are built per trial, so the standard shape constructs
+	// without per-channel allocations.
+	chanBack [2]Channel
+	chanPtrs [2]*Channel
 }
 
 // DefaultChannels is the standard device set: one NIC (latency-only) and one
@@ -105,9 +110,18 @@ func NewController(topo *topology.Topology, p Params, specs []ChannelSpec) *Cont
 	if len(specs) == 0 {
 		specs = DefaultChannels()
 	}
+	// One backing array for the channel structs — the embedded buffers for
+	// the standard two-channel set, a single allocation past that.
+	back := c.chanBack[:]
+	c.channels = c.chanPtrs[:0]
+	if len(specs) > len(c.chanBack) {
+		back = make([]Channel, len(specs))
+		c.channels = make([]*Channel, 0, len(specs))
+	}
 	for i, spec := range specs {
 		home := (i * topo.ThreadsPerCore) % topo.NumCPUs()
-		c.channels = append(c.channels, &Channel{Spec: spec, Home: home})
+		back[i] = Channel{Spec: spec, Home: home}
+		c.channels = append(c.channels, &back[i])
 	}
 	return c
 }

@@ -87,7 +87,6 @@ func HostDefaults(topo *topology.Topology, seed uint64) Config {
 		Cache:          cache.DefaultParams(),
 		CG:             cgroups.DefaultParams(),
 		IRQ:            irqsim.DefaultParams(),
-		Channels:       irqsim.DefaultChannels(),
 		ComputeTax:     1,
 		IOScale:        1,
 		MsgSyncCost:    8 * sim.Microsecond,
@@ -165,23 +164,34 @@ func New(cfg Config) (*Machine, error) {
 		WanderStallRate:  cfg.WanderStallRate,
 		WanderStallCost:  cfg.WanderStallCost,
 		NestedSwitchCost: cfg.NestedSwitchCost,
-		ComputeScale: func(t *sched.Task) float64 {
-			tax := 1 + (cfg.ComputeTax-1)*t.Spec.VMTaxWeight
-			numa := m.Cache.NUMAFactorForSockets(t.Spec.MemBound, cfg.NUMASockets)
-			return tax * numa
-		},
+		// Method values instead of closures: the hooks read m.Cfg, so the
+		// (large) Config no longer escapes into its own heap cell per
+		// machine — construction is a per-trial steady-state cost.
+		ComputeScale: m.computeScale,
 	}
 	if cfg.VirtioExtra > 0 || cfg.VirtioMissProb > 0 {
-		scfg.PerIOExtra = func(*sched.Task) sim.Time {
-			extra := cfg.VirtioExtra
-			if cfg.VirtioMissProb > 0 && rng.Float64() < cfg.VirtioMissProb {
-				extra += cfg.VirtioMiss
-			}
-			return extra
-		}
+		scfg.PerIOExtra = m.perIOExtra
 	}
 	m.Sched = sched.New(eng, scfg)
 	return m, nil
+}
+
+// computeScale is the wall-time multiplier bound into the scheduler:
+// virtualization tax (weighted per task) × NUMA interleave factor.
+func (m *Machine) computeScale(t *sched.Task) float64 {
+	tax := 1 + (m.Cfg.ComputeTax-1)*t.Spec.VMTaxWeight
+	numa := m.Cache.NUMAFactorForSockets(t.Spec.MemBound, m.Cfg.NUMASockets)
+	return tax * numa
+}
+
+// perIOExtra is the per-IO-completion guest cost hook (virtio ring plus the
+// affinity-miss path of wandering vanilla vCPUs).
+func (m *Machine) perIOExtra(*sched.Task) sim.Time {
+	extra := m.Cfg.VirtioExtra
+	if m.Cfg.VirtioMissProb > 0 && m.RNG.Float64() < m.Cfg.VirtioMissProb {
+		extra += m.Cfg.VirtioMiss
+	}
+	return extra
 }
 
 // MustNew is New that panics on error (tests, examples).
@@ -204,6 +214,13 @@ func (m *Machine) Spawn(spec sched.TaskSpec, at sim.Time) *sched.Task {
 	return m.Sched.Spawn(spec, at)
 }
 
+// SpawnBatch schedules one task per spec, all arriving at the same instant.
+// Equivalent to calling Spawn for each spec in order, but the arrival events
+// are applied to the event queue as one batch (see sched.SpawnBatch).
+func (m *Machine) SpawnBatch(specs []sched.TaskSpec, at sim.Time) []*sched.Task {
+	return m.Sched.SpawnBatch(specs, at)
+}
+
 // Result summarizes one run.
 type Result struct {
 	Makespan     sim.Time // last task completion time
@@ -220,16 +237,22 @@ type Result struct {
 // legitimate outcome the experiments flag as out-of-range.
 func (m *Machine) Run(limit sim.Time) Result {
 	res := Result{}
-	for m.Sched.Live() > 0 {
-		if !m.Eng.Step() {
-			// No events but live tasks: a deadlock in the task graph.
-			panic(fmt.Sprintf("machine %s: %d tasks live with empty event queue",
-				m.Cfg.Name, m.Sched.Live()))
-		}
+	// RunWhile holds the engine's reentrancy guard for the whole run — one
+	// enter/leave instead of one per event. The condition reproduces the old
+	// per-step loop exactly: the limit is tested first (it can only trip
+	// after a step advanced the clock, and the old loop flagged a timeout
+	// even when that step finished the last task).
+	drained := m.Eng.RunWhile(func() bool {
 		if limit > 0 && m.Eng.Now() > limit {
 			res.TimedOut = true
-			break
+			return false
 		}
+		return m.Sched.Live() > 0
+	})
+	if !drained {
+		// No events but live tasks: a deadlock in the task graph.
+		panic(fmt.Sprintf("machine %s: %d tasks live with empty event queue",
+			m.Cfg.Name, m.Sched.Live()))
 	}
 	for _, g := range m.CG.Groups() {
 		g.Stop()
@@ -242,6 +265,9 @@ func (m *Machine) Run(limit sim.Time) Result {
 		}
 		if t.FinishedAt > res.Makespan {
 			res.Makespan = t.FinishedAt
+		}
+		if res.Responses == nil {
+			res.Responses = make([]sim.Time, 0, len(m.Sched.Tasks()))
 		}
 		res.Responses = append(res.Responses, t.ResponseTime())
 	}

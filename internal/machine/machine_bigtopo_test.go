@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// TestRunOnBigHost1024HighCPUs is the end-to-end >64-CPU regression test: a
+// full machine run on the 1024-CPU dual-socket host with tasks pinned above
+// CPU 1000 and one straddling the word-0/word-1 seam. Any surviving
+// single-word mask assumption anywhere in the stack — dispatch, idle
+// scanning, stealing, trace attribution — either strands the high-CPU tasks
+// (timeout) or runs them off their affinity (busy time outside the pin).
+func TestRunOnBigHost1024HighCPUs(t *testing.T) {
+	topo := topology.BigHost1024()
+	col := trace.NewCollector(nil)
+	cfg := HostDefaults(topo, 1)
+	cfg.Trace = col.Fn()
+	m := MustNew(cfg)
+
+	pinned := map[string]topology.CPUSet{}
+	for cpu := 1016; cpu <= 1023; cpu++ {
+		name := "hi" + topology.NewCPUSet(cpu).String()
+		pinned[name] = topology.NewCPUSet(cpu)
+		m.Spawn(sched.TaskSpec{Name: name, Affinity: pinned[name],
+			Program: sched.Sequence(sched.Compute(5 * sim.Millisecond))}, 0)
+	}
+	seam := topology.NewCPUSet(63, 64)
+	pinned["seam"] = seam
+	m.Spawn(sched.TaskSpec{Name: "seam", Affinity: seam,
+		Program: sched.Sequence(sched.Compute(5 * sim.Millisecond))}, 0)
+
+	res := m.Run(10 * sim.Second)
+	if res.TimedOut {
+		t.Fatal("high-CPU pinned tasks never completed")
+	}
+	if len(res.Responses) != 9 {
+		t.Fatalf("responses: %d, want 9", len(res.Responses))
+	}
+	// Distinct single-CPU pins run concurrently: the makespan must be one
+	// task's worth of compute, not a serialized pile-up on a low CPU.
+	if res.Makespan > 8*sim.Millisecond {
+		t.Fatalf("makespan %v suggests tasks serialized off their pins", res.Makespan)
+	}
+
+	allowed := topology.CPUSet{}
+	for _, s := range pinned {
+		allowed = allowed.Union(s)
+	}
+	sawHigh := false
+	col.VisitCPUBusy(func(cpu int, busy sim.Time) {
+		if busy == 0 {
+			return
+		}
+		if !allowed.Contains(cpu) {
+			t.Errorf("busy time %v on CPU %d, outside every affinity", busy, cpu)
+		}
+		if cpu >= 1016 {
+			sawHigh = true
+		}
+	})
+	if !sawHigh {
+		t.Fatal("no busy time attributed to any CPU >= 1016")
+	}
+	// Each single-CPU pin must have run exactly where it was pinned.
+	for cpu := 1016; cpu <= 1023; cpu++ {
+		found := false
+		col.VisitCPUBusy(func(c int, busy sim.Time) {
+			if c == cpu && busy > 0 {
+				found = true
+			}
+		})
+		if !found {
+			t.Errorf("CPU %d: pinned task left no busy time", cpu)
+		}
+	}
+}

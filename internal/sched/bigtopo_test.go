@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// bigTopoRig saturates the 1024-CPU dual-socket host (topology.BigHost1024,
+// the CPUSet capacity limit) with queued tasks spread over both sockets:
+// every steal walks real 16-word bitmask scans, the per-socket queued
+// index, group filtering and cross-socket domain ordering at the scale the
+// big-host fast paths are sized for.
+func bigTopoRig(t testing.TB) (*stealRig, []*Task) {
+	topo := topology.BigHost1024()
+	sr := &stealRig{r: newRig(topo, nil)}
+	g := sr.r.cg.NewGroup("g", 0, topology.CPUSet{})
+	n := topo.NumCPUs()
+	var tasks []*Task
+	// 256 queued tasks scattered across the CPU range by a stride coprime
+	// with 1024, thirds of them grouped, so queuedMask has set bits in
+	// every word region and both sockets carry stealable load.
+	for i := 0; i < 256; i++ {
+		cpu := (i * 137) % n
+		var grp = g
+		if i%3 == 0 {
+			grp = nil
+		}
+		tasks = append(tasks, sr.queue(cpu, sim.Time(i)*sim.Microsecond, grp, topology.CPUSet{}))
+	}
+	return sr, tasks
+}
+
+// TestAllocsBigTopologySteadyState is the zero-alloc contract of the
+// scheduler fast path at the 1024-CPU scale: once affinities are interned
+// and heaps carved, a steal + requeue cycle allocates nothing.
+func TestAllocsBigTopologySteadyState(t *testing.T) {
+	sr, _ := bigTopoRig(t)
+	s := sr.r.s
+	thief := s.cpus[1023] // top CPU of socket 1: the hi-word scan path
+	for i := 0; i < 64; i++ {
+		st := s.steal(thief)
+		if st == nil {
+			t.Fatal("saturated rig must always yield a steal")
+		}
+		s.rqPush(s.cpus[2], st)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		st := s.steal(thief)
+		s.rqPush(s.cpus[2], st)
+	}); n != 0 {
+		t.Fatalf("big-topology steal+requeue allocates %v per run, want 0", n)
+	}
+}
+
+// BenchmarkBigTopology measures one idle-balancing pick on the saturated
+// 1024-CPU dual-socket host (steal + requeue so the queues never drain):
+// the cost the word-masked scans and O(occupied sockets) indexes must keep
+// flat as the host grows 9x past the paper's 112-CPU machine.
+func BenchmarkBigTopology(b *testing.B) {
+	sr, _ := bigTopoRig(b)
+	s := sr.r.s
+	thief := s.cpus[1023]
+	// Same warmup as the zero-alloc test: first picks intern affinity
+	// slices and grow side tables, which would otherwise smear fractional
+	// allocs into short -benchtime runs.
+	for i := 0; i < 64; i++ {
+		s.rqPush(s.cpus[2], s.steal(thief))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := s.steal(thief)
+		s.rqPush(s.cpus[2], st)
+	}
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "repro/internal/topology"
+import (
+	"math/bits"
+
+	"repro/internal/topology"
+)
 
 // affEntry is one interned effective-affinity set with its slice expansion.
 type affEntry struct {
@@ -58,40 +62,45 @@ func (s *Scheduler) siblingIdle(cpu int) bool {
 //     first placements, which spreads fork-time placement like
 //     SD_BALANCE_FORK);
 //  3. otherwise the least-loaded allowed CPU.
+//
+// The idle scan intersects the affinity mask with the idle bitmask word by
+// word, so on a mostly-idle big host a wakeup costs O(mask words), not
+// O(allowed CPUs) — while visiting the surviving candidates in exactly the
+// circular ascending order the plain slice walk used.
 func (s *Scheduler) placeTask(t *Task) int {
 	set, slice := s.cachedAffinity(t)
 	if t.lastCPU >= 0 && set.Contains(t.lastCPU) && s.cpus[t.lastCPU].current == nil {
 		return t.lastCPU
 	}
-	start := 0
+	var startCPU int
 	if t.lastCPU >= 0 {
-		// Begin scanning at the first allowed CPU of the previous socket.
-		sock := s.cfg.Topo.Socket(t.lastCPU)
-		for i, c := range slice {
-			if s.cfg.Topo.Socket(c) == sock {
-				start = i
-				break
-			}
+		// Begin scanning at the first allowed CPU of the previous socket
+		// (falling back to the first allowed CPU overall, like the slice
+		// walk whose start index stayed 0 when the socket had none).
+		startCPU = slice[0]
+		lo, hi := s.tix.SocketRange(s.cfg.Topo.Socket(t.lastCPU))
+		if c := set.Next(lo - 1); c >= 0 && c < hi {
+			startCPU = c
 		}
 	} else {
-		start = s.curs % len(slice)
+		startCPU = slice[s.curs%len(slice)]
 		s.curs++
 	}
 	firstIdle := -1
-	for i := 0; i < len(slice); i++ {
-		c := slice[(start+i)%len(slice)]
-		if s.cpus[c].current != nil {
-			continue
-		}
-		if firstIdle < 0 {
-			firstIdle = c
-		}
-		if s.siblingIdle(c) {
-			return c
-		}
+	if c := s.scanIdleAllowed(set, startCPU, &firstIdle); c >= 0 {
+		return c
 	}
 	if firstIdle >= 0 {
 		return firstIdle
+	}
+	// Saturated machine: every allowed CPU is busy. Fall back to the full
+	// least-loaded circular scan, unchanged from the pre-fast-path pick.
+	start := 0
+	for i, c := range slice {
+		if c == startCPU {
+			start = i
+			break
+		}
 	}
 	best, bestLoad := slice[start], 1<<30
 	for i := 0; i < len(slice); i++ {
@@ -101,4 +110,52 @@ func (s *Scheduler) placeTask(t *Task) int {
 		}
 	}
 	return best
+}
+
+// scanIdleAllowed visits the idle CPUs of set in circular ascending order
+// starting at startCPU, returning the first whose SMT siblings are all idle;
+// *firstIdle records the first idle CPU seen (-1 if none). Visit order
+// matches a circular walk of set's slice expansion restricted to idle CPUs.
+func (s *Scheduler) scanIdleAllowed(set topology.CPUSet, startCPU int, firstIdle *int) int {
+	words := set.Words()
+	if words > len(s.idleMask) {
+		words = len(s.idleMask) // affinity bits past NumCPUs are unreachable
+	}
+	startW := startCPU >> 6
+	for w := startW; w < words; w++ {
+		word := set.Word(w) & s.idleMask[w]
+		if w == startW {
+			word &^= (1 << uint(startCPU&63)) - 1
+		}
+		if c := s.firstSiblingIdle(w, word, firstIdle); c >= 0 {
+			return c
+		}
+	}
+	for w := 0; w <= startW && w < words; w++ {
+		word := set.Word(w) & s.idleMask[w]
+		if w == startW {
+			word &= (1 << uint(startCPU&63)) - 1
+		}
+		if c := s.firstSiblingIdle(w, word, firstIdle); c >= 0 {
+			return c
+		}
+	}
+	return -1
+}
+
+// firstSiblingIdle scans one idle∩allowed word, recording the first idle CPU
+// and returning the first whose whole physical core is idle (-1 if none).
+func (s *Scheduler) firstSiblingIdle(w int, word uint64, firstIdle *int) int {
+	for word != 0 {
+		b := bits.TrailingZeros64(word)
+		word &^= 1 << uint(b)
+		c := w<<6 | b
+		if *firstIdle < 0 {
+			*firstIdle = c
+		}
+		if s.siblingIdle(c) {
+			return c
+		}
+	}
+	return -1
 }

@@ -124,14 +124,29 @@ func (s *Scheduler) rqPush(c *cpuRun, t *Task) {
 	s.rqSeq++
 	t.rqCPU = c.id
 	qi := int(t.qIdx)
-	for len(c.subs) <= qi {
-		c.subs = append(c.subs, subQueue{})
+	if len(c.subs) <= qi {
+		if qi < cap(c.subs) {
+			// The pre-carved backing (sched.New carves two partitions per
+			// CPU) still has room: extend in place, no allocation.
+			c.subs = c.subs[:qi+1]
+		} else {
+			// 3+-tenant host: grow to the needed partition count once.
+			ns := make([]subQueue, qi+1, 2*(qi+1))
+			copy(ns, c.subs)
+			c.subs = ns
+		}
 	}
 	sq := &c.subs[qi]
 	if sq.g == nil {
 		sq.g = t.Spec.Group // no-op for the ungrouped partition (qIdx 0)
 	}
+	if sq.h == nil {
+		sq.h = s.carveHeap()
+	}
 	sq.push(t)
+	if c.queued == 0 {
+		s.queuedMask[c.id>>6] |= 1 << uint(c.id&63)
+	}
 	c.queued++
 	s.socketQueued[s.tix.Socket(c.id)]++
 	s.groupQueued[qi]++
@@ -141,6 +156,9 @@ func (s *Scheduler) rqPush(c *cpuRun, t *Task) {
 // c's runqueue (pickLocal or steal).
 func (s *Scheduler) rqUnlinked(c *cpuRun, t *Task) {
 	c.queued--
+	if c.queued == 0 {
+		s.queuedMask[c.id>>6] &^= 1 << uint(c.id&63)
+	}
 	s.socketQueued[s.tix.Socket(c.id)]--
 	s.groupQueued[t.qIdx]--
 }
@@ -179,12 +197,18 @@ func (s *Scheduler) pickLocal(c *cpuRun) *Task {
 //   - the per-group global queued index bails out in O(groups) when no
 //     group has queued, unthrottled tasks anywhere (by far the common case:
 //     steal runs on an idle CPU);
-//   - steal domains are walked nearest-first (own socket's SMT siblings and
-//     LLC first, then remote sockets) and a socket with no queued tasks is
-//     skipped in one compare;
+//   - steal domains are visited own-socket-first, then remote sockets in
+//     ascending order; a socket with no queued tasks is skipped in one
+//     compare, and within a socket only CPUs with a set queued-mask bit are
+//     touched (word-at-a-time, so an empty 512-CPU socket segment costs 8
+//     word reads instead of 512 per-CPU compares);
 //   - a victim whose raw queue depth cannot beat the current best
 //     (load ≤ best, or equal with a higher id) is skipped without touching
 //     its heaps — queue depth bounds affinity-filtered load from above.
+//
+// Visit order differs from the retired StealOrder table (which put SMT
+// siblings before LLC mates), but the pick is a total order over victims and
+// tasks, so any traversal order yields the identical steal.
 func (s *Scheduler) steal(c *cpuRun) *Task {
 	stealable := false
 	for qi, n := range s.groupQueued {
@@ -236,22 +260,37 @@ func (s *Scheduler) steal(c *cpuRun) *Task {
 			bestLoad, bestID = load, o.id
 		}
 	}
+	scanSocket := func(sk int) {
+		lo, hi := s.tix.SocketRange(sk)
+		for w := lo >> 6; w<<6 < hi; w++ {
+			word := s.queuedMask[w]
+			base := w << 6
+			// Sockets need not be word-aligned: mask off bits outside
+			// [lo, hi).
+			if base < lo {
+				word &^= (1 << uint(lo-base)) - 1
+			}
+			if base+64 > hi {
+				word &= (1 << uint(hi-base)) - 1
+			}
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				if id := base + b; id != c.id {
+					scan(s.cpus[id])
+				}
+			}
+		}
+	}
 	mySock := s.tix.Socket(c.id)
 	if s.socketQueued[mySock] != 0 {
-		// The nearest-first order's leading segment is exactly the rest of
-		// this CPU's socket: SMT siblings, then LLC mates.
-		own := s.tix.StealOrder(c.id)[:len(s.tix.SocketCPUs(mySock))-1]
-		for _, o := range own {
-			scan(s.cpus[o])
-		}
+		scanSocket(mySock)
 	}
 	for sk := 0; sk < s.tix.NumSockets(); sk++ {
 		if sk == mySock || s.socketQueued[sk] == 0 {
 			continue
 		}
-		for _, o := range s.tix.SocketCPUs(sk) {
-			scan(s.cpus[o])
-		}
+		scanSocket(sk)
 	}
 	if cand == nil {
 		return nil
@@ -308,6 +347,10 @@ func (s *Scheduler) minVruntime(c *cpuRun) sim.Time {
 
 // hasRunnable reports whether any queued task of c may run right now.
 func (s *Scheduler) hasRunnable(c *cpuRun) bool {
+	if len(c.subs) <= 1 {
+		// Only the ungrouped partition exists, which never throttles.
+		return c.queued > 0
+	}
 	for i := range c.subs {
 		sq := &c.subs[i]
 		if len(sq.h) > 0 && !sq.throttledQ() {
@@ -319,6 +362,10 @@ func (s *Scheduler) hasRunnable(c *cpuRun) bool {
 
 // runnableCount returns how many queued tasks of c may run right now.
 func (s *Scheduler) runnableCount(c *cpuRun) int {
+	if len(c.subs) <= 1 {
+		// Only the ungrouped partition exists, which never throttles.
+		return int(c.queued)
+	}
 	n := 0
 	for i := range c.subs {
 		sq := &c.subs[i]

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/cgroups"
@@ -72,13 +73,16 @@ type procKey struct {
 }
 
 type cpuRun struct {
-	id           int
-	subs         []subQueue // runqueue, partitioned by cgroup (see runqueue.go)
-	queued       int32      // total tasks across subs (throttled included)
+	id     int
+	sched  *Scheduler // back-pointer for the static slice-timer callback
+	subs   []subQueue // runqueue, partitioned by cgroup (see runqueue.go)
+	subs0  [2]subQueue // embedded backing of subs: ungrouped + one cgroup
+	queued int32       // total tasks across subs (throttled included)
+
 	current      *Task
 	lastTask     *Task
-	sliceTimer   *sim.Timer // fires sliceDone; bound at first dispatch, zero alloc/slice
-	sliceEndAt   sim.Time   // planned end of the current slice
+	sliceTimer   sim.Timer // fires sliceDone; bound at first dispatch, zero alloc/slice
+	sliceEndAt   sim.Time  // planned end of the current slice
 	sliceStart   sim.Time
 	sliceOver    sim.Time // committed overhead portion of current slice
 	sliceWork    sim.Time // planned scaled work in current slice
@@ -101,23 +105,29 @@ type Scheduler struct {
 	cpus []*cpuRun
 
 	tasks []*Task
-	// groups and the maps below are spawn/throttle-time bookkeeping only;
-	// the dispatch path reads counters cached on Task and cgroups.Group.
-	groups      map[*cgroups.Group][]*Task
-	groupQIdx   map[*cgroups.Group]int32
+	// qMembers and procCtrs are spawn/throttle-time bookkeeping only; the
+	// dispatch path reads counters cached on Task and cgroups.Group.
+	// qMembers[qi] lists the spawned tasks of the group at subqueue index
+	// qi (index 0, the ungrouped partition, stays nil); group → qIdx
+	// resolution is a linear scan of qGroups (machines host a handful of
+	// groups at most, and only at spawn time).
+	qMembers    [][]*Task
 	procCtrs    map[procKey]*procCount
 	rqSeq       uint64 // global enqueue sequence (runqueue tie-break)
 	live        int
 	bd          Breakdown
 	curs        int // rotating placement cursor
 	completed   []*Task
-	wanderTimer *sim.Timer
+	wanderTimer sim.Timer
+	wanderMean  sim.Time // mean inter-stall gap of the vCPU-wander process
 
-	// Dispatch fast-path indexes (see runqueue.go): the idle-CPU bitmask,
-	// per-socket queued-task counts, and the per-group global queued-task
-	// counts (indexed by subqueue index; 0 = ungrouped) that let steal skip
-	// empty steal domains and bail out when nothing is stealable.
+	// Dispatch fast-path indexes (see runqueue.go): the idle-CPU and
+	// queued-CPU bitmasks, per-socket queued-task counts, and the per-group
+	// global queued-task counts (indexed by subqueue index; 0 = ungrouped)
+	// that let steal and placement skip empty steal domains word-at-a-time
+	// and bail out when nothing is stealable.
 	idleMask     []uint64
+	queuedMask   []uint64 // CPUs with queued > 0
 	socketQueued []int32
 	groupQueued  []int32
 	qGroups      []*cgroups.Group // subqueue index -> group (nil at 0)
@@ -129,6 +139,24 @@ type Scheduler struct {
 	// taskArena slab-allocates Task structs (tasks live for the whole run,
 	// so a bump allocator needs no free path).
 	taskArena []Task
+	// heapBack bump-allocates the initial 8-slot backing of each subqueue
+	// heap; a heap that outgrows its carve falls back to append growth.
+	heapBack []*Task
+	// procArena slab-allocates procCount cells (they live for the run).
+	procArena []procCount
+	// batchArgs is the reusable arrival-argument scratch of SpawnBatch.
+	batchArgs []any
+
+	// Embedded backings for the index slices above: hosts up to 1024 CPUs /
+	// 8 sockets / 7 cgroups construct without allocating them separately.
+	// Larger shapes (none exist today — topology caps at 1024 CPUs) fall
+	// back to make, and the group slices fall back through plain append
+	// growth past their embedded capacity.
+	masksBack        [32]uint64 // idleMask + queuedMask, 16 words each
+	socketQueuedBack [8]int32
+	groupQueuedBack  [8]int32
+	qGroupsBack      [8]*cgroups.Group
+	qMembersBack     [8][]*Task
 }
 
 // New returns a scheduler over eng with the given config.
@@ -142,13 +170,12 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 	if cfg.RNG == nil {
 		cfg.RNG = sim.NewRNG(1)
 	}
+	// The bookkeeping structures (qMembers, procCtrs) fill lazily on first
+	// grouped spawn: ungrouped machines never pay for them.
 	s := &Scheduler{
-		cfg:       cfg,
-		eng:       eng,
-		tix:       cfg.Topo.Index(),
-		groups:    make(map[*cgroups.Group][]*Task),
-		groupQIdx: make(map[*cgroups.Group]int32),
-		procCtrs:  make(map[procKey]*procCount),
+		cfg: cfg,
+		eng: eng,
+		tix: cfg.Topo.Index(),
 	}
 	n := cfg.Topo.NumCPUs()
 	// One backing array for all cpuRun state; slice timers bind lazily at a
@@ -156,33 +183,75 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 	// container on the 112-CPU paper host) construct in a few allocations.
 	backing := make([]cpuRun, n)
 	s.cpus = make([]*cpuRun, n)
+	// Nearly every run uses at most two runqueue partitions per CPU
+	// (ungrouped + one cgroup), so each cpuRun embeds that capacity; rqPush
+	// only allocates past it for 3+-tenant hosts.
 	for i := range backing {
 		backing[i].id = i
+		backing[i].sched = s
+		backing[i].subs = backing[i].subs0[:0:len(backing[i].subs0)]
 		s.cpus[i] = &backing[i]
 	}
-	s.idleMask = make([]uint64, (n+63)/64)
+	words := (n + 63) / 64
+	masks := s.masksBack[:]
+	if 2*words > len(masks) {
+		masks = make([]uint64, 2*words)
+	}
+	s.idleMask = masks[0:words:words]
+	s.queuedMask = masks[words : 2*words : 2*words]
 	for i := 0; i < n; i++ {
 		s.idleMask[i>>6] |= 1 << uint(i&63)
 	}
-	s.socketQueued = make([]int32, s.tix.NumSockets())
-	s.groupQueued = make([]int32, 1, 8)
-	s.qGroups = make([]*cgroups.Group, 1, 8)
+	sockets := s.tix.NumSockets()
+	if sockets <= len(s.socketQueuedBack) {
+		s.socketQueued = s.socketQueuedBack[:sockets]
+	} else {
+		s.socketQueued = make([]int32, sockets)
+	}
+	s.groupQueued = s.groupQueuedBack[:1]
+	s.qGroups = s.qGroupsBack[:1]
+	s.qMembers = s.qMembersBack[:1]
 	if cfg.WanderStallRate > 0 && cfg.WanderStallCost > 0 {
 		s.scheduleWander()
 	}
 	return s
 }
 
+// carveHeap hands out the initial 8-slot backing of one subqueue heap from
+// the heapBack bump slab: one slab allocation covers every CPU's first
+// partition, instead of one small allocation per freshly-touched subqueue.
+// Heaps that outgrow their carve fall back to plain append growth.
+func (s *Scheduler) carveHeap() []*Task {
+	const carve = 8
+	if len(s.heapBack) < carve {
+		// First slab covers all CPUs; refills (3+ partitions per CPU, or
+		// literal-constructed tiny topologies) use a fixed chunk.
+		n := carve * len(s.cpus)
+		if n < 512 {
+			n = 512
+		}
+		s.heapBack = make([]*Task, n)
+	}
+	h := s.heapBack[0:0:carve]
+	s.heapBack = s.heapBack[carve:]
+	return h
+}
+
 // scheduleWander runs the vCPU-wander Poisson process: at each event one
 // random CPU accrues a stall, paid by the next dispatch there.
 func (s *Scheduler) scheduleWander() {
-	mean := sim.Time(float64(sim.Second) / (s.cfg.WanderStallRate * float64(len(s.cpus))))
-	s.wanderTimer = s.eng.NewTimer(func() {
-		c := s.cpus[s.cfg.RNG.Intn(len(s.cpus))]
-		c.pendingStall += s.cfg.WanderStallCost
-		s.wanderTimer.Reset(s.cfg.RNG.ExpDuration(mean))
-	})
-	s.wanderTimer.Reset(s.cfg.RNG.ExpDuration(mean))
+	s.wanderMean = sim.Time(float64(sim.Second) / (s.cfg.WanderStallRate * float64(len(s.cpus))))
+	s.wanderTimer.InitArg(s.eng, wanderFired, s)
+	s.wanderTimer.Reset(s.cfg.RNG.ExpDuration(s.wanderMean))
+}
+
+// wanderFired is the static wander-timer callback: one random CPU accrues a
+// stall and the Poisson process re-arms.
+func wanderFired(a any) {
+	s := a.(*Scheduler)
+	c := s.cpus[s.cfg.RNG.Intn(len(s.cpus))]
+	c.pendingStall += s.cfg.WanderStallCost
+	s.wanderTimer.Reset(s.cfg.RNG.ExpDuration(s.wanderMean))
 }
 
 // Breakdown returns the accumulated overhead meter.
@@ -196,24 +265,86 @@ func (s *Scheduler) Tasks() []*Task { return s.tasks }
 
 // Spawn creates a task and schedules its arrival at time `at`.
 func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
+	t := s.spawnTask(spec)
+	s.eng.AtArg(at, taskArrived, t)
+	return t
+}
+
+// SpawnBatch creates one task per spec, all arriving at time `at`, in spec
+// order. It is equivalent to calling Spawn for each spec in order, but the
+// arrival events are applied to the event queue as one batch and share the
+// static arrival callback, so a spawn storm (a 16-thread process per trial,
+// thousands of trials per sweep) costs no per-task closures or heap churn.
+func (s *Scheduler) SpawnBatch(specs []TaskSpec, at sim.Time) []*Task {
+	// Reserve task-table and arena capacity for the whole batch up front,
+	// replacing append doubling and arena block bumps mid-batch.
+	if need := len(s.tasks) + len(specs); cap(s.tasks) < need {
+		nt := make([]*Task, len(s.tasks), need)
+		copy(nt, s.tasks)
+		s.tasks = nt
+	}
+	if len(s.taskArena) < len(specs) {
+		s.taskArena = make([]Task, len(specs))
+	}
+	// The returned view aliases the task table (tasks are appended one per
+	// spec) and the arrival args reuse a per-scheduler scratch: a batch in
+	// steady state allocates nothing here.
+	start := len(s.tasks)
+	if cap(s.batchArgs) < len(specs) {
+		s.batchArgs = make([]any, len(specs))
+	}
+	args := s.batchArgs[:len(specs)]
+	for i := range specs {
+		args[i] = s.spawnTask(specs[i])
+	}
+	s.eng.AtBatch(at, taskArrived, args...)
+	return s.tasks[start:len(s.tasks):len(s.tasks)]
+}
+
+// taskArrived is the static arrival callback, scheduled through AtArg /
+// AtBatch with the *Task as argument (no per-spawn closure).
+func taskArrived(a any) {
+	t := a.(*Task)
+	s := t.sched
+	t.SpawnedAt = s.eng.Now()
+	s.emit(TraceSpawn, t, -1, BlockNone)
+	s.startProgram(t, -1)
+}
+
+// spawnTask runs the spawn-time bookkeeping shared by Spawn and SpawnBatch;
+// the caller schedules the arrival event.
+func (s *Scheduler) spawnTask(spec TaskSpec) *Task {
 	if spec.Program == nil {
 		panic("sched: task without program")
 	}
 	t := s.newTask()
-	*t = Task{ID: len(s.tasks), Spec: spec, lastCPU: -1, rqCPU: -1, rqPos: -1, state: stateNew, pendingMsgFromCPU: -1}
+	*t = Task{ID: len(s.tasks), Spec: spec, sched: s, lastCPU: -1, rqCPU: -1, rqPos: -1, state: stateNew, pendingMsgFromCPU: -1}
 	s.tasks = append(s.tasks, t)
 	s.live++
 	if g := spec.Group; g != nil {
-		s.groups[g] = append(s.groups[g], t)
-		if len(s.groups[g]) == 1 {
-			s.registerGroup(g)
+		qi := s.groupIdx(g)
+		if qi == 0 {
+			qi = s.registerGroup(g)
 		}
-		t.qIdx = s.groupQIdx[g]
+		t.qIdx = qi
+		members := s.qMembers[qi]
+		if members == nil {
+			members = make([]*Task, 0, 16)
+		}
+		members = append(members, t)
+		s.qMembers[qi] = members
 		if spec.Proc > 0 {
+			if s.procCtrs == nil {
+				s.procCtrs = make(map[procKey]*procCount)
+			}
 			key := procKey{g, spec.Proc}
 			ctr := s.procCtrs[key]
 			if ctr == nil {
-				ctr = &procCount{}
+				if len(s.procArena) == 0 {
+					s.procArena = make([]procCount, 16)
+				}
+				ctr = &s.procArena[0]
+				s.procArena = s.procArena[1:]
 				s.procCtrs[key] = ctr
 			}
 			t.procCtr = ctr
@@ -223,17 +354,32 @@ func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
 		// members (§IV-C: the unthrottle refill cost tracks how much state
 		// the threads pull back into cache).
 		var wsSum float64
-		for _, gt := range s.groups[g] {
+		for _, gt := range members {
 			wsSum += gt.Spec.WorkingSet
 		}
-		g.SetChurnScale(churnWSScale(wsSum / float64(len(s.groups[g]))))
+		g.SetChurnScale(churnWSScale(wsSum / float64(len(members))))
 	}
-	s.eng.At(at, func() {
-		t.SpawnedAt = s.eng.Now()
-		s.emit(TraceSpawn, t, -1, BlockNone)
-		s.startProgram(t, -1)
-	})
 	return t
+}
+
+// groupIdx returns the subqueue index assigned to g, or 0 when g has not
+// been registered yet. A linear scan: machines host a handful of groups at
+// most, and only spawn/throttle paths resolve a group to its index.
+func (s *Scheduler) groupIdx(g *cgroups.Group) int32 {
+	for qi := 1; qi < len(s.qGroups); qi++ {
+		if s.qGroups[qi] == g {
+			return int32(qi)
+		}
+	}
+	return 0
+}
+
+// reserveCompleted sizes the completion list once, at the first finish, when
+// the total task population is known.
+func (s *Scheduler) reserveCompleted() {
+	if s.completed == nil {
+		s.completed = make([]*Task, 0, len(s.tasks))
+	}
 }
 
 // newTask bump-allocates a Task from the arena slab. Blocks start small —
@@ -255,14 +401,16 @@ func (s *Scheduler) newTask() *Task {
 	return t
 }
 
-func (s *Scheduler) registerGroup(g *cgroups.Group) {
+func (s *Scheduler) registerGroup(g *cgroups.Group) int32 {
 	// Subqueue index 0 is the ungrouped partition; groups start at 1. The
-	// global queued-load index grows in lockstep with the qIdx assignment.
-	s.groupQIdx[g] = int32(len(s.groupQIdx)) + 1
+	// global queued-load index and member lists grow in lockstep with the
+	// qIdx assignment.
+	qi := int32(len(s.qGroups))
 	s.groupQueued = append(s.groupQueued, 0)
 	s.qGroups = append(s.qGroups, g)
+	s.qMembers = append(s.qMembers, nil)
 	g.SetUnthrottleFn(func(churn sim.Time) {
-		for _, t := range s.groups[g] {
+		for _, t := range s.qMembers[qi] {
 			switch t.state {
 			case stateRunnable, stateBlockedIO, stateBlockedRecv:
 				// Overwrite, never stack: cold caches refill once no matter
@@ -281,6 +429,7 @@ func (s *Scheduler) registerGroup(g *cgroups.Group) {
 			}
 		})
 	})
+	return qi
 }
 
 // churnWSScale converts a task's working-set size into its unthrottle
@@ -416,6 +565,7 @@ func (s *Scheduler) finish(t *Task) {
 	t.state = stateDone
 	t.finished = true
 	t.FinishedAt = s.eng.Now()
+	s.reserveCompleted()
 	s.completed = append(s.completed, t)
 	s.live--
 	if g := t.Spec.Group; g != nil {
@@ -425,20 +575,26 @@ func (s *Scheduler) finish(t *Task) {
 }
 
 // armWake schedules t's block-expiry wakeup (IO completion when t.wakeCh is
-// set, plain sleep wake otherwise) on the task's pooled timer: the callback
-// is bound once per task, so steady-state IO pays no closure allocation.
+// set, plain sleep wake otherwise) on the task's embedded timer: the static
+// callback is bound once per task, so steady-state IO pays neither a Timer
+// allocation nor a closure.
 func (s *Scheduler) armWake(t *Task, d sim.Time) {
-	if t.wakeTimer == nil {
-		t.wakeTimer = s.eng.NewTimer(func() {
-			if ch := t.wakeCh; ch != nil {
-				t.wakeCh = nil
-				s.ioComplete(t, ch)
-			} else {
-				s.wakeFromBlock(t)
-			}
-		})
+	if !t.wakeTimer.Bound() {
+		t.wakeTimer.InitArg(s.eng, taskWakeFired, t)
 	}
 	t.wakeTimer.Reset(d)
+}
+
+// taskWakeFired is the static wake-timer callback: IO completion when wakeCh
+// is set, plain sleep wake otherwise.
+func taskWakeFired(a any) {
+	t := a.(*Task)
+	if ch := t.wakeCh; ch != nil {
+		t.wakeCh = nil
+		t.sched.ioComplete(t, ch)
+	} else {
+		t.sched.wakeFromBlock(t)
+	}
 }
 
 // makeRunnable enqueues a task ready to compute. homeCPU >= 0 keeps the task
@@ -677,8 +833,8 @@ func (s *Scheduler) startSlice(c *cpuRun, t *Task) {
 	s.emit(TraceRunStart, t, c.id, BlockNone)
 	c.current = t
 	s.markBusy(c.id)
-	if c.sliceTimer == nil {
-		c.sliceTimer = s.eng.NewTimer(func() { s.sliceDone(c) })
+	if !c.sliceTimer.Bound() {
+		c.sliceTimer.InitArg(s.eng, cpuSliceFired, c)
 	}
 	c.sliceStart = now
 	c.sliceOver = occ - work
@@ -692,6 +848,12 @@ func (s *Scheduler) startSlice(c *cpuRun, t *Task) {
 // sliceDone finishes the planned slice of c.current.
 func (s *Scheduler) sliceDone(c *cpuRun) {
 	s.endSlice(c, c.sliceWork, c.sliceFull)
+}
+
+// cpuSliceFired is the static slice-timer callback.
+func cpuSliceFired(a any) {
+	c := a.(*cpuRun)
+	c.sched.sliceDone(c)
 }
 
 // preempt cuts short the current slice (quota throttle of the group).
@@ -786,9 +948,33 @@ func (s *Scheduler) endSlice(c *cpuRun, workScaled sim.Time, full bool) {
 }
 
 // leastLoadedCPU returns the allowed CPU with the smallest load, excluding
-// `except`.
+// `except`; ties resolve to the lowest CPU id.
 func (s *Scheduler) leastLoadedCPU(t *Task, except *cpuRun) *cpuRun {
-	_, slice := s.cachedAffinity(t)
+	set, slice := s.cachedAffinity(t)
+	// Fast path: load 0 (idle, nothing runnable queued) is the global
+	// minimum, and the full scan returns the first minimum in ascending
+	// order — so the first idle allowed CPU with an empty runnable count
+	// wins outright. Word-masked, so rebalancing on a mostly-idle big host
+	// costs O(mask words) instead of a load read per allowed CPU.
+	words := set.Words()
+	if words > len(s.idleMask) {
+		words = len(s.idleMask)
+	}
+	for w := 0; w < words; w++ {
+		word := set.Word(w) & s.idleMask[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			c := s.cpus[w<<6|b]
+			if except != nil && c.id == except.id {
+				continue
+			}
+			if s.runnableCount(c) == 0 {
+				return c
+			}
+		}
+	}
+	// No load-0 CPU available: full scan for the true minimum.
 	var best *cpuRun
 	bestLoad := 1 << 30
 	for _, id := range slice {
@@ -824,7 +1010,7 @@ func (s *Scheduler) throttleGroup(g *cgroups.Group) {
 	if s.cfg.Trace != nil {
 		s.cfg.Trace(TraceEvent{Kind: TraceThrottle, CPU: -1, At: s.eng.Now(), Group: g.Name})
 	}
-	for _, t := range s.groups[g] {
+	for _, t := range s.qMembers[s.groupIdx(g)] {
 		if t.state == stateRunning {
 			c := s.cpus[t.curCPU]
 			if c.current == t {

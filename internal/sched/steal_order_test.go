@@ -51,10 +51,11 @@ func (sr *stealRig) queue(cpu int, vr sim.Time, g *cgroups.Group, aff topology.C
 	}
 	sr.nextID++
 	if g != nil {
-		if _, ok := s.groupQIdx[g]; !ok {
-			s.registerGroup(g)
+		qi := s.groupIdx(g)
+		if qi == 0 {
+			qi = s.registerGroup(g)
 		}
-		t.qIdx = s.groupQIdx[g]
+		t.qIdx = qi
 	}
 	t.vruntime = vr
 	s.updateRunnable(t, 1)

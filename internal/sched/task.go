@@ -94,6 +94,24 @@ func Sequence(actions ...Action) Program {
 	})
 }
 
+// ActionList is a Program backed by a shared, immutable action slice: the
+// progress cursor lives on each Task, so one ActionList value — and the
+// single interface conversion it costs — can drive any number of tasks with
+// zero per-task allocation. Sequence, by contrast, builds a fresh closure
+// per task; spawn storms (a 16-thread transcoder per trial, thousands of
+// trials) use ActionList. The slice must not be mutated after spawning.
+type ActionList []Action
+
+// Next implements Program.
+func (a ActionList) Next(t *Task) Action {
+	if int(t.progIdx) >= len(a) {
+		return Done()
+	}
+	act := a[t.progIdx]
+	t.progIdx++
+	return act
+}
+
 // taskState is the lifecycle of a task inside the scheduler.
 type taskState int
 
@@ -156,14 +174,22 @@ type Task struct {
 	rqPos     int32  // heap position inside its subqueue (-1 = not queued)
 	rqSeq     uint64 // global enqueue sequence; runqueue FIFO tie-break
 	qIdx      int32  // subqueue index of the task's cgroup (0 = ungrouped)
+	progIdx   int32  // program counter for shared stateless programs (ActionList)
+
+	// sched is the owning scheduler, set at spawn: the static timer/arrival
+	// callbacks (taskWakeFired, taskArrived) recover their context through
+	// it instead of capturing it in per-task closures.
+	sched *Scheduler
 
 	// procCtr is the shared runnable-thread counter of the task's thread
 	// group, resolved once at spawn so the dispatch path skips the map.
 	procCtr *procCount
 
 	// wakeTimer fires block expiries (IO completion when wakeCh is set,
-	// sleep wake otherwise); bound once per task, pooled per event.
-	wakeTimer *sim.Timer
+	// sleep wake otherwise). Embedded and bound to a static callback on
+	// first block, so steady-state IO pays neither a Timer allocation nor a
+	// closure.
+	wakeTimer sim.Timer
 	wakeCh    *irqsim.Channel
 
 	// pending overhead to charge at next dispatch (wakeup path costs).

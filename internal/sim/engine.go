@@ -80,12 +80,16 @@ func packID(idx, gen uint32) EventID { return EventID(uint64(gen)<<32 | uint64(i
 
 // eventSlot is pooled event state. Slots are recycled through the free
 // list; gen increments at every release so stale EventIDs never match.
+// An event carries either fn (a plain closure) or argFn+arg (a static
+// callback plus its receiver, the allocation-free form used by AtArg).
 type eventSlot struct {
-	at  Time
-	seq uint64
-	fn  func()
-	gen uint32
-	pos int32 // index into Engine.order; -1 when not queued
+	at    Time
+	seq   uint64
+	fn    func()
+	argFn func(any)
+	arg   any
+	gen   uint32
+	pos   int32 // index into Engine.order; -1 when not queued
 }
 
 // Engine is a discrete-event simulation executor. The zero value is not
@@ -103,6 +107,10 @@ type Engine struct {
 	// a second goroutine (or re-entrant Step/Run from inside a callback).
 	// It is a best-effort assertion, not a synchronization mechanism.
 	running atomic.Bool
+	// idxSeed is the embedded first backing of free and order, so a fresh
+	// engine's index slices cost no separate allocation; either slice that
+	// outgrows its half falls back to append growth.
+	idxSeed [128]uint32
 }
 
 // enter asserts single-goroutine use of the executor; leave releases it.
@@ -115,7 +123,18 @@ func (e *Engine) enter(op string) {
 func (e *Engine) leave() { e.running.Store(false) }
 
 // NewEngine returns an empty engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	// Seed the slot arena, free list and heap with one round of capacity —
+	// the index slices carve the embedded idxSeed array — instead of ~15
+	// append-doubling steps as the first few dozen events trickle in
+	// (machines are built per trial, so construction cost is a steady-state
+	// cost for sweeps).
+	const seedCap = 64
+	e := &Engine{slots: make([]eventSlot, 0, seedCap)}
+	e.free = e.idxSeed[0:0:seedCap]
+	e.order = e.idxSeed[seedCap : seedCap : 2*seedCap]
+	return e
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -143,6 +162,8 @@ func (e *Engine) allocSlot() uint32 {
 func (e *Engine) releaseSlot(idx uint32) {
 	s := &e.slots[idx]
 	s.fn = nil
+	s.argFn = nil
+	s.arg = nil
 	s.pos = -1
 	s.gen++
 	e.free = append(e.free, idx)
@@ -274,6 +295,68 @@ func (e *Engine) After(d Time, fn func()) EventID {
 	return e.At(e.now+d, fn)
 }
 
+// AtArg schedules fn(arg) to run at absolute time t. It is the
+// allocation-free form of At for hot paths: with a package-level fn (a
+// static func value) and a pointer-shaped arg, scheduling allocates
+// nothing — no closure is built.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	idx := e.allocSlot()
+	s := &e.slots[idx]
+	s.at = t
+	s.seq = e.seq
+	s.argFn = fn
+	s.arg = arg
+	e.seq++
+	e.heapPush(idx)
+	return packID(idx, s.gen)
+}
+
+// AtBatch schedules fn(arg) at absolute time t for every arg, as if by
+// consecutive AtArg calls (consecutive sequence numbers, so relative firing
+// order matches the args order exactly), but defers the heap restore to one
+// pass: slots are appended to the heap array first, then the structure is
+// fixed either by per-item sift-ups or — when the batch dominates the queue
+// — a single Floyd build-heap. Event semantics and pop order are identical
+// to the sequential calls; only the sift work is amortized. This is the
+// batch path for timer/arrival storms (spawn waves, simultaneous period
+// ticks).
+func (e *Engine) AtBatch(t Time, fn func(any), args ...any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if len(args) == 0 {
+		return
+	}
+	base := len(e.order)
+	for _, arg := range args {
+		idx := e.allocSlot()
+		s := &e.slots[idx]
+		s.at = t
+		s.seq = e.seq
+		s.argFn = fn
+		s.arg = arg
+		s.pos = int32(len(e.order))
+		e.seq++
+		e.order = append(e.order, idx)
+	}
+	// Restore the heap invariant once. When the batch is a large fraction
+	// of the queue, Floyd's bottom-up heapify is O(n) total; otherwise
+	// sifting each appended slot up (in append order, so earlier sifts
+	// never disturb later append positions) costs O(k log n).
+	if n := len(e.order); len(args) >= n/2 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	} else {
+		for i := base; i < len(e.order); i++ {
+			e.siftUp(i)
+		}
+	}
+}
+
 // Cancel removes a scheduled event so it will not fire. Canceling a zero
 // handle, an already-fired event or an already-canceled event is a no-op.
 func (e *Engine) Cancel(id EventID) {
@@ -300,13 +383,20 @@ func (e *Engine) EventTime(id EventID) (at Time, ok bool) {
 
 // Timer is a reusable scheduled callback bound to one Engine. It exists so
 // recurring reschedule patterns pay zero allocations per event: the
-// callback closure is built once at NewTimer, and Reset/ResetAt recycle a
-// pooled event slot. A Timer is single-shot per arm (fire once, then
-// Pending reports false) and, like its Engine, goroutine-confined.
+// callback is bound once (at NewTimer, Init or InitArg), and Reset/ResetAt
+// recycle a pooled event slot. A Timer is single-shot per arm (fire once,
+// then Pending reports false) and, like its Engine, goroutine-confined.
+//
+// The zero Timer is unbound: embed it in a long-lived struct and bind it
+// with Init or InitArg on first use — that removes even the Timer's own
+// heap allocation, and InitArg's static-callback-plus-receiver form removes
+// the closure too.
 type Timer struct {
-	eng *Engine
-	fn  func()
-	id  EventID
+	eng   *Engine
+	fn    func()
+	argFn func(any)
+	arg   any
+	id    EventID
 }
 
 // NewTimer returns an unarmed timer that will run fn each time it fires.
@@ -316,6 +406,34 @@ func (e *Engine) NewTimer(fn func()) *Timer {
 	}
 	return &Timer{eng: e, fn: fn}
 }
+
+// Init binds an embedded (zero-value) timer to an engine and callback.
+// Re-initializing a bound timer panics: it would orphan a pending arm.
+func (tm *Timer) Init(e *Engine, fn func()) {
+	if tm.eng != nil {
+		panic("sim: Timer.Init on an already-bound timer")
+	}
+	if fn == nil {
+		panic("sim: Timer.Init with nil callback")
+	}
+	tm.eng, tm.fn = e, fn
+}
+
+// InitArg binds an embedded timer to a static callback and its receiver
+// argument: the allocation-free form (no closure is built, ever).
+func (tm *Timer) InitArg(e *Engine, fn func(any), arg any) {
+	if tm.eng != nil {
+		panic("sim: Timer.InitArg on an already-bound timer")
+	}
+	if fn == nil {
+		panic("sim: Timer.InitArg with nil callback")
+	}
+	tm.eng, tm.argFn, tm.arg = e, fn, arg
+}
+
+// Bound reports whether the timer has been bound to an engine (NewTimer,
+// Init or InitArg); embedded timers use it for lazy first-use binding.
+func (tm *Timer) Bound() bool { return tm.eng != nil }
 
 // Reset arms the timer to fire d after the current time, replacing any
 // pending arm.
@@ -330,7 +448,11 @@ func (tm *Timer) Reset(d Time) {
 // arm.
 func (tm *Timer) ResetAt(t Time) {
 	tm.eng.Cancel(tm.id)
-	tm.id = tm.eng.At(t, tm.fn)
+	if tm.argFn != nil {
+		tm.id = tm.eng.AtArg(t, tm.argFn, tm.arg)
+	} else {
+		tm.id = tm.eng.At(t, tm.fn)
+	}
 }
 
 // Stop disarms the timer. Stopping an unarmed or fired timer is a no-op.
@@ -365,9 +487,9 @@ func (e *Engine) step() bool {
 		panic("sim: event queue went backwards")
 	}
 	e.now = s.at
-	fn := s.fn
-	// Retire the slot before running fn so the callback can immediately
-	// recycle it for whatever it schedules next.
+	fn, argFn, arg := s.fn, s.argFn, s.arg
+	// Retire the slot before running the callback so it can immediately
+	// recycle the slot for whatever it schedules next.
 	n := len(e.order) - 1
 	moved := e.order[n]
 	e.order = e.order[:n]
@@ -378,7 +500,11 @@ func (e *Engine) step() bool {
 	}
 	e.releaseSlot(idx)
 	e.processed++
-	fn()
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -396,6 +522,22 @@ func (e *Engine) Run(maxEvents uint64) uint64 {
 		n++
 	}
 	return n
+}
+
+// RunWhile executes events for as long as cond returns true, checking cond
+// before every event. It returns false when the queue emptied while cond
+// still held, true when cond ended the run. Compared to a caller-side
+// per-event Step loop it pays the goroutine-confinement assertion once per
+// run instead of once per event.
+func (e *Engine) RunWhile(cond func() bool) bool {
+	e.enter("RunWhile")
+	defer e.leave()
+	for cond() {
+		if !e.step() {
+			return false
+		}
+	}
+	return true
 }
 
 // RunUntil executes events with timestamps <= deadline. Events scheduled

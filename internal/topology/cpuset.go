@@ -27,7 +27,9 @@ type CPUSet struct {
 	bits [setWords]uint64
 	// hi is the number of significant words: an upper bound such that
 	// bits[i] == 0 for all i >= hi. It is a hint, not an exact population
-	// bound — Remove never shrinks it — so words below hi may be zero.
+	// bound — words below hi may be zero — but Remove re-tightens it when
+	// it clears the last bit of the top significant word, so long-lived
+	// sets that shrink (a cgroup spread, an idle mask) keep cheap scans.
 	hi int8
 }
 
@@ -84,6 +86,26 @@ func (s *CPUSet) Remove(cpu int) {
 		panic(fmt.Sprintf("topology: cpu %d out of range", cpu))
 	}
 	s.bits[cpu/64] &^= 1 << uint(cpu%64)
+	// Shrink the significant-word hint past trailing zero words, so a set
+	// that grew to a high CPU id and emptied back down scans cheaply again.
+	for s.hi > 0 && s.bits[s.hi-1] == 0 {
+		s.hi--
+	}
+}
+
+// Words returns the set's significant-word count: bits[i] == 0 for every
+// word index i >= Words(). Together with Word it enables allocation-free
+// mask-driven scans (iterate set bits word by word) without exposing the
+// backing array.
+func (s CPUSet) Words() int { return int(s.hi) }
+
+// Word returns the i-th 64-bit word of the mask (CPUs 64i..64i+63). Any
+// index from 0 to setWords-1 is valid; words at or beyond Words() are zero.
+func (s CPUSet) Word(i int) uint64 {
+	if i < 0 || i >= int(s.hi) {
+		return 0
+	}
+	return s.bits[i]
 }
 
 // Contains reports whether cpu is in the set; any out-of-range id is

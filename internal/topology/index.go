@@ -1,5 +1,7 @@
 package topology
 
+import "sync"
+
 // Index is the precomputed lookup side of a Topology: per-CPU sibling lists,
 // socket/core tables, the full CPU→CPU distance matrix and nearest-first
 // steal-domain orders. It exists so per-dispatch scheduler paths (SMT
@@ -29,7 +31,10 @@ type Index struct {
 	// stealOrder[cpu] lists every other CPU nearest-first: SMT siblings,
 	// then the rest of cpu's socket (its LLC/steal domain), then remote
 	// sockets in ascending socket order, ascending CPU id within each tier.
-	stealOrder [][]int16
+	// It is O(n²) storage (2 MB at 1024 CPUs) and the scheduler's steal
+	// path no longer reads it, so it is built lazily behind a sync.Once.
+	stealOrder     [][]int16
+	stealOrderOnce sync.Once
 	// socketStart[s] is the first logical CPU id of socket s; sockets are
 	// contiguous id ranges in this enumeration.
 	socketStart []int16
@@ -46,14 +51,12 @@ func buildIndex(t *Topology) *Index {
 		siblings:    make([][]int16, n),
 		socketCPUs:  make([][]int16, t.Sockets),
 		dist:        make([]uint8, n*n),
-		stealOrder:  make([][]int16, n),
 		socketStart: make([]int16, t.Sockets),
 	}
 	perSocket := t.CoresPerSocket * t.ThreadsPerCore
 	// One backing array per table keeps the index a handful of allocations.
 	sibBack := make([]int16, 0, n*(t.ThreadsPerCore-1))
 	sockBack := make([]int16, n)
-	orderBack := make([]int16, 0, n*(n-1))
 	for c := 0; c < n; c++ {
 		ix.socketOf[c] = int16(c / perSocket)
 		ix.coreOf[c] = int16(c / t.ThreadsPerCore)
@@ -78,7 +81,17 @@ func buildIndex(t *Topology) *Index {
 		for o := 0; o < n; o++ {
 			ix.dist[c*n+o] = uint8(ix.distanceSlow(c, o))
 		}
-		// Nearest-first order: siblings, same-socket, remote sockets.
+	}
+	return ix
+}
+
+// buildStealOrder fills the lazy nearest-first steal-order table: siblings,
+// same-socket, then remote sockets, ascending within each tier.
+func (ix *Index) buildStealOrder() {
+	n, t := ix.n, ix.topo
+	ix.stealOrder = make([][]int16, n)
+	orderBack := make([]int16, 0, n*(n-1))
+	for c := 0; c < n; c++ {
 		ostart := len(orderBack)
 		orderBack = append(orderBack, ix.siblings[c]...)
 		mySock := int(ix.socketOf[c])
@@ -95,7 +108,6 @@ func buildIndex(t *Topology) *Index {
 		}
 		ix.stealOrder[c] = orderBack[ostart:len(orderBack):len(orderBack)]
 	}
-	return ix
 }
 
 // distanceSlow classifies distance from the raw tables (used while the
@@ -134,8 +146,21 @@ func (ix *Index) SocketCPUs(socket int) []int16 { return ix.socketCPUs[socket] }
 func (ix *Index) Distance(a, b int) Distance { return Distance(ix.dist[a*ix.n+b]) }
 
 // StealOrder returns every CPU other than cpu, nearest-first (SMT siblings,
-// then the same LLC/socket, then remote sockets). Shared; read-only.
-func (ix *Index) StealOrder(cpu int) []int16 { return ix.stealOrder[cpu] }
+// then the same LLC/socket, then remote sockets). Shared; read-only. The
+// table is built on first call (safe to race: sync.Once) because it is
+// quadratic in CPUs and the scheduler's steal path now walks the queued-CPU
+// bitmask instead.
+func (ix *Index) StealOrder(cpu int) []int16 {
+	ix.stealOrderOnce.Do(ix.buildStealOrder)
+	return ix.stealOrder[cpu]
+}
+
+// SocketRange returns the half-open logical-CPU id range [lo, hi) of one
+// socket; sockets are contiguous id ranges in this enumeration.
+func (ix *Index) SocketRange(socket int) (lo, hi int) {
+	lo = int(ix.socketStart[socket])
+	return lo, lo + len(ix.socketCPUs[socket])
+}
 
 // Index returns the topology's precomputed index, building it on first use.
 // Topologies from New are pre-indexed and therefore safe to share across

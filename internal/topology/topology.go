@@ -238,6 +238,19 @@ func PaperHost() *Topology {
 	return t
 }
 
+// BigHost1024 is a 1024-CPU dual-socket host (2 sockets × 256 cores × 2
+// threads) at the CPUSet capacity limit: the big-topology stress shape the
+// scheduler fast paths are benchmarked against (BenchmarkBigTopology).
+func BigHost1024() *Topology {
+	t, err := New("big1024", 2, 256, 2)
+	if err != nil {
+		panic(err)
+	}
+	t.LLCMB = 384
+	t.ClockGHz = 2.4
+	return t
+}
+
 // SmallHost16 is the 16-core single-socket host used in the paper's CHR
 // experiment (Fig 7).
 func SmallHost16() *Topology {

@@ -59,6 +59,70 @@ func TestCollectorHandleZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestCollectorExportZeroAllocSteadyState guards the extraction path: once
+// the first report sized the scratch buffers, enumerating keys, per-reason
+// histograms and per-CPU busy time allocates nothing.
+func TestCollectorExportZeroAllocSteadyState(t *testing.T) {
+	col, tasks := traceRig()
+	var at sim.Time
+	for _, tk := range tasks {
+		allKindEvents(col, tk, &at)
+	}
+	var busyCPUs int
+	var busyTotal sim.Time
+	var throttled uint64
+	visitBusy := func(_ int, d sim.Time) { busyCPUs++; busyTotal += d }
+	visitThr := func(_ string, n uint64) { throttled += n }
+	extract := func() {
+		for _, k := range col.sortedKeys() {
+			col.visitReasons(k, func(_ sched.BlockKind, h *Hist) { _ = h.Count() })
+		}
+		col.VisitCPUBusy(visitBusy)
+		col.VisitThrottles(visitThr)
+	}
+	extract() // size the scratch
+	busyCPUs, busyTotal, throttled = 0, 0, 0
+	if n := testing.AllocsPerRun(100, extract); n != 0 {
+		t.Fatalf("export path allocates %v per extraction, want 0", n)
+	}
+	if busyCPUs == 0 || busyTotal == 0 || throttled == 0 {
+		t.Fatal("extraction must have visited busy CPUs and throttles")
+	}
+}
+
+// TestCollectorResetReuseZeroAlloc is the whole-run steady-state contract: a
+// collector Reset between runs tracks a fresh task population — new task
+// pointers, every event kind — without a single allocation.
+func TestCollectorResetReuseZeroAlloc(t *testing.T) {
+	col, tasks := traceRig()
+	var at sim.Time
+	for _, tk := range tasks {
+		allKindEvents(col, tk, &at)
+	}
+	// A different task population with the same cardinality: fresh pointers
+	// force the track map and recycled track pool through their reuse path.
+	fresh := []*sched.Task{
+		{ID: 10, Spec: sched.TaskSpec{Name: "web"}},
+		{ID: 11, Spec: sched.TaskSpec{Name: "db"}},
+	}
+	run := func() {
+		col.Reset()
+		for _, tk := range fresh {
+			allKindEvents(col, tk, &at)
+		}
+	}
+	run() // reach steady state (freeTracks capacity, map buckets)
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("Reset+rerun allocates %v per run, want 0", n)
+	}
+	if col.Events() == 0 || col.OnCPU["web"].Count() == 0 {
+		t.Fatal("reused collector must still collect")
+	}
+	if col.Throttles()["g"] == 0 {
+		t.Fatal("reused collector must still count throttles")
+	}
+}
+
 // TestCollectorKeyFnCalledOncePerTask: the KeyFn runs at a task's first
 // event only; later events reuse the interned id even if the KeyFn would
 // now disagree.

@@ -96,6 +96,10 @@ type Collector struct {
 	slots  []keySlot // key id -> histogram table
 	hists  histPool
 	tracks trackPool
+	// freeTracks recycles per-task tracks across Reset: a collector reused
+	// over many runs reaches a steady state where tracking a fresh task
+	// population allocates nothing.
+	freeTracks []*taskTrack
 
 	trackOf   map[*sched.Task]*taskTrack
 	lastTask  *sched.Task // one-entry track cache: events arrive in bursts
@@ -108,6 +112,11 @@ type Collector struct {
 	last       sim.Time
 	seen       bool
 	events     uint64
+
+	// Report/export scratch, reused across calls so the extraction path is
+	// allocation-free in steady state.
+	keyScratch      []string
+	throttleScratch []string
 }
 
 // histPool slab-allocates histograms: new keys appear a handful of times
@@ -156,6 +165,42 @@ func NewCollector(key KeyFn) *Collector {
 // Fn returns the TraceFn to plug into sched.Config.Trace.
 func (c *Collector) Fn() sched.TraceFn { return c.handle }
 
+// Reset clears all collected samples and per-task state in place so the
+// collector can instrument another run. Interned keys, their histograms and
+// the exported map views survive (histograms are zeroed, not replaced, so
+// held *Hist pointers stay valid); per-task tracks are recycled. A collector
+// reused across a sweep of runs reaches a steady state where a whole run —
+// tracking, recording and extraction — allocates nothing.
+func (c *Collector) Reset() {
+	for tk, tr := range c.trackOf {
+		c.freeTracks = append(c.freeTracks, tr)
+		delete(c.trackOf, tk)
+	}
+	c.lastTask, c.lastTrack = nil, nil
+	for i := range c.slots {
+		slot := &c.slots[i]
+		if slot.on != nil {
+			slot.on.Reset()
+		}
+		if slot.runq != nil {
+			slot.runq.Reset()
+		}
+		for _, h := range slot.off {
+			if h != nil {
+				h.Reset()
+			}
+		}
+	}
+	for i := range c.cpuBusy {
+		c.cpuBusy[i] = 0
+		c.cpuTouched[i] = false
+	}
+	for g := range c.throttles {
+		delete(c.throttles, g)
+	}
+	c.first, c.last, c.seen, c.events = 0, 0, false, 0
+}
+
 // Events returns the number of trace events consumed.
 func (c *Collector) Events() uint64 { return c.events }
 
@@ -182,6 +227,24 @@ func (c *Collector) CPUBusy() map[int]sim.Time {
 	return out
 }
 
+// VisitCPUBusy calls f for each touched CPU in ascending id order: the
+// allocation-free form of CPUBusy for extraction loops.
+func (c *Collector) VisitCPUBusy(f func(cpu int, busy sim.Time)) {
+	for id, touched := range c.cpuTouched {
+		if touched {
+			f(id, c.cpuBusy[id])
+		}
+	}
+}
+
+// VisitThrottles calls f for each group with observed throttles, in
+// unspecified order: the allocation-free form of Throttles.
+func (c *Collector) VisitThrottles(f func(group string, n uint64)) {
+	for g, n := range c.throttles {
+		f(g, n)
+	}
+}
+
 // internKey resolves a key string to its dense id, registering it (and its
 // exported-map view slots) on first sight.
 func (c *Collector) internKey(key string) uint32 {
@@ -203,7 +266,13 @@ func (c *Collector) track(t *sched.Task) *taskTrack {
 	}
 	tr := c.trackOf[t]
 	if tr == nil {
-		tr = c.tracks.get()
+		if n := len(c.freeTracks); n > 0 {
+			tr = c.freeTracks[n-1]
+			c.freeTracks = c.freeTracks[:n-1]
+			*tr = taskTrack{}
+		} else {
+			tr = c.tracks.get()
+		}
 		tr.keyID = c.internKey(c.Key(t))
 		c.trackOf[t] = tr
 	}
@@ -341,15 +410,13 @@ func (c *Collector) Report(w io.Writer) {
 	}
 	fmt.Fprintf(w, "\n== offcputime (blocked/waiting durations, usecs) ==\n")
 	for _, k := range keys {
-		reasons := c.sortedReasons(k)
-		for _, r := range reasons {
-			h := c.OffCPU[k][r]
-			if h == nil || h.Count() == 0 {
-				continue
+		c.visitReasons(k, func(r sched.BlockKind, h *Hist) {
+			if h.Count() == 0 {
+				return
 			}
 			fmt.Fprintf(w, "\n[%s / %s]\n", k, r)
 			h.Render(w, "usecs")
-		}
+		})
 	}
 	fmt.Fprintf(w, "\n== runqlat (wakeup-to-dispatch latency, usecs) ==\n")
 	for _, k := range keys {
@@ -361,11 +428,12 @@ func (c *Collector) Report(w io.Writer) {
 	c.reportUtilization(w)
 	if len(c.throttles) > 0 {
 		fmt.Fprintf(w, "\n== cgroup throttles ==\n")
-		var gs []string
+		gs := c.throttleScratch[:0]
 		for g := range c.throttles {
 			gs = append(gs, g)
 		}
 		sort.Strings(gs)
+		c.throttleScratch = gs
 		for _, g := range gs {
 			fmt.Fprintf(w, "  %-20s %d\n", g, c.throttles[g])
 		}
@@ -377,51 +445,44 @@ func (c *Collector) reportUtilization(w io.Writer) {
 		return
 	}
 	span := c.last - c.first
-	var ids []int
-	for id, touched := range c.cpuTouched {
-		if touched {
-			ids = append(ids, id)
+	n := 0
+	var total sim.Time
+	c.VisitCPUBusy(func(_ int, busy sim.Time) {
+		n++
+		total += busy
+	})
+	fmt.Fprintf(w, "\n== cpu utilization (span %v, %d CPUs touched) ==\n", span, n)
+	c.VisitCPUBusy(func(id int, busy sim.Time) {
+		util := float64(busy) / float64(span) * 100
+		fmt.Fprintf(w, "  cpu%-4d %6.1f%%\n", id, util)
+	})
+	if n > 0 {
+		fmt.Fprintf(w, "  total busy %v across %d CPUs\n", total, n)
+	}
+}
+
+// sortedKeys returns every interned key in sorted order. Keys are interned
+// exactly when a histogram view could exist for them, and the report loops
+// skip empty histograms, so the interned table replaces the old union of the
+// exported maps; the returned slice is collector-owned scratch, valid until
+// the next call.
+func (c *Collector) sortedKeys() []string {
+	c.keyScratch = append(c.keyScratch[:0], c.keys...)
+	sort.Strings(c.keyScratch)
+	return c.keyScratch
+}
+
+// visitReasons calls f for each block reason with an off-CPU histogram under
+// key, in BlockKind order (the interned slot table is already ordered, so no
+// sort and no allocation).
+func (c *Collector) visitReasons(key string, f func(r sched.BlockKind, h *Hist)) {
+	id, ok := c.keyIDs[key]
+	if !ok {
+		return
+	}
+	for r, h := range c.slots[id].off {
+		if h != nil {
+			f(sched.BlockKind(r), h)
 		}
 	}
-	var total sim.Time
-	for _, id := range ids {
-		total += c.cpuBusy[id]
-	}
-	fmt.Fprintf(w, "\n== cpu utilization (span %v, %d CPUs touched) ==\n", span, len(ids))
-	for _, id := range ids {
-		util := float64(c.cpuBusy[id]) / float64(span) * 100
-		fmt.Fprintf(w, "  cpu%-4d %6.1f%%\n", id, util)
-	}
-	if len(ids) > 0 {
-		fmt.Fprintf(w, "  total busy %v across %d CPUs\n", total, len(ids))
-	}
-}
-
-func (c *Collector) sortedKeys() []string {
-	set := map[string]bool{}
-	for k := range c.OnCPU {
-		set[k] = true
-	}
-	for k := range c.OffCPU {
-		set[k] = true
-	}
-	for k := range c.RunqLatency {
-		set[k] = true
-	}
-	keys := make([]string, 0, len(set))
-	for k := range set {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-func (c *Collector) sortedReasons(key string) []sched.BlockKind {
-	m := c.OffCPU[key]
-	reasons := make([]sched.BlockKind, 0, len(m))
-	for r := range m {
-		reasons = append(reasons, r)
-	}
-	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
-	return reasons
 }

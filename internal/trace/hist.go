@@ -77,6 +77,16 @@ func (h *Hist) Record(d sim.Time) {
 	h.buckets[h.bucketOf(d)]++
 }
 
+// Reset clears all samples in place, keeping the unit. Exported views that
+// point at this histogram stay valid and see the fresh state.
+func (h *Hist) Reset() {
+	h.buckets = [histBuckets]uint64{}
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
 // Count returns the number of recorded samples.
 func (h *Hist) Count() uint64 { return h.count }
 

@@ -199,11 +199,12 @@ func (w NoSQL) Spawn(env Env) Instance {
 		}
 		perThread[i%threads] = append(perThread[i%threads], op)
 	}
+	specs := make([]sched.TaskSpec, 0, threads)
 	for i := 0; i < threads; i++ {
 		if len(perThread[i]) == 0 {
 			continue
 		}
-		env.M.Spawn(sched.TaskSpec{
+		specs = append(specs, sched.TaskSpec{
 			Name:        fmt.Sprintf("cass-th%d", i),
 			Group:       env.Group,
 			Proc:        1, // all threads belong to the one Cassandra process
@@ -212,7 +213,8 @@ func (w NoSQL) Spawn(env Env) Instance {
 			MemBound:    0.6,
 			VMTaxWeight: 0.15, // IO-wait-heavy JVM: light EPT pressure
 			Program:     &nosqlThread{m: env.M, w: &w, inst: inst, ops: perThread[i]},
-		}, 0)
+		})
 	}
+	env.M.SpawnBatch(specs, 0)
 	return inst
 }

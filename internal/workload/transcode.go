@@ -2,10 +2,72 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
+
+// segThNames interns the per-(segment, thread) task names: a sweep spawns
+// the same few hundred distinct names millions of times, and Sprintf was the
+// single biggest allocation site of the quick-figure pipeline.
+var segThNames struct {
+	sync.Mutex
+	m map[[2]int16]string
+}
+
+func segThName(seg, th int) string {
+	if seg > 1<<15-1 || th > 1<<15-1 {
+		return fmt.Sprintf("ffmpeg-s%d-t%d", seg, th) // unrealistic; stay correct
+	}
+	key := [2]int16{int16(seg), int16(th)}
+	segThNames.Lock()
+	defer segThNames.Unlock()
+	n, ok := segThNames.m[key]
+	if !ok {
+		if segThNames.m == nil {
+			segThNames.m = make(map[[2]int16]string)
+		}
+		n = fmt.Sprintf("ffmpeg-s%d-t%d", seg, th)
+		segThNames.m[key] = n
+	}
+	return n
+}
+
+// transcodeProgs is one interned set of the three thread programs of a
+// transcode job (serial-carrying first thread, heavy encoder, light helper).
+// A sweep re-derives the same few (heavyWork, lightWork, serial) splits for
+// millions of trials, and boxing an ActionList into a Program allocates —
+// so the boxed interfaces are built once per distinct split and shared.
+// ActionList programs are stateless (the cursor lives on the Task), which is
+// what makes sharing across trials and worker goroutines safe.
+var transcodeProgs struct {
+	sync.Mutex
+	m map[[3]sim.Time]*transcodeProgSet
+}
+
+type transcodeProgSet struct {
+	first, heavy, light sched.Program
+}
+
+func transcodeProgsFor(heavyWork, lightWork, serial sim.Time) *transcodeProgSet {
+	key := [3]sim.Time{heavyWork, lightWork, serial}
+	transcodeProgs.Lock()
+	defer transcodeProgs.Unlock()
+	ps, ok := transcodeProgs.m[key]
+	if !ok {
+		if transcodeProgs.m == nil {
+			transcodeProgs.m = make(map[[3]sim.Time]*transcodeProgSet)
+		}
+		ps = &transcodeProgSet{
+			first: sched.ActionList{sched.Compute(heavyWork + serial)},
+			heavy: sched.ActionList{sched.Compute(heavyWork)},
+			light: sched.ActionList{sched.Compute(lightWork)},
+		}
+		transcodeProgs.m[key] = ps
+	}
+	return ps
+}
 
 // Transcode models the FFmpeg codec-change workload (§III-B1): a CPU-bound
 // multi-threaded process with a small (~50 MB) footprint. FFmpeg "can
@@ -87,29 +149,39 @@ func (w Transcode) Spawn(env Env) Instance {
 	parallel := perSegment - serial
 	heavyWork := sim.Time(float64(parallel) / (float64(heavy) + w.LightWorkFrac*float64(light)))
 	lightWork := sim.Time(float64(heavyWork) * w.LightWorkFrac)
+	// Three shared programs cover every thread (serial-carrying, heavy,
+	// light) — interned per distinct work split, so steady-state spawning
+	// builds no per-job programs at all — and the whole job arrives as one
+	// event batch.
+	progs := transcodeProgsFor(heavyWork, lightWork, serial)
+	specs := make([]sched.TaskSpec, 0, segments*threads)
 	for seg := 0; seg < segments; seg++ {
 		for th := 0; th < threads; th++ {
-			work := heavyWork
-			if th >= heavy {
-				work = lightWork
-			}
-			if th == 0 {
-				work += serial
+			var work sim.Time
+			var prog sched.Program
+			switch {
+			case th == 0:
+				work, prog = heavyWork+serial, progs.first
+			case th < heavy:
+				work, prog = heavyWork, progs.heavy
+			default:
+				work, prog = lightWork, progs.light
 			}
 			if work <= 0 {
 				continue
 			}
-			env.M.Spawn(sched.TaskSpec{
-				Name:        fmt.Sprintf("ffmpeg-s%d-t%d", seg, th),
+			specs = append(specs, sched.TaskSpec{
+				Name:        segThName(seg, th),
 				Group:       env.Group,
 				Proc:        seg + 1, // threads of one segment share a process
 				Affinity:    env.Affinity,
 				WorkingSet:  1.0,
 				MemBound:    0.9, // transcoding streams frames through memory
 				VMTaxWeight: 1.0, // large-working-set compute: full EPT tax
-				Program:     sched.Sequence(sched.Compute(work)),
-			}, 0)
+				Program:     prog,
+			})
 		}
 	}
+	env.M.SpawnBatch(specs, 0)
 	return makespanMetric{}
 }

@@ -138,8 +138,9 @@ func (w Web) Spawn(env Env) Instance {
 		wi := i % workers
 		perWorker[wi] = append(perWorker[wi], rng.Float64() < w.DiskMissProb)
 	}
+	specs := make([]sched.TaskSpec, workers)
 	for i := 0; i < workers; i++ {
-		env.M.Spawn(sched.TaskSpec{
+		specs[i] = sched.TaskSpec{
 			Name:        fmt.Sprintf("httpd%d", i),
 			Group:       env.Group,
 			Affinity:    env.Affinity,
@@ -147,7 +148,8 @@ func (w Web) Spawn(env Env) Instance {
 			MemBound:    0.3,
 			VMTaxWeight: 0.6,
 			Program:     &webWorker{m: env.M, w: &w, inst: inst, hitsDisk: perWorker[i]},
-		}, 0)
+		}
 	}
+	env.M.SpawnBatch(specs, 0)
 	return inst
 }
