@@ -36,6 +36,7 @@ func main() {
 		resamples = flag.Int("resamples", 1000, "bootstrap resample count")
 		store     = flag.String("store", "", "durable trial store directory: results persist and repeat runs replay instead of simulating")
 		merge     = flag.String("merge", "", "comma list of trial store directories to load before running")
+		degraded  = flag.String("store-degraded", "fail", "unusable -store directory policy: fail (abort before simulating) or allow (run memory-only with one warning)")
 		progress  = flag.Bool("progress", false, "report per-hypothesis seed progress on stderr")
 		verbose   = flag.Bool("v", false, "print trial store statistics on stderr after the run")
 	)
@@ -58,7 +59,7 @@ func main() {
 	// is only the carrier, its Memo is what the harness borrows.
 	var ecfg experiments.Config
 	_, finishStore, err := storecli.Apply("pinhyp", &ecfg, storecli.Options{
-		Store: *store, Merge: *merge, Verbose: *verbose,
+		Store: *store, Merge: *merge, Degraded: *degraded, Verbose: *verbose,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -75,6 +75,7 @@ func main() {
 		store     = flag.String("store", "", "durable trial store directory: results persist and repeat runs replay instead of simulating")
 		merge     = flag.String("merge", "", "comma list of trial store directories to load before running (assembles -shard runs)")
 		shard     = flag.String("shard", "", "run only shard i/n of every trial grid (e.g. 0/2); pair with -store, then assemble with -merge")
+		degraded  = flag.String("store-degraded", "fail", "unusable -store directory policy: fail (abort before simulating) or allow (run memory-only with one warning)")
 		verbose   = flag.Bool("v", false, "print trial store statistics on stderr after the run")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -91,7 +92,7 @@ func main() {
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers}
 
 	sharded, finishStore, err := storecli.Apply("pinsim", &cfg, storecli.Options{
-		Store: *store, Merge: *merge, Shard: *shard, Workers: *workers, Verbose: *verbose,
+		Store: *store, Merge: *merge, Shard: *shard, Degraded: *degraded, Workers: *workers, Verbose: *verbose,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -109,12 +109,15 @@ func main() {
 		calibrate = flag.String("calibrate", "", "same-code baseline JSON used to estimate the machine-speed factor for -compare")
 		tolerance = flag.Float64("tolerance", 0.30, "ns/op regression fraction tolerated by -compare")
 		fracList  = flag.String("fraction", "", "comma list of small=big:frac assertions — measured 'small' ns/op must stay ≤ frac × measured 'big' ns/op (same run); names absent from the measurements fail loudly")
+		only      = flag.String("only", "", "comma list of benchmark names (without the Benchmark prefix) to run; suites with no selected benchmark are skipped, unknown names fail loudly")
+		gateList  = flag.String("gate", "", "comma list of benchmark names whose -compare regressions fail the run; others are reported informationally (default: all fail)")
 	)
 	flag.Parse()
 	fractions, err := parseFractions(*fracList)
 	if err != nil {
 		fatalf("fraction: %v", err)
 	}
+	gate := splitNames(*gateList)
 	// Refreshing the committed baseline and gating against one are separate
 	// intents: when -compare is requested and -out was not given explicitly,
 	// don't write — otherwise a casual `benchjson -compare ...` would clobber
@@ -148,7 +151,7 @@ func main() {
 			fatalf("in %s: no benchmarks — the gate would pass vacuously", *in)
 		}
 		ok := checkFractions(rep, fractions)
-		if *compare != "" && !compareAgainst(rep, *compare, *calibrate, *tolerance) {
+		if *compare != "" && !compareAgainst(rep, *compare, *calibrate, *tolerance, gate) {
 			ok = false
 		}
 		if !ok {
@@ -156,7 +159,11 @@ func main() {
 		}
 		return
 	}
-	for _, s := range suites {
+	run, err := restrictSuites(suites, splitNames(*only))
+	if err != nil {
+		fatalf("only: %v", err)
+	}
+	for _, s := range run {
 		bt := s.benchtime
 		if bt == "" {
 			bt = *benchtime
@@ -190,12 +197,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 	}
 	ok := checkFractions(rep, fractions)
-	if *compare != "" && !compareAgainst(rep, *compare, *calibrate, *tolerance) {
+	if *compare != "" && !compareAgainst(rep, *compare, *calibrate, *tolerance, gate) {
 		ok = false
 	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// splitNames parses a comma list into a set, dropping empties.
+func splitNames(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// suitePattern matches the fixed shape of the suite patterns above:
+// ^BenchmarkName$ or ^(BenchmarkA|BenchmarkB)$.
+func suiteBenchmarks(pattern string) []string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(pattern, "^"), "$")
+	inner = strings.TrimSuffix(strings.TrimPrefix(inner, "("), ")")
+	return strings.Split(inner, "|")
+}
+
+// restrictSuites narrows the suite list to the -only selection, rewriting
+// each suite's pattern to just its selected benchmarks. Unknown names are
+// an error — a typo'd -only must not pass a narrower gate than intended.
+func restrictSuites(all []suite, only map[string]bool) ([]suite, error) {
+	if len(only) == 0 {
+		return all, nil
+	}
+	seen := map[string]bool{}
+	var out []suite
+	for _, s := range all {
+		var keep []string
+		for _, b := range suiteBenchmarks(s.pattern) {
+			name := strings.TrimPrefix(b, "Benchmark")
+			if only[name] {
+				keep = append(keep, b)
+				seen[name] = true
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		s.pattern = "^(" + strings.Join(keep, "|") + ")$"
+		out = append(out, s)
+	}
+	for name := range only {
+		if !seen[name] {
+			return nil, fmt.Errorf("benchmark %q is not in the suite list", name)
+		}
+	}
+	return out, nil
 }
 
 // fractionCheck asserts one benchmark stays a small fraction of another in
@@ -287,7 +345,11 @@ func sortedNames(m map[string]Result) []string {
 // fewer than three shared benchmarks there is no pack to infer speed
 // from and raw ratios are used. Benchmarks present on one side only are
 // listed informationally and never fail the gate.
-func compareAgainst(rep Report, path, calibratePath string, tolerance float64) bool {
+//
+// When gate is non-empty, only the named benchmarks can fail the run —
+// the rest are still printed for context — and a gated name missing from
+// either side fails loudly instead of vacating the gate.
+func compareAgainst(rep Report, path, calibratePath string, tolerance float64, gate map[string]bool) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("compare: %v", err)
@@ -338,14 +400,27 @@ func compareAgainst(rep Report, path, calibratePath string, tolerance float64) b
 		delta := now.NsPerOp/old.NsPerOp - 1
 		verdict := fmt.Sprintf("%+.1f%%", delta*100)
 		if now.NsPerOp/old.NsPerOp > scale*(1+tolerance) {
-			verdict += " REGRESSION"
-			ok = false
+			if len(gate) == 0 || gate[name] {
+				verdict += " REGRESSION"
+				ok = false
+			} else {
+				verdict += " (ungated)"
+			}
 		}
 		fmt.Printf("%-24s %14.1f %14.1f %8s\n", name, old.NsPerOp, now.NsPerOp, verdict)
 	}
 	for name := range base.Benchmarks {
 		if _, stillRun := rep.Benchmarks[name]; !stillRun {
 			fmt.Printf("%-24s (baseline only; not run)\n", name)
+		}
+	}
+	for name := range gate {
+		_, inNow := rep.Benchmarks[name]
+		_, inBase := base.Benchmarks[name]
+		if !inNow || !inBase {
+			fmt.Printf("benchjson: -gate %s missing from %s — failing\n",
+				name, map[bool]string{true: "the baseline", false: "this run's measurements"}[inNow])
+			ok = false
 		}
 	}
 	if !ok {

@@ -12,6 +12,8 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,9 +49,67 @@ func (Serial) Execute(n int, run func(i int) error, progress func(done, total in
 	return nil
 }
 
+// TrialPanic records one trial whose run panicked twice (the initial run
+// and the containment retry).
+type TrialPanic struct {
+	// Index is the trial's grid index.
+	Index int
+	// Value is what the second panic carried.
+	Value any
+	// Stack is the goroutine stack captured at the second panic.
+	Stack string
+}
+
+// TrialPanicsError is Pool's end-of-sweep report of contained panics: the
+// sweep ran to completion — every other trial's result is in place — and
+// only the panicking trials' slots are unfilled. Sitting behind the error
+// interface keeps the legacy Executor contract while letting callers
+// distinguish "this figure is missing k cells" from "the run aborted".
+type TrialPanicsError struct {
+	// Panics lists the persistently panicking trials in ascending index
+	// order.
+	Panics []TrialPanic
+	// Trials is the grid size the sweep covered.
+	Trials int
+}
+
+// Error implements error with a summary plus the first panic's detail; the
+// remaining stacks stay available on the struct.
+func (e *TrialPanicsError) Error() string {
+	first := e.Panics[0]
+	return fmt.Sprintf("experiments: %d of %d trials panicked (retried once each); first: trial %d: %v\n%s",
+		len(e.Panics), e.Trials, first.Index, first.Value, first.Stack)
+}
+
+// containTrial runs one trial with panic containment: a panicking trial is
+// retried once (transient panics — e.g. a MutateHost hook tripping over
+// shared state — heal invisibly), and a second panic is captured as a
+// TrialPanic instead of unwinding the worker.
+func containTrial(run func(i int) error, i int) (err error, pan *TrialPanic) {
+	attempt := func() (err error, pan *TrialPanic) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = nil
+				pan = &TrialPanic{Index: i, Value: r, Stack: string(debug.Stack())}
+			}
+		}()
+		return run(i), nil
+	}
+	if err, pan = attempt(); pan == nil {
+		return err, nil
+	}
+	return attempt()
+}
+
 // Pool fans trials out across a goroutine pool; workers claim indices from
 // a shared atomic counter. Workers 0 means GOMAXPROCS; 1 (or negative)
-// degrades to Serial — no goroutines at all.
+// runs the claims on the calling goroutine — still with Pool's panic
+// containment, unlike the bare legacy Serial.
+//
+// Unlike Serial, Pool contains trial panics: a panicking trial is retried
+// once, and trials that panic twice are reported together at the end (as a
+// *TrialPanicsError) after every other trial has run — one poisoned
+// configuration costs its own figure cell, not a 100k-trial sweep.
 type Pool struct {
 	Workers int
 }
@@ -78,9 +138,6 @@ func (p Pool) Execute(n int, run func(i int) error, progress func(done, total in
 		return nil
 	}
 	workers := p.count(n)
-	if workers == 1 {
-		return Serial{}.Execute(n, run, progress)
-	}
 
 	var (
 		next   atomic.Int64
@@ -91,6 +148,7 @@ func (p Pool) Execute(n int, run func(i int) error, progress func(done, total in
 		done     int
 		firstErr error
 		errIdx   = n
+		panics   []TrialPanic
 	)
 	observe := func() {
 		mu.Lock()
@@ -102,35 +160,59 @@ func (p Pool) Execute(n int, run func(i int) error, progress func(done, total in
 		}
 		mu.Unlock()
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := run(i); err != nil {
-					// Stop claiming new trials, but keep the lowest-index
-					// error among those already claimed: the failing claim
-					// outranks every index it prevented from running, so
-					// the reported error is as deterministic as in the
-					// serial path.
-					failed.Store(true)
-					mu.Lock()
-					if i < errIdx {
-						errIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					continue
-				}
-				observe()
+	worker := func() {
+		for !failed.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
 			}
-		}()
+			err, pan := containTrial(run, i)
+			if pan != nil {
+				// A persistently panicking trial poisons only its own slot:
+				// record it, keep sweeping, report the batch at the end.
+				mu.Lock()
+				panics = append(panics, *pan)
+				mu.Unlock()
+				continue
+			}
+			if err != nil {
+				// Stop claiming new trials, but keep the lowest-index
+				// error among those already claimed: the failing claim
+				// outranks every index it prevented from running, so
+				// the reported error is as deterministic as in the
+				// serial path.
+				failed.Store(true)
+				mu.Lock()
+				if i < errIdx {
+					errIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				continue
+			}
+			observe()
+		}
 	}
-	wg.Wait()
-	return firstErr
+	if workers == 1 {
+		// No goroutines at all — the legacy serial shape, but contained.
+		worker()
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if len(panics) > 0 {
+		sort.Slice(panics, func(a, b int) bool { return panics[a].Index < panics[b].Index })
+		return &TrialPanicsError{Panics: panics, Trials: n}
+	}
+	return nil
 }
 
 // Shard deterministically partitions the trial grid: shard Index of Count

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/machine"
 )
 
 // TestShardPartitionCoversEveryIndexOnce: the union of all shards runs
@@ -147,5 +151,137 @@ func TestScenarioShardMergeEqualsUnsharded(t *testing.T) {
 	merged.RenderText(&b)
 	if a.String() != b.String() {
 		t.Fatalf("merged figure diverged from the unsharded run:\n%s\nvs\n%s", b.String(), a.String())
+	}
+}
+
+// TestPoolRetriesTransientPanic: a trial that panics once and then
+// succeeds on the containment retry is invisible — no error, every index
+// ran.
+func TestPoolRetriesTransientPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var tripped atomic.Bool
+		var ran [8]atomic.Int64
+		err := Pool{Workers: workers}.Execute(8, func(i int) error {
+			if i == 5 && tripped.CompareAndSwap(false, true) {
+				panic("transient trial panic")
+			}
+			ran[i].Add(1)
+			return nil
+		}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: contained retry still errored: %v", workers, err)
+		}
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, ran[i].Load())
+			}
+		}
+	}
+}
+
+// TestPoolReportsPersistentPanics: a trial that panics on both attempts is
+// reported at the end as a TrialPanicsError — after every other trial has
+// completed, not instead of them.
+func TestPoolReportsPersistentPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 20
+		var ran [n]atomic.Int64
+		err := Pool{Workers: workers}.Execute(n, func(i int) error {
+			if i == 7 || i == 13 {
+				panic(fmt.Sprintf("poisoned trial %d", i))
+			}
+			ran[i].Add(1)
+			return nil
+		}, nil)
+		var tpe *TrialPanicsError
+		if !errors.As(err, &tpe) {
+			t.Fatalf("workers=%d: err = %v, want a *TrialPanicsError", workers, err)
+		}
+		if len(tpe.Panics) != 2 || tpe.Panics[0].Index != 7 || tpe.Panics[1].Index != 13 || tpe.Trials != n {
+			t.Fatalf("workers=%d: report = %+v, want trials 7 and 13 of %d", workers, tpe, n)
+		}
+		if !strings.Contains(err.Error(), "poisoned trial 7") || !strings.Contains(err.Error(), "2 of 20") {
+			t.Fatalf("workers=%d: error text %q lacks the summary", workers, err)
+		}
+		if tpe.Panics[0].Stack == "" {
+			t.Fatalf("workers=%d: panic report lost the stack", workers)
+		}
+		for i := range ran {
+			want := int64(1)
+			if i == 7 || i == 13 {
+				want = 0
+			}
+			if ran[i].Load() != want {
+				t.Fatalf("workers=%d: index %d ran %d times, want %d", workers, i, ran[i].Load(), want)
+			}
+		}
+	}
+}
+
+// TestPoolErrorOutranksPanicReport: the legacy stop-early error contract
+// wins over the end-of-sweep panic report.
+func TestPoolErrorOutranksPanicReport(t *testing.T) {
+	boom := errors.New("trial failed")
+	err := Pool{Workers: 1}.Execute(6, func(i int) error {
+		if i == 1 {
+			panic("poisoned")
+		}
+		if i == 3 {
+			return boom
+		}
+		return nil
+	}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the trial error, not the panic report", err)
+	}
+}
+
+// TestSerialStaysRaw: the legacy Serial executor still propagates panics —
+// it is the A/B baseline, not a containment layer.
+func TestSerialStaysRaw(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Serial must not contain trial panics")
+		}
+	}()
+	Serial{}.Execute(3, func(i int) error {
+		if i == 1 {
+			panic("raw")
+		}
+		return nil
+	}, nil)
+}
+
+// TestFigureSurvivesTransientTrialPanic is the end-to-end containment
+// contract: a hook that panics on exactly one trial (then heals) must not
+// change a figure's rendered bytes.
+func TestFigureSurvivesTransientTrialPanic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick figure twice")
+	}
+	base := Config{Seed: 42, Quick: true, Workers: 2, MutateHost: func(*machine.Config) {}}
+	clean, err := RunRegistered("fig3", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tripped atomic.Bool
+	faulty := base
+	faulty.MutateHost = func(*machine.Config) {
+		if tripped.CompareAndSwap(false, true) {
+			panic("flaky hook")
+		}
+	}
+	survived, err := RunRegistered("fig3", faulty)
+	if err != nil {
+		t.Fatalf("figure run died on a transient trial panic: %v", err)
+	}
+	if !tripped.Load() {
+		t.Fatal("the faulty hook never fired")
+	}
+	var a, b strings.Builder
+	clean.RenderText(&a)
+	survived.RenderText(&b)
+	if a.String() != b.String() {
+		t.Fatalf("figure changed after a contained panic:\n%s\nvs\n%s", b.String(), a.String())
 	}
 }

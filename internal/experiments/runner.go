@@ -12,12 +12,12 @@ package experiments
 // bit-identical no matter how trials were scheduled, sharded or cached.
 
 import (
-	"fmt"
 	"io"
 	"os"
 	"sync"
 
 	"repro/internal/platform"
+	"repro/internal/resultstore"
 	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -67,12 +67,41 @@ func runTrial(cfg Config, host *topology.Topology, stack platform.Stack, size in
 	return r, nil
 }
 
-// memoMutateWarn emits the one-line notice that Config.MutateHost disables
-// Config.Memo, once per process; memoMutateWarnOut is a test seam.
+// The MutateHost/Memo notice goes through the same rate-limited warner
+// machinery as the store layer: the first bypassing entry point prints one
+// line, later ones are only counted, and the CLIs surface the count in -v
+// stats (MemoBypassCount).
+const memoBypassCategory = "memo-bypass"
+
 var (
-	memoMutateOnce    sync.Once
-	memoMutateWarnOut io.Writer = os.Stderr
+	memoWarnMu sync.Mutex
+	memoWarner = resultstore.NewWarner(os.Stderr, 1)
 )
+
+// swapMemoWarner replaces the process-wide memo-bypass warner (test seam)
+// and returns the previous one.
+func swapMemoWarner(w *resultstore.Warner) *resultstore.Warner {
+	memoWarnMu.Lock()
+	defer memoWarnMu.Unlock()
+	old := memoWarner
+	memoWarner = w
+	return old
+}
+
+// newMemoWarner builds a warner with the memo-bypass policy (one printed
+// line) over an arbitrary sink.
+func newMemoWarner(w io.Writer) *resultstore.Warner {
+	return resultstore.NewWarner(w, 1)
+}
+
+// MemoBypassCount reports how many experiment entry points ran with
+// Config.Memo ignored because Config.MutateHost was set — the -v
+// statistic backing the single printed warning.
+func MemoBypassCount() uint64 {
+	memoWarnMu.Lock()
+	defer memoWarnMu.Unlock()
+	return memoWarner.Count(memoBypassCategory)
+}
 
 // warnMemoMutateHost surfaces the documented MutateHost/Memo interaction
 // instead of silently ignoring the memo: every experiment entry point calls
@@ -81,8 +110,8 @@ func warnMemoMutateHost(cfg Config) {
 	if cfg.Memo == nil || cfg.MutateHost == nil {
 		return
 	}
-	memoMutateOnce.Do(func() {
-		fmt.Fprintln(memoMutateWarnOut,
-			"experiments: warning: Config.MutateHost is set, so Config.Memo is ignored — an arbitrary host mutation cannot be fingerprinted into a cache key")
-	})
+	memoWarnMu.Lock()
+	defer memoWarnMu.Unlock()
+	memoWarner.Warnf(memoBypassCategory,
+		"experiments: warning: Config.MutateHost is set, so Config.Memo is ignored — an arbitrary host mutation cannot be fingerprinted into a cache key")
 }

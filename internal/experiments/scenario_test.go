@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"reflect"
 	"strings"
-	"sync"
 	"testing"
 
 	"repro/internal/machine"
@@ -346,17 +345,13 @@ func TestRegisterScenarioRejectsDuplicatesAndInvalid(t *testing.T) {
 }
 
 // TestMutateHostMemoWarning locks the documented MutateHost/Memo
-// interaction: setting both logs a one-line warning (once per process)
-// instead of silently ignoring the memo.
+// interaction: setting both prints the warning once (the rate-limited
+// warner suppresses repeats but keeps counting them for -v stats) instead
+// of silently ignoring the memo.
 func TestMutateHostMemoWarning(t *testing.T) {
 	var buf bytes.Buffer
-	oldOut := memoMutateWarnOut
-	memoMutateWarnOut = &buf
-	memoMutateOnce = sync.Once{}
-	defer func() {
-		memoMutateWarnOut = oldOut
-		memoMutateOnce = sync.Once{}
-	}()
+	old := swapMemoWarner(newMemoWarner(&buf))
+	defer swapMemoWarner(old)
 
 	cfg := Config{Quick: true, Reps: 1, Seed: 3, Workers: 1,
 		Memo:       NewTrialMemo(),
@@ -371,8 +366,11 @@ func TestMutateHostMemoWarning(t *testing.T) {
 	if !strings.Contains(out, "MutateHost") || !strings.Contains(out, "Memo") {
 		t.Fatalf("expected the MutateHost/Memo warning, got %q", out)
 	}
-	if strings.Count(out, "\n") != 1 {
-		t.Fatalf("warning must be one line, once per process, got %q", out)
+	if got := strings.Count(out, "MutateHost is set"); got != 1 {
+		t.Fatalf("warning printed %d times, want once per process: %q", got, out)
+	}
+	if got := MemoBypassCount(); got != 2 {
+		t.Fatalf("MemoBypassCount = %d, want both bypassing runs counted", got)
 	}
 	if cfg.Memo.Len() != 0 {
 		t.Fatal("memo must stay unused while MutateHost is set")

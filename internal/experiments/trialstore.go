@@ -32,14 +32,16 @@ func NewTrialMemo() *TrialMemo { return resultstore.NewMem[TrialResult]() }
 // dir for Config.Memo: every intact record on disk is loaded at open, and
 // every newly-simulated trial is appended, so repeated runs are
 // incremental across processes. Corrupt or stale-schema records are
-// skipped with a warning and recomputed. Close the store to flush.
-func OpenTrialStore(dir string) (TrialStore, error) {
-	return resultstore.Open[TrialResult](dir, trialCodec{})
+// skipped with a warning and recomputed; an unusable directory fails fast
+// unless resultstore.WithDegradedFallback(true) is passed. Close the store
+// to flush.
+func OpenTrialStore(dir string, opts ...resultstore.Option) (TrialStore, error) {
+	return resultstore.Open[TrialResult](dir, trialCodec{}, opts...)
 }
 
 // openTrialStoreWarn is OpenTrialStore with a warning sink (test seam).
 func openTrialStoreWarn(dir string, warn io.Writer) (TrialStore, error) {
-	return resultstore.Open[TrialResult](dir, trialCodec{}, resultstore.WithWarnWriter(warn))
+	return OpenTrialStore(dir, resultstore.WithWarnWriter(warn))
 }
 
 // MergeTrialStores loads every intact record of the trial stores at dirs
@@ -55,8 +57,21 @@ func MergeTrialStores(dst TrialStore, dirs ...string) error {
 // execute (every trial consults the store before simulating).
 func StoreStatsLine(st TrialStore) string {
 	s := st.Stats()
-	return fmt.Sprintf("store: %d hits, %d misses (%d simulations), %d records loaded, %d appended, %d corrupt skipped, %d entries, %d bytes on disk",
+	line := fmt.Sprintf("store: %d hits, %d misses (%d simulations), %d records loaded, %d appended, %d corrupt skipped, %d entries, %d bytes on disk",
 		s.Hits, s.Misses, s.Misses, s.Loaded, s.Appended, s.Corrupt, s.Entries, s.DiskBytes)
+	// The robustness counters only earn a mention when something happened:
+	// the everything-went-fine line stays byte-stable for scripts (and
+	// eyes) that learned the original format.
+	if s.Retries > 0 || s.Recovered > 0 {
+		line += fmt.Sprintf(", %d retries (%d recovered)", s.Retries, s.Recovered)
+	}
+	if s.Warnings > 0 {
+		line += fmt.Sprintf(", %d warnings", s.Warnings)
+	}
+	if s.Degraded {
+		line += fmt.Sprintf(", DEGRADED to memory-only (%d results unpersisted)", s.Unpersisted)
+	}
+	return line
 }
 
 // trialRecordSchema versions the durable TrialResult encoding. Bump it

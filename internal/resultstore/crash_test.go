@@ -1,0 +1,368 @@
+package resultstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The crash-consistency harness. The durability claim under test: a record
+// whose append was acknowledged (Put returned with Stats().Appended
+// counting it) survives any later crash, and a crash mid-append costs at
+// most the one unacknowledged record — re-open proves every surviving
+// record by checksum and loses nothing else. The harness replays the same
+// workload against a cut point at every single byte offset (and every op
+// count), which places a cut before, inside and after every record the
+// workload writes.
+
+// nopSleep makes retry backoff instantaneous in tests.
+func nopSleep(time.Duration) {}
+
+// crashWorkload runs n Puts against a store opened over fsys and returns
+// the store's stats at the end (the store is closed, ignoring errors —
+// after a crash, Close on a dead filesystem is best-effort by design).
+func crashWorkload(t *testing.T, dir string, fsys FS, warn *bytes.Buffer, n int) Stats {
+	t.Helper()
+	d, err := Open[uint64](dir, u64Codec{}, WithFS(fsys), WithWarnWriter(warn), WithSleep(nopSleep))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for k := 0; k < n; k++ {
+		d.Put(uint64(k), uint64(k)*13+7)
+	}
+	st := d.Stats()
+	d.Close()
+	return st
+}
+
+// verifySurvivors re-opens dir on the real filesystem and asserts exactly
+// the acknowledged records load, each with the right value.
+func verifySurvivors(t *testing.T, dir string, acked uint64, label string) {
+	t.Helper()
+	var warn bytes.Buffer
+	d, err := Open[uint64](dir, u64Codec{}, WithWarnWriter(&warn))
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", label, err)
+	}
+	defer d.Close()
+	st := d.Stats()
+	if st.Loaded != acked {
+		t.Fatalf("%s: reopen loaded %d records, %d were acknowledged (stats %+v, warnings %s)",
+			label, st.Loaded, acked, st, warn.String())
+	}
+	// Appends are in Put order, so the acknowledged records are exactly
+	// keys 0..acked-1.
+	for k := uint64(0); k < acked; k++ {
+		if v, ok := d.Get(k); !ok || v != k*13+7 {
+			t.Fatalf("%s: acknowledged record %d = %d, %t after reopen", label, k, v, ok)
+		}
+	}
+}
+
+// TestCrashConsistencyEveryByte sweeps a crash cut point across every byte
+// the workload writes. At every cut: the store degrades instead of
+// erroring the run, and re-open loses no acknowledged record.
+func TestCrashConsistencyEveryByte(t *testing.T) {
+	const n = 8
+	// Measure the workload's full byte footprint with a passthrough spec.
+	probe := NewFaultFS(OS(), FaultSpec{})
+	var warn bytes.Buffer
+	st := crashWorkload(t, t.TempDir(), probe, &warn, n)
+	total := probe.BytesWritten()
+	if st.Appended != n || total == 0 {
+		t.Fatalf("fault-free workload: %+v, %d bytes", st, total)
+	}
+
+	// cut == total never fires (the final write exactly exhausts the
+	// budget), so the last interesting cut is total-1.
+	for cut := int64(1); cut < total; cut++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS(), FaultSpec{CrashAfterBytes: cut})
+		var warn bytes.Buffer
+		st := crashWorkload(t, dir, ffs, &warn, n)
+		if !st.Degraded {
+			t.Fatalf("cut %d: store did not degrade after the crash (stats %+v)", cut, st)
+		}
+		if st.Entries != n {
+			t.Fatalf("cut %d: run lost results in memory: %d entries, want %d", cut, st.Entries, n)
+		}
+		if st.Appended+st.Unpersisted != n {
+			t.Fatalf("cut %d: acked %d + unpersisted %d != %d puts", cut, st.Appended, st.Unpersisted, n)
+		}
+		verifySurvivors(t, dir, st.Appended, warn.String())
+	}
+}
+
+// TestCrashConsistencyEveryOp sweeps the cut across operation counts
+// instead of bytes, so opens, syncs and directory scans crash too, not
+// just writes.
+func TestCrashConsistencyEveryOp(t *testing.T) {
+	const n = 6
+	probe := NewFaultFS(OS(), FaultSpec{})
+	var warn bytes.Buffer
+	crashWorkload(t, t.TempDir(), probe, &warn, n)
+	total := probe.Ops()
+
+	for cut := int64(1); cut <= total; cut++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS(), FaultSpec{CrashAfterOps: cut})
+		var warn bytes.Buffer
+		d, err := Open[uint64](dir, u64Codec{}, WithFS(ffs), WithWarnWriter(&warn), WithSleep(nopSleep), WithDegradedFallback(true))
+		if err != nil {
+			t.Fatalf("op cut %d: open errored despite degraded fallback: %v", cut, err)
+		}
+		for k := 0; k < n; k++ {
+			d.Put(uint64(k), uint64(k)*13+7)
+		}
+		st := d.Stats()
+		d.Close()
+		if st.Entries != n {
+			t.Fatalf("op cut %d: %d entries in memory, want %d", cut, st.Entries, n)
+		}
+		verifySurvivors(t, dir, st.Appended, warn.String())
+	}
+}
+
+// TestCrashConsistencySurvivesWarmStore: crash cuts over a store that
+// already holds durable records must never lose the old records either.
+func TestCrashConsistencySurvivesWarmStore(t *testing.T) {
+	const warm, extra = 5, 4
+	base := t.TempDir()
+	var warn bytes.Buffer
+	d := openTest(t, base, &warn)
+	for k := 0; k < warm; k++ {
+		d.Put(uint64(k), uint64(k)*13+7)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := os.ReadFile(segPath(t, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := int64(1); cut <= 128; cut += 7 {
+		dir := t.TempDir()
+		if err := os.WriteFile(dir+"/seg-000001.psr", baseline, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ffs := NewFaultFS(OS(), FaultSpec{CrashAfterBytes: cut})
+		var warn bytes.Buffer
+		dd, err := Open[uint64](dir, u64Codec{}, WithFS(ffs), WithWarnWriter(&warn), WithSleep(nopSleep))
+		if err != nil {
+			t.Fatalf("cut %d: warm open: %v", cut, err)
+		}
+		for k := warm; k < warm+extra; k++ {
+			dd.Put(uint64(k), uint64(k)*13+7)
+		}
+		st := dd.Stats()
+		dd.Close()
+		verifySurvivors(t, dir, uint64(warm)+st.Appended, warn.String())
+	}
+}
+
+// TestFaultScheduleSweep: under purely transient fault schedules the store
+// must retry through everything — every record acknowledged, nothing
+// degraded, and a clean re-open recovers every record.
+func TestFaultScheduleSweep(t *testing.T) {
+	const n = 50
+	for seed := uint64(0); seed < 8; seed++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS(), FaultSpec{
+			Seed:            seed,
+			FailWriteEvery:  3,
+			ShortWriteEvery: 5,
+			FailOpEvery:     7,
+		})
+		var warn bytes.Buffer
+		st := crashWorkload(t, dir, ffs, &warn, n)
+		if st.Degraded {
+			t.Fatalf("seed %d: store degraded under transient-only faults: %+v\n%s", seed, st, warn.String())
+		}
+		if st.Appended != n {
+			t.Fatalf("seed %d: only %d/%d appends acknowledged: %+v", seed, st.Appended, n, st)
+		}
+		if st.Retries == 0 || st.Recovered == 0 {
+			t.Fatalf("seed %d: schedule injected %d faults but store counted retries=%d recovered=%d",
+				seed, ffs.Injected(), st.Retries, st.Recovered)
+		}
+		verifySurvivors(t, dir, n, warn.String())
+	}
+}
+
+// TestPermanentFaultDegradesOnce: a permanent write failure demotes the
+// store to memory in one step — one warning line, every Put still
+// resident, later Puts counted unpersisted.
+func TestPermanentFaultDegradesOnce(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{FailWriteEvery: 4, Permanent: true})
+	var warn bytes.Buffer
+	d, err := Open[uint64](dir, u64Codec{}, WithFS(ffs), WithWarnWriter(&warn), WithSleep(nopSleep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for k := 0; k < n; k++ {
+		d.Put(uint64(k), uint64(k))
+	}
+	st := d.Stats()
+	if !st.Degraded {
+		t.Fatalf("store did not degrade on a permanent fault: %+v", st)
+	}
+	if st.Entries != n {
+		t.Fatalf("degraded store lost results: %d entries, want %d", st.Entries, n)
+	}
+	if st.Appended+st.Unpersisted != n || st.Unpersisted == 0 {
+		t.Fatalf("acked %d + unpersisted %d != %d", st.Appended, st.Unpersisted, n)
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := d.Get(k); !ok || v != k {
+			t.Fatalf("degraded Get(%d) = %d, %t", k, v, ok)
+		}
+	}
+	d.Close()
+	if got := strings.Count(warn.String(), "degraded to memory-only"); got != 1 {
+		t.Fatalf("%d degradation warnings, want exactly 1:\n%s", got, warn.String())
+	}
+}
+
+// TestSyncIsDurabilityBoundary: Sync returning nil acknowledges everything
+// appended so far; a crash immediately after loses none of it.
+func TestSyncIsDurabilityBoundary(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{})
+	var warn bytes.Buffer
+	d, err := Open[uint64](dir, u64Codec{}, WithFS(ffs), WithWarnWriter(&warn), WithSleep(nopSleep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 10; k++ {
+		d.Put(k, k*13+7)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The machine dies without Close: no final sync, no tidy shutdown.
+	verifySurvivors(t, dir, 10, "post-sync crash")
+}
+
+// TestWithSyncEveryCountsDown: the periodic-fsync cadence resets after each
+// sync (observable through the FaultFS op stream: each fsync is one op).
+func TestWithSyncEveryCountsDown(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{})
+	var warn bytes.Buffer
+	d, err := Open[uint64](dir, u64Codec{}, WithFS(ffs), WithWarnWriter(&warn), WithSleep(nopSleep), WithSyncEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ffs.Ops()
+	for k := uint64(0); k < 6; k++ {
+		d.Put(k, k)
+	}
+	// 6 appends at sync-every-2 → 3 fsyncs; plus 1 segment-create open,
+	// 1 magic write and 6 record writes = 11 operations total.
+	if got := ffs.Ops() - before; got != 11 {
+		t.Fatalf("op delta = %d, want 11 (1 open + 7 writes + 3 fsyncs)", got)
+	}
+	d.Close()
+}
+
+// TestOpenFailsFastOnUncreatableDir: without the fallback, a store rooted
+// under a file (ENOTDIR — the unwritable-parent shape that works even as
+// root) errors at Open with a clear message, before any simulation runs.
+func TestOpenFailsFastOnUncreatableDir(t *testing.T) {
+	parent := t.TempDir()
+	file := parent + "/plain-file"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open[uint64](file+"/store", u64Codec{}, WithWarnWriter(os.Stderr))
+	if err == nil {
+		t.Fatal("open under a plain file must fail")
+	}
+	if !strings.Contains(err.Error(), "cannot create store directory") {
+		t.Fatalf("error %q does not name the problem", err)
+	}
+}
+
+// roFS models a read-only disk: everything works except opening files for
+// write.
+type roFS struct{ FS }
+
+func (roFS) OpenFile(string, int, os.FileMode) (File, error) {
+	return nil, os.ErrPermission
+}
+
+// TestOpenFailsFastOnUnwritableDir: the open-time probe catches a readable
+// but unwritable directory.
+func TestOpenFailsFastOnUnwritableDir(t *testing.T) {
+	_, err := Open[uint64](t.TempDir(), u64Codec{}, WithFS(roFS{OS()}), WithSleep(nopSleep))
+	if err == nil {
+		t.Fatal("open on a read-only filesystem must fail without the fallback")
+	}
+	if !strings.Contains(err.Error(), "not writable") || !errors.Is(err, os.ErrPermission) {
+		t.Fatalf("error %q does not surface the probe failure", err)
+	}
+}
+
+// TestDegradedFallbackReadOnlyDirStillReplays: with the fallback, a
+// read-only store directory opens degraded but warm — old records replay
+// from disk, new ones stay in memory, and exactly one warning explains it.
+func TestDegradedFallbackReadOnlyDirStillReplays(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 5)
+
+	var warn bytes.Buffer
+	d, err := Open[uint64](dir, u64Codec{}, WithFS(roFS{OS()}), WithWarnWriter(&warn), WithSleep(nopSleep), WithDegradedFallback(true))
+	if err != nil {
+		t.Fatalf("degraded fallback still errored: %v", err)
+	}
+	defer d.Close()
+	st := d.Stats()
+	if !st.Degraded || st.Loaded != 5 {
+		t.Fatalf("stats = %+v, want a degraded store with 5 replayed records", st)
+	}
+	if v, ok := d.Get(2); !ok || v != 1002 {
+		t.Fatalf("replayed Get(2) = %d, %t", v, ok)
+	}
+	d.Put(99, 990)
+	if v, ok := d.Get(99); !ok || v != 990 {
+		t.Fatal("degraded store dropped a fresh Put")
+	}
+	if st := d.Stats(); st.Unpersisted != 1 {
+		t.Fatalf("unpersisted = %d, want the fresh Put counted", st.Unpersisted)
+	}
+	if got := strings.Count(warn.String(), "degraded to memory-only"); got != 1 {
+		t.Fatalf("%d degradation warnings, want exactly 1:\n%s", got, warn.String())
+	}
+}
+
+// TestDegradedFallbackUncreatableDir: the fallback also covers a directory
+// that cannot exist at all — pure in-memory, still one warning.
+func TestDegradedFallbackUncreatableDir(t *testing.T) {
+	parent := t.TempDir()
+	file := parent + "/plain-file"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warn bytes.Buffer
+	d, err := Open[uint64](file+"/store", u64Codec{}, WithWarnWriter(&warn), WithDegradedFallback(true))
+	if err != nil {
+		t.Fatalf("fallback errored: %v", err)
+	}
+	defer d.Close()
+	d.Put(1, 10)
+	if v, ok := d.Get(1); !ok || v != 10 {
+		t.Fatal("uncreatable-dir fallback store dropped a Put")
+	}
+	if st := d.Stats(); !st.Degraded || st.Unpersisted != 1 {
+		t.Fatalf("stats = %+v, want degraded with 1 unpersisted", st)
+	}
+	if got := strings.Count(warn.String(), "degraded to memory-only"); got != 1 {
+		t.Fatalf("%d degradation warnings, want exactly 1:\n%s", got, warn.String())
+	}
+}

@@ -1,9 +1,9 @@
 package resultstore
 
 // The on-disk tier. A store directory holds append-only segment files
-// (seg-NNNNNN.psr); each process that writes opens its own fresh segment
-// with O_EXCL, so concurrent writers — shard runs on a shared filesystem,
-// overlapping local runs — never interleave bytes. The index is the
+// (seg-NNNNNN.psr); each writer — processes, or multiple stores opened on
+// one directory inside one process — opens its own fresh segment with
+// O_EXCL, so concurrent writers never interleave bytes. The index is the
 // in-memory tier itself, rebuilt at open by scanning every segment; there
 // is no separate index file to go stale or corrupt.
 //
@@ -23,6 +23,17 @@ package resultstore
 // fails, so it may desync the scan and cost the rest of that segment —
 // the deliberate trade for a 20-byte record overhead: every failure mode
 // degrades to recomputation (bounded by one segment), never to bad data.
+//
+// Fault model (PR 8): every filesystem touch goes through an injectable FS
+// (fs.go). Transient errors and O_EXCL collisions are retried under a
+// bounded, jittered backoff; a write failure rotates to a fresh segment so
+// a torn tail can never desync later appends; and when retries exhaust the
+// store demotes itself to its in-memory tier with one warning — the run
+// completes with identical output, it just stops being incremental. The
+// durability boundary is explicit: a record is crash-durable only after a
+// successful Sync (or Close, or the WithSyncEvery cadence); the
+// crash-consistency harness (crash_test.go) proves that every record whose
+// bytes landed before a cut survives re-open and nothing corrupt loads.
 
 import (
 	"encoding/binary"
@@ -33,6 +44,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 )
@@ -42,6 +54,9 @@ const (
 	// segPrefix/segSuffix frame segment file names: seg-000001.psr.
 	segPrefix = "seg-"
 	segSuffix = ".psr"
+	// probeName is the throwaway file Open creates to prove the directory
+	// is writable before the run invests in simulation.
+	probeName = ".psr-probe"
 	// recHeaderLen is key (8) + payload length (4).
 	recHeaderLen = 12
 	// recSumLen is the trailing checksum.
@@ -50,6 +65,9 @@ const (
 	// field is treated as corruption, which also stops a desynced scan
 	// from allocating garbage.
 	MaxPayload = 1 << 20
+	// maxSegCollisions bounds the O_EXCL name search: a creation loop that
+	// loses this many races in a row is not racing, it is broken.
+	maxSegCollisions = 1024
 )
 
 // Codec converts values to and from their durable byte form. Encodings
@@ -68,59 +86,243 @@ type Codec[V any] interface {
 type Option func(*options)
 
 type options struct {
-	warn io.Writer
+	warn       io.Writer
+	warner     *Warner
+	fs         FS
+	syncEvery  int
+	maxRetries int
+	backoff    time.Duration
+	sleep      func(time.Duration)
+	degradedOK bool
 }
 
-// WithWarnWriter routes corruption warnings (default os.Stderr).
+func defaultOptions() options {
+	return options{
+		warn:       os.Stderr,
+		fs:         OS(),
+		maxRetries: 4,
+		backoff:    time.Millisecond,
+		sleep:      time.Sleep,
+	}
+}
+
+// warnerOrDefault resolves the configured warner (an explicit shared one
+// wins over a writer-wrapping default).
+func (o *options) warnerOrDefault() *Warner {
+	if o.warner != nil {
+		return o.warner
+	}
+	return NewWarner(o.warn, DefaultWarnLimit)
+}
+
+// WithWarnWriter routes warnings (default os.Stderr) through a fresh
+// rate-limited Warner over w.
 func WithWarnWriter(w io.Writer) Option {
 	return func(o *options) { o.warn = w }
+}
+
+// WithWarner shares an existing rate-limited Warner (e.g. one warner across
+// a store and the merges feeding it). Overrides WithWarnWriter.
+func WithWarner(w *Warner) Option {
+	return func(o *options) { o.warner = w }
+}
+
+// WithFS substitutes the filesystem — the fault-injection seam (FaultFS).
+func WithFS(fsys FS) Option {
+	return func(o *options) { o.fs = fsys }
+}
+
+// WithSyncEvery fsyncs the active segment after every n successful appends,
+// tightening the durability boundary from "at Sync/Close" to "within n
+// records" at the cost of an fsync per n records (0 = sync only at
+// Sync/Close, the default).
+func WithSyncEvery(n int) Option {
+	return func(o *options) { o.syncEvery = n }
+}
+
+// WithRetryPolicy bounds the transient-error retry loop: up to maxRetries
+// re-attempts per operation, sleeping base<<attempt plus deterministic
+// jitter between them.
+func WithRetryPolicy(maxRetries int, base time.Duration) Option {
+	return func(o *options) {
+		if maxRetries >= 0 {
+			o.maxRetries = maxRetries
+		}
+		if base > 0 {
+			o.backoff = base
+		}
+	}
+}
+
+// WithSleep substitutes the backoff sleeper (test seam: chaos tests retry
+// thousands of times and must not wait real milliseconds).
+func WithSleep(sleep func(time.Duration)) Option {
+	return func(o *options) { o.sleep = sleep }
+}
+
+// WithDegradedFallback(true) turns open-time unusability — a directory
+// that cannot be created, read or written — into a degraded in-memory
+// store with one warning instead of an error: the run completes with
+// identical output, it just is not incremental. The default (false) fails
+// fast at Open with a clear message, before any simulation time is spent.
+func WithDegradedFallback(allow bool) Option {
+	return func(o *options) { o.degradedOK = allow }
 }
 
 // Disk is the durable Store tier: an in-memory index/cache over append-only
 // segment files. Get is a pure memory-tier lookup (the open scan loads
 // every intact record), Put appends one record to this process's segment.
 type Disk[V any] struct {
-	dir   string
-	codec Codec[V]
-	memo  *cache.Memo[V]
-	warn  io.Writer
+	dir    string
+	codec  Codec[V]
+	memo   *cache.Memo[V]
+	warner *Warner
+	fs     FS
 
-	mu        sync.Mutex
-	seg       *os.File // this process's segment; created lazily on first Put
-	nextSeg   int      // next segment number to try for O_EXCL creation
-	loaded    uint64
-	appended  uint64
-	corrupt   uint64
-	diskBytes int64
+	syncEvery  int
+	maxRetries int
+	backoff    time.Duration
+	sleep      func(time.Duration)
+
+	mu          sync.Mutex
+	seg         File // this process's segment; created lazily on first Put
+	nextSeg     int  // next segment number to try for O_EXCL creation
+	sinceSync   int  // appends since the last fsync
+	rng         uint64
+	loaded      uint64
+	appended    uint64
+	corrupt     uint64
+	retries     uint64
+	recovered   uint64
+	unpersisted uint64
+	degraded    bool
+	diskBytes   int64
 }
 
-// Open opens (creating if needed) the store directory at dir, scans every
-// segment into the in-memory index, and returns the store. Corrupt or
-// undecodable records are skipped with a warning and will simply be
-// recomputed and re-appended by the run.
+// Open opens (creating if needed) the store directory at dir, proves it is
+// writable, scans every segment into the in-memory index, and returns the
+// store. Corrupt or undecodable records are skipped with a warning and
+// will simply be recomputed and re-appended by the run. An unusable
+// directory fails fast with a clear error — or, with
+// WithDegradedFallback(true), yields a degraded in-memory store instead.
 func Open[V any](dir string, codec Codec[V], opts ...Option) (*Disk[V], error) {
-	o := options{warn: os.Stderr}
+	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("resultstore: %w", err)
+	d := &Disk[V]{
+		dir: dir, codec: codec, memo: cache.NewMemo[V](),
+		warner: o.warnerOrDefault(), fs: o.fs,
+		syncEvery: o.syncEvery, maxRetries: o.maxRetries,
+		backoff: o.backoff, sleep: o.sleep,
+		nextSeg: 1,
+		// Deterministic jitter: the stream is a pure function of the
+		// directory name, so fault schedules replay exactly.
+		rng: cache.HashBytes([]byte(dir)) | 1,
 	}
-	d := &Disk[V]{dir: dir, codec: codec, memo: cache.NewMemo[V](), warn: o.warn, nextSeg: 1}
-	segs, err := listSegments(dir)
+	if err := d.retryDo(func() error { return d.fs.MkdirAll(dir, 0o755) }); err != nil {
+		err = fmt.Errorf("resultstore: %s: cannot create store directory: %w", dir, err)
+		if !o.degradedOK {
+			return nil, err
+		}
+		d.degradeLocked(err)
+		return d, nil
+	}
+	if err := d.probeWritable(); err != nil {
+		err = fmt.Errorf("resultstore: %s: store directory is not writable: %w", dir, err)
+		if !o.degradedOK {
+			return nil, err
+		}
+		// Keep scanning: a read-only store still replays warm results.
+		d.degradeLocked(err)
+	}
+	var segs []segment
+	err := d.retryDo(func() error {
+		var lerr error
+		segs, lerr = listSegments(d.fs, dir)
+		return lerr
+	})
 	if err != nil {
-		return nil, err
+		if !o.degradedOK {
+			return nil, err
+		}
+		if !d.degraded {
+			d.degradeLocked(err)
+		}
+		return d, nil
 	}
 	for _, s := range segs {
 		if s.n >= d.nextSeg {
 			d.nextSeg = s.n + 1
 		}
-		loaded, corrupt, bytes := scanSegment(s.path, codec, d.warn, d.memo.Put)
+		loaded, corrupt, bytes := scanSegmentFile(d.retryReadFile, s.path, d.codec, d.warner, d.memo.Put)
 		d.loaded += loaded
 		d.corrupt += corrupt
 		d.diskBytes += bytes
 	}
 	return d, nil
+}
+
+// probeWritable proves the directory accepts new files before the run
+// invests simulation time in results it could not persist.
+func (d *Disk[V]) probeWritable() error {
+	path := filepath.Join(d.dir, probeName)
+	return d.retryDo(func() error {
+		f, err := d.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		err = f.Close()
+		// Best-effort: a probe another concurrent Open already removed (or a
+		// filesystem that refuses the delete) costs one stray dotfile, which
+		// the segment-name anchor keeps out of every scan.
+		d.fs.Remove(path)
+		return err
+	})
+}
+
+// retryDo runs op, retrying transient failures up to maxRetries times with
+// jittered exponential backoff. Callers must hold d.mu when the store is
+// shared (retry counters and the jitter stream are d-state).
+func (d *Disk[V]) retryDo(op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			if attempt > 0 {
+				d.recovered++
+			}
+			return nil
+		}
+		if attempt >= d.maxRetries || !transientErr(err) {
+			return err
+		}
+		d.retries++
+		d.sleep(d.backoffFor(attempt))
+	}
+}
+
+// backoffFor returns base<<attempt plus up to 50% deterministic jitter.
+func (d *Disk[V]) backoffFor(attempt int) time.Duration {
+	if attempt > 10 {
+		attempt = 10
+	}
+	step := d.backoff << uint(attempt)
+	// xorshift64: cheap, seeded from the directory name at Open.
+	d.rng ^= d.rng << 13
+	d.rng ^= d.rng >> 7
+	d.rng ^= d.rng << 17
+	return step + time.Duration(d.rng%uint64(step/2+1))
+}
+
+// retryReadFile is fs.ReadFile under the transient-retry policy.
+func (d *Disk[V]) retryReadFile(path string) ([]byte, error) {
+	var data []byte
+	err := d.retryDo(func() error {
+		var err error
+		data, err = d.fs.ReadFile(path)
+		return err
+	})
+	return data, err
 }
 
 // Dir returns the store's directory.
@@ -133,7 +335,9 @@ func (d *Disk[V]) Get(key uint64) (V, bool) { return d.memo.Get(key) }
 // Put implements Store: index the value and append one durable record.
 // Re-puts of a resident key are dropped (values are deterministic, so the
 // record on disk is already correct) — merges and racing workers cannot
-// bloat the store.
+// bloat the store. An append that fails after exhausting retries demotes
+// the store to its in-memory tier: the run continues correct, with one
+// warning, and every later Put is counted as unpersisted.
 func (d *Disk[V]) Put(key uint64, v V) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -141,37 +345,94 @@ func (d *Disk[V]) Put(key uint64, v V) {
 		return
 	}
 	d.memo.Put(key, v)
+	if d.degraded {
+		d.unpersisted++
+		return
+	}
 	if err := d.append(key, v); err != nil {
-		// The run is still correct without the record — it just will not
-		// be incremental. Surface the degradation once per failure.
-		fmt.Fprintf(d.warn, "resultstore: %s: append failed: %v (run continues, result not persisted)\n", d.dir, err)
+		d.unpersisted++
+		d.degradeLocked(fmt.Errorf("resultstore: %s: append failed: %w", d.dir, err))
+	}
+}
+
+// degradeLocked demotes the store to memory-only with one warning line.
+// Callers hold d.mu (or own the store exclusively, as Open does).
+func (d *Disk[V]) degradeLocked(cause error) {
+	d.degraded = true
+	if d.seg != nil {
+		d.seg.Close()
+		d.seg = nil
+	}
+	// Every degrade cause below is already "resultstore: ..."-prefixed.
+	d.warner.Warnf("degraded", "%v — store degraded to memory-only (run continues, results will not persist)", cause)
+}
+
+// createSegment claims a fresh O_EXCL segment for this writer, retrying
+// transient errors with backoff and racing past name collisions (another
+// writer claiming the same number first) by advancing to the next number.
+// Callers hold d.mu.
+func (d *Disk[V]) createSegment() error {
+	collisions, attempt := 0, 0
+	for {
+		path := filepath.Join(d.dir, fmt.Sprintf("%s%06d%s", segPrefix, d.nextSeg, segSuffix))
+		f, err := d.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		d.nextSeg++
+		if err == nil {
+			n, werr := f.Write([]byte(segMagic))
+			d.diskBytes += int64(n)
+			if werr == nil && n < len(segMagic) {
+				werr = io.ErrShortWrite
+			}
+			if werr != nil {
+				// The claimed file now has a torn header; drop it (the scan
+				// would skip it anyway) and treat the failure like any other
+				// transient write: a fresh number on the next attempt.
+				f.Close()
+				d.fs.Remove(path)
+				if !transientErr(werr) || attempt >= d.maxRetries {
+					return werr
+				}
+				attempt++
+				d.retries++
+				d.sleep(d.backoffFor(attempt))
+				continue
+			}
+			d.seg = f
+			if attempt > 0 || collisions > 0 {
+				d.recovered++
+			}
+			return nil
+		}
+		if os.IsExist(err) {
+			// Another writer claimed this number between our open-scan and
+			// now; move on. True multi-writer herds back off briefly every
+			// few losses so they fan out over the name space instead of
+			// lock-stepping through it.
+			collisions++
+			d.retries++
+			if collisions > maxSegCollisions {
+				return fmt.Errorf("no free segment name after %d collisions: %w", collisions, err)
+			}
+			if collisions%8 == 0 {
+				d.sleep(d.backoffFor(attempt))
+			}
+			continue
+		}
+		if !transientErr(err) || attempt >= d.maxRetries {
+			return err
+		}
+		attempt++
+		d.retries++
+		d.sleep(d.backoffFor(attempt))
 	}
 }
 
 // append writes one record to this process's segment, creating the segment
-// on first use. Callers hold d.mu.
+// on first use. A failed or short write rotates to a fresh segment before
+// retrying — the torn tail left behind is exactly what the open scan
+// already absorbs, so a retry can never desync a segment that a crash
+// would later replay. Callers hold d.mu.
 func (d *Disk[V]) append(key uint64, v V) error {
-	if d.seg == nil {
-		for {
-			path := filepath.Join(d.dir, fmt.Sprintf("%s%06d%s", segPrefix, d.nextSeg, segSuffix))
-			f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-			d.nextSeg++
-			if err == nil {
-				if _, err := f.Write([]byte(segMagic)); err != nil {
-					f.Close()
-					return err
-				}
-				d.seg = f
-				d.diskBytes += int64(len(segMagic))
-				break
-			}
-			if !os.IsExist(err) {
-				return err
-			}
-			// Another process claimed this number between our open-scan and
-			// now; try the next one.
-		}
-	}
 	rec := make([]byte, 0, recHeaderLen+recSumLen+64)
 	rec = binary.LittleEndian.AppendUint64(rec, key)
 	rec = append(rec, 0, 0, 0, 0) // payload length, patched below
@@ -182,14 +443,72 @@ func (d *Disk[V]) append(key uint64, v V) error {
 	}
 	binary.LittleEndian.PutUint32(rec[8:], uint32(payloadLen))
 	rec = binary.LittleEndian.AppendUint64(rec, sumRecord(rec[:recHeaderLen+payloadLen]))
-	// One Write call per record: either the whole record lands or the tail
-	// is torn, and the open scan discards torn tails.
-	if _, err := d.seg.Write(rec); err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		if d.seg == nil {
+			if err := d.createSegment(); err != nil {
+				return err
+			}
+		}
+		// One Write call per record: either the whole record lands or the
+		// tail is torn, and the open scan discards torn tails.
+		n, err := d.seg.Write(rec)
+		d.diskBytes += int64(n)
+		if err == nil && n < len(rec) {
+			err = io.ErrShortWrite
+		}
+		if err == nil {
+			if attempt > 0 {
+				d.recovered++
+			}
+			d.appended++
+			d.sinceSync++
+			if d.syncEvery > 0 && d.sinceSync >= d.syncEvery {
+				if serr := d.syncLocked(); serr != nil {
+					return serr
+				}
+			}
+			return nil
+		}
+		// This segment may now carry a torn tail; rotate before any retry.
+		d.seg.Close()
+		d.seg = nil
+		if !transientErr(err) || attempt >= d.maxRetries {
+			return err
+		}
+		d.retries++
+		d.sleep(d.backoffFor(attempt))
 	}
-	d.appended++
-	d.diskBytes += int64(len(rec))
+}
+
+// syncLocked fsyncs the active segment under the retry policy. Callers
+// hold d.mu.
+func (d *Disk[V]) syncLocked() error {
+	if d.seg == nil {
+		return nil
+	}
+	if err := d.retryDo(d.seg.Sync); err != nil {
+		return fmt.Errorf("fsync failed: %w", err)
+	}
+	d.sinceSync = 0
 	return nil
+}
+
+// Sync is the explicit durability boundary: records appended before a
+// successful Sync survive a crash (the open scan proves each one by
+// checksum); records after it are guaranteed only by the next Sync, Close
+// or WithSyncEvery cadence. A Sync that fails after retries degrades the
+// store — fsync errors are not retryable promises on real kernels.
+func (d *Disk[V]) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.degraded || d.seg == nil {
+		return nil
+	}
+	err := d.syncLocked()
+	if err != nil {
+		d.degradeLocked(fmt.Errorf("resultstore: %s: %w", d.dir, err))
+	}
+	return err
 }
 
 // Len implements Store.
@@ -210,21 +529,27 @@ func (d *Disk[V]) Stats() Stats {
 	s.Appended = d.appended
 	s.Corrupt = d.corrupt
 	s.DiskBytes = d.diskBytes
+	s.Retries = d.retries
+	s.Recovered = d.recovered
+	s.Unpersisted = d.unpersisted
+	s.Degraded = d.degraded
+	s.Warnings = d.warner.Total()
 	return s
 }
 
-// Close implements Store: syncs and closes this process's segment. The
-// store directory itself is a cache — deleting it at any time is safe and
-// only costs recomputation.
+// Close implements Store: syncs and closes this process's segment and
+// flushes the warner's suppression summary. The store directory itself is
+// a cache — deleting it at any time is safe and only costs recomputation.
 func (d *Disk[V]) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.warner.Flush()
 	if d.seg == nil {
 		return nil
 	}
 	f := d.seg
 	d.seg = nil
-	if err := f.Sync(); err != nil {
+	if err := d.retryDo(f.Sync); err != nil {
 		f.Close()
 		return err
 	}
@@ -237,21 +562,19 @@ func (d *Disk[V]) Close() error {
 // union too, when dst is itself disk-backed). A missing directory is an
 // error: a typo'd shard path must not silently assemble a partial figure.
 func Merge[V any](dst Store[V], codec Codec[V], dirs []string, opts ...Option) error {
-	o := options{warn: os.Stderr}
+	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
+	warner := o.warnerOrDefault()
 	for _, dir := range dirs {
-		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
-			return fmt.Errorf("resultstore: merge: %q is not a store directory", dir)
-		}
-		segs, err := listSegments(dir)
+		segs, err := listSegments(o.fs, dir)
 		if err != nil {
-			return err
+			return fmt.Errorf("resultstore: merge: %q is not a readable store directory: %w", dir, err)
 		}
 		var merged, corrupt uint64
 		for _, s := range segs {
-			loaded, bad, _ := scanSegment(s.path, codec, o.warn, dst.Put)
+			loaded, bad, _ := scanSegmentFile(o.fs.ReadFile, s.path, codec, warner, dst.Put)
 			merged += loaded
 			corrupt += bad
 		}
@@ -271,6 +594,7 @@ func Merge[V any](dst Store[V], codec Codec[V], dirs []string, opts ...Option) e
 			d.corrupt.Add(corrupt)
 		}
 	}
+	warner.Flush()
 	return nil
 }
 
@@ -281,8 +605,8 @@ type segment struct {
 }
 
 // listSegments returns dir's segment files in creation order.
-func listSegments(dir string) ([]segment, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys FS, dir string) ([]segment, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
@@ -324,39 +648,39 @@ func sumRecord(rec []byte) uint64 {
 	return cache.HashBytes(rec)
 }
 
-// scanSegment walks one segment, calling put for every provably-intact,
-// decodable record. It returns how many records were loaded, how many were
-// skipped as corrupt, and the segment's byte size (counted whole — corrupt
-// bytes still occupy disk).
-func scanSegment[V any](path string, codec Codec[V], warn io.Writer, put func(key uint64, v V)) (loaded, corrupt uint64, size int64) {
-	data, err := os.ReadFile(path)
+// scanSegmentFile reads one segment through the given reader and walks it,
+// calling put for every provably-intact, decodable record. It returns how
+// many records were loaded, how many were skipped as corrupt, and the
+// segment's byte size (counted whole — corrupt bytes still occupy disk).
+func scanSegmentFile[V any](read func(string) ([]byte, error), path string, codec Codec[V], warner *Warner, put func(key uint64, v V)) (loaded, corrupt uint64, size int64) {
+	data, err := read(path)
 	if err != nil {
-		fmt.Fprintf(warn, "resultstore: %s: unreadable segment: %v (its results will be recomputed)\n", path, err)
+		warner.Warnf("unreadable-segment", "resultstore: %s: unreadable segment: %v (its results will be recomputed)", path, err)
 		return 0, 1, 0
 	}
 	size = int64(len(data))
 	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
-		fmt.Fprintf(warn, "resultstore: %s: bad segment header — skipping segment (its results will be recomputed)\n", path)
+		warner.Warnf("bad-segment-header", "resultstore: %s: bad segment header — skipping segment (its results will be recomputed)", path)
 		return 0, 1, size
 	}
 	off := len(segMagic)
 	for off < len(data) {
 		if len(data)-off < recHeaderLen+recSumLen {
-			fmt.Fprintf(warn, "resultstore: %s: torn record at offset %d — dropping tail (will be recomputed)\n", path, off)
+			warner.Warnf("torn-record", "resultstore: %s: torn record at offset %d — dropping tail (will be recomputed)", path, off)
 			corrupt++
 			break
 		}
 		payloadLen := int(binary.LittleEndian.Uint32(data[off+8:]))
 		end := off + recHeaderLen + payloadLen + recSumLen
 		if payloadLen > MaxPayload || end > len(data) {
-			fmt.Fprintf(warn, "resultstore: %s: torn or corrupt record at offset %d — dropping tail (will be recomputed)\n", path, off)
+			warner.Warnf("torn-record", "resultstore: %s: torn or corrupt record at offset %d — dropping tail (will be recomputed)", path, off)
 			corrupt++
 			break
 		}
 		body := data[off : off+recHeaderLen+payloadLen]
 		sum := binary.LittleEndian.Uint64(data[off+recHeaderLen+payloadLen:])
 		if sumRecord(body) != sum {
-			fmt.Fprintf(warn, "resultstore: %s: checksum mismatch at offset %d — skipping record (will be recomputed)\n", path, off)
+			warner.Warnf("checksum-mismatch", "resultstore: %s: checksum mismatch at offset %d — skipping record (will be recomputed)", path, off)
 			corrupt++
 			off = end
 			continue
@@ -364,7 +688,7 @@ func scanSegment[V any](path string, codec Codec[V], warn io.Writer, put func(ke
 		key := binary.LittleEndian.Uint64(body)
 		v, err := codec.Decode(body[recHeaderLen:])
 		if err != nil {
-			fmt.Fprintf(warn, "resultstore: %s: undecodable record at offset %d: %v — skipping record (will be recomputed)\n", path, off, err)
+			warner.Warnf("undecodable-record", "resultstore: %s: undecodable record at offset %d: %v — skipping record (will be recomputed)", path, off, err)
 			corrupt++
 			off = end
 			continue

@@ -1,0 +1,242 @@
+package resultstore
+
+// FaultFS: the deterministic fault-injection filesystem behind the chaos
+// tests and the crash-consistency harness. It wraps a real FS and applies a
+// seeded schedule of failures to the operation stream — transient op
+// errors, write errors, short writes, and hard crash cut-offs "after byte
+// N" / "after op K" past which the filesystem is gone. Every decision is a
+// pure function of (spec, operation counter), so a failing schedule replays
+// exactly under -race, at any worker count, on any machine.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every FaultFS operation after a configured
+// crash point has been reached: the simulated machine is gone, and only the
+// bytes that landed before the cut survive for a later re-open. It is not
+// transient — a crashed filesystem must demote the store, not spin it.
+var ErrCrashed = errors.New("injected crash: filesystem unavailable")
+
+// errInjectedTransient marks scheduled faults as retryable.
+var errInjectedTransient = fmt.Errorf("injected fault: %w", ErrTransient)
+
+// errInjectedPermanent is the Permanent-mode variant: never retried, so a
+// single scheduled fault demotes the store (the read-only-disk shape).
+var errInjectedPermanent = errors.New("injected permanent fault")
+
+// FaultSpec is a deterministic fault schedule. The zero value injects
+// nothing (a transparent passthrough); every field is independent.
+type FaultSpec struct {
+	// Seed phase-shifts the periodic schedules so different seeds fail
+	// different operations of the same workload.
+	Seed uint64
+	// FailWriteEvery makes every Nth Write fail before any byte lands
+	// (0 = never).
+	FailWriteEvery int
+	// ShortWriteEvery makes every Nth Write land only half its bytes and
+	// then fail — the torn-record generator (0 = never).
+	ShortWriteEvery int
+	// FailOpEvery makes every Nth non-write operation (open, read, readdir,
+	// mkdir, sync, remove, rename) fail (0 = never).
+	FailOpEvery int
+	// Permanent makes injected errors non-transient: the store must degrade
+	// on first contact instead of retrying through them.
+	Permanent bool
+	// CrashAfterBytes crashes the filesystem once this many bytes have
+	// landed across all files; a write straddling the boundary persists
+	// only its prefix (0 = never). Combined with a byte-range sweep this
+	// yields a cut point between (and inside) every record.
+	CrashAfterBytes int64
+	// CrashAfterOps crashes the filesystem after this many operations
+	// (0 = never).
+	CrashAfterOps int64
+}
+
+// FaultFS wraps an FS with a FaultSpec schedule. Safe for concurrent use;
+// the operation counter makes concurrent schedules deterministic only when
+// the workload itself is single-goroutine (which the harnesses are).
+type FaultFS struct {
+	inner FS
+	spec  FaultSpec
+
+	mu       sync.Mutex
+	ops      int64 // every FS/File operation
+	writes   int64 // Write calls specifically
+	bytes    int64 // payload bytes that actually landed
+	injected int64 // scheduled faults delivered (crashes excluded)
+	crashed  bool
+}
+
+// NewFaultFS wraps inner (nil = the real filesystem) with spec.
+func NewFaultFS(inner FS, spec FaultSpec) *FaultFS {
+	if inner == nil {
+		inner = OS()
+	}
+	return &FaultFS{inner: inner, spec: spec}
+}
+
+// Ops returns the number of operations observed so far.
+func (f *FaultFS) Ops() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.ops }
+
+// BytesWritten returns how many payload bytes actually landed.
+func (f *FaultFS) BytesWritten() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.bytes }
+
+// Injected returns how many scheduled faults were delivered.
+func (f *FaultFS) Injected() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.injected }
+
+// Crashed reports whether a crash point has been reached.
+func (f *FaultFS) Crashed() bool { f.mu.Lock(); defer f.mu.Unlock(); return f.crashed }
+
+// injectedErr returns the scheduled-fault error in the configured flavor.
+func (f *FaultFS) injectedErr() error {
+	if f.spec.Permanent {
+		return errInjectedPermanent
+	}
+	return errInjectedTransient
+}
+
+// every reports whether 1-based event number n hits a period-p schedule
+// phase-shifted by the seed.
+func (f *FaultFS) every(n int64, p int) bool {
+	return p > 0 && (n+int64(f.spec.Seed))%int64(p) == 0
+}
+
+// op accounts one non-write operation and returns the scheduled error for
+// it, if any. Callers hold no lock.
+func (f *FaultFS) op() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.ops++
+	if f.spec.CrashAfterOps > 0 && f.ops > f.spec.CrashAfterOps {
+		f.crashed = true
+		return ErrCrashed
+	}
+	if f.every(f.ops, f.spec.FailOpEvery) {
+		f.injected++
+		return f.injectedErr()
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) MkdirAll(name string, perm os.FileMode) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(name, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// faultFile interposes the write-side schedule on one open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+// Write applies, in order: crash state, op-count crash, scheduled write
+// failure, scheduled short write, and the crash byte budget. Bytes that the
+// schedule lets through are written to the real file before the error (if
+// any) is returned — exactly what a kernel that died mid-write leaves
+// behind.
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	if w.fs.crashed {
+		w.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	w.fs.ops++
+	w.fs.writes++
+	if w.fs.spec.CrashAfterOps > 0 && w.fs.ops > w.fs.spec.CrashAfterOps {
+		w.fs.crashed = true
+		w.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	var failErr error
+	allow := len(p)
+	switch {
+	case w.fs.every(w.fs.writes, w.fs.spec.FailWriteEvery):
+		w.fs.injected++
+		allow, failErr = 0, w.fs.injectedErr()
+	case w.fs.every(w.fs.writes, w.fs.spec.ShortWriteEvery):
+		w.fs.injected++
+		allow, failErr = len(p)/2, w.fs.injectedErr()
+	}
+	if w.fs.spec.CrashAfterBytes > 0 {
+		if budget := w.fs.spec.CrashAfterBytes - w.fs.bytes; int64(allow) > budget {
+			allow, failErr = int(budget), ErrCrashed
+			w.fs.crashed = true
+		}
+	}
+	w.fs.mu.Unlock()
+
+	n := 0
+	var err error
+	if allow > 0 {
+		n, err = w.inner.Write(p[:allow])
+	}
+	w.fs.mu.Lock()
+	w.fs.bytes += int64(n)
+	w.fs.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if failErr != nil {
+		return n, failErr
+	}
+	return n, nil
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.op(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+// Close never injects: the harness must always be able to release real file
+// descriptors, and a crashed filesystem losing the handle is the point.
+func (w *faultFile) Close() error { return w.inner.Close() }

@@ -1,0 +1,182 @@
+package resultstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// faultTestFile opens one writable file through fs.
+func faultTestFile(t *testing.T, fsys FS, dir string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFaultFSZeroSpecIsPassthrough: the zero schedule injects nothing and
+// only counts.
+func TestFaultFSZeroSpecIsPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{})
+	f := faultTestFile(t, ffs, dir)
+	for i := 0; i < 4; i++ {
+		if n, err := f.Write([]byte("abcde")); n != 5 || err != nil {
+			t.Fatalf("write %d = %d, %v", i, n, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ffs.BytesWritten() != 20 || ffs.Injected() != 0 || ffs.Crashed() {
+		t.Fatalf("bytes=%d injected=%d crashed=%t, want clean passthrough",
+			ffs.BytesWritten(), ffs.Injected(), ffs.Crashed())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil || len(data) != 20 {
+		t.Fatalf("file has %d bytes (%v), want 20", len(data), err)
+	}
+}
+
+// TestFaultFSFailWriteEvery: the periodic write schedule fails exactly the
+// scheduled writes, with a retryable error, and no bytes land for them.
+func TestFaultFSFailWriteEvery(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{FailWriteEvery: 2})
+	f := faultTestFile(t, ffs, dir)
+	var failed []int
+	for i := 1; i <= 6; i++ {
+		n, err := f.Write([]byte("xy"))
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("failed write %d landed %d bytes", i, n)
+			}
+			if !transientErr(err) {
+				t.Fatalf("injected fault %v is not transient", err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 3 || failed[0] != 2 || failed[1] != 4 || failed[2] != 6 {
+		t.Fatalf("failed writes = %v, want every 2nd", failed)
+	}
+	if ffs.Injected() != 3 || ffs.BytesWritten() != 6 {
+		t.Fatalf("injected=%d bytes=%d, want 3 and 6", ffs.Injected(), ffs.BytesWritten())
+	}
+}
+
+// TestFaultFSSeedShiftsSchedule: different seeds fail different operations
+// of the same workload.
+func TestFaultFSSeedShiftsSchedule(t *testing.T) {
+	failedAt := func(seed uint64) int {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS(), FaultSpec{Seed: seed, FailWriteEvery: 3})
+		f := faultTestFile(t, ffs, dir)
+		for i := 1; i <= 3; i++ {
+			if _, err := f.Write([]byte("z")); err != nil {
+				return i
+			}
+		}
+		return 0
+	}
+	if a, b := failedAt(0), failedAt(1); a == b || a == 0 || b == 0 {
+		t.Fatalf("seeds 0/1 failed at writes %d/%d, want different non-zero", a, b)
+	}
+}
+
+// TestFaultFSShortWrite: the short-write schedule lands exactly half the
+// bytes before failing — the torn-record generator.
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{ShortWriteEvery: 1})
+	f := faultTestFile(t, ffs, dir)
+	n, err := f.Write([]byte("0123456789"))
+	if n != 5 || err == nil || !transientErr(err) {
+		t.Fatalf("short write = %d, %v, want 5 bytes and a transient error", n, err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if string(data) != "01234" {
+		t.Fatalf("file holds %q, want the 5-byte prefix", data)
+	}
+}
+
+// TestFaultFSPermanentFlavor: Permanent turns injected faults non-retryable.
+func TestFaultFSPermanentFlavor(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{FailWriteEvery: 1, Permanent: true})
+	f := faultTestFile(t, ffs, dir)
+	if _, err := f.Write([]byte("x")); err == nil || transientErr(err) {
+		t.Fatalf("permanent fault = %v, want a non-transient error", err)
+	}
+}
+
+// TestFaultFSCrashAfterBytes: the byte budget admits exactly its prefix,
+// then every later operation reports the filesystem gone.
+func TestFaultFSCrashAfterBytes(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{CrashAfterBytes: 10})
+	f := faultTestFile(t, ffs, dir)
+	if n, err := f.Write([]byte("01234567")); n != 8 || err != nil {
+		t.Fatalf("within-budget write = %d, %v", n, err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("straddling write = %d, %v, want 2 bytes then ErrCrashed", n, err)
+	}
+	if transientErr(err) {
+		t.Fatal("a crash must not be retryable")
+	}
+	if !ffs.Crashed() {
+		t.Fatal("filesystem did not record the crash")
+	}
+	if _, err := f.Write([]byte("q")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v, want ErrCrashed", err)
+	}
+	if _, err := ffs.ReadFile(filepath.Join(dir, "f")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read = %v, want ErrCrashed", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if string(data) != "01234567ab" {
+		t.Fatalf("surviving bytes = %q, want exactly the 10-byte budget", data)
+	}
+}
+
+// TestFaultFSCrashAfterOps: the op budget admits exactly that many
+// operations.
+func TestFaultFSCrashAfterOps(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{CrashAfterOps: 3})
+	for i := 0; i < 3; i++ {
+		if _, err := ffs.ReadDir(dir); err != nil {
+			t.Fatalf("op %d within budget failed: %v", i+1, err)
+		}
+	}
+	if _, err := ffs.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op past budget = %v, want ErrCrashed", err)
+	}
+}
+
+// TestFaultFSFailOpEvery: the non-write schedule hits opens, readdirs and
+// syncs alike.
+func TestFaultFSFailOpEvery(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{FailOpEvery: 2})
+	var failed int
+	for i := 0; i < 6; i++ {
+		if _, err := ffs.ReadDir(dir); err != nil {
+			if !transientErr(err) {
+				t.Fatalf("injected op fault %v is not transient", err)
+			}
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("%d of 6 ops failed, want every 2nd", failed)
+	}
+}

@@ -1,0 +1,155 @@
+package resultstore
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// True multi-writer coverage: several handles appending into one store
+// directory — sequentially across many generations, and concurrently from
+// two handles in one process (the shape a future always-on advisor daemon
+// needs: its store can be open while a CLI run appends to the same
+// directory).
+
+// TestDiskReopenManySegments: a dozen sequential writer generations, then
+// one open that must assemble all of them.
+func TestDiskReopenManySegments(t *testing.T) {
+	dir := t.TempDir()
+	const gens, perGen = 12, 7
+	var warn bytes.Buffer
+	for g := 0; g < gens; g++ {
+		d := openTest(t, dir, &warn)
+		for i := 0; i < perGen; i++ {
+			d.Put(uint64(g*perGen+i), uint64(g*perGen+i)*11)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.psr"))
+	if err != nil || len(segs) != gens {
+		t.Fatalf("%d segments (%v), want one per generation (%d)", len(segs), err, gens)
+	}
+	d := openTest(t, dir, &warn)
+	defer d.Close()
+	st := d.Stats()
+	if st.Loaded != gens*perGen || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want all %d records from %d segments", st, gens*perGen, gens)
+	}
+	for k := uint64(0); k < gens*perGen; k++ {
+		if v, ok := d.Get(k); !ok || v != k*11 {
+			t.Fatalf("Get(%d) = %d, %t", k, v, ok)
+		}
+	}
+	if warn.Len() != 0 {
+		t.Fatalf("clean multi-segment store warned: %s", warn.String())
+	}
+}
+
+// TestDiskTwoHandlesOneDirCollide: two stores opened on the same directory
+// before either has written race for segment 1; the loser must retry past
+// the O_EXCL collision onto its own segment, and both handles' records
+// survive a reopen.
+func TestDiskTwoHandlesOneDirCollide(t *testing.T) {
+	dir := t.TempDir()
+	var warn bytes.Buffer
+	a, err := Open[uint64](dir, u64Codec{}, WithWarnWriter(&warn), WithSleep(nopSleep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open[uint64](dir, u64Codec{}, WithWarnWriter(&warn), WithSleep(nopSleep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Put(1, 100) // claims seg-000001
+	b.Put(2, 200) // collides on seg-000001, must land in seg-000002
+	if st := b.Stats(); st.Retries == 0 || st.Recovered == 0 {
+		t.Fatalf("loser's collision not counted: %+v", st)
+	}
+	a.Put(3, 300)
+	b.Put(4, 400)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.psr"))
+	if len(segs) != 2 {
+		t.Fatalf("%d segments, want one per handle: %v", len(segs), segs)
+	}
+	d := openTest(t, dir, &warn)
+	defer d.Close()
+	if st := d.Stats(); st.Loaded != 4 || st.Corrupt != 0 {
+		t.Fatalf("reopen stats = %+v, want all 4 records from both writers", st)
+	}
+	for _, kv := range [][2]uint64{{1, 100}, {2, 200}, {3, 300}, {4, 400}} {
+		if v, ok := d.Get(kv[0]); !ok || v != kv[1] {
+			t.Fatalf("Get(%d) = %d, %t, want %d", kv[0], v, ok, kv[1])
+		}
+	}
+}
+
+// TestDiskConcurrentHandlesInterleave: two handles appending concurrently
+// from separate goroutines (even/odd key spaces) — no lost records, no
+// corruption, both partitions fully visible after reopen.
+func TestDiskConcurrentHandlesInterleave(t *testing.T) {
+	dir := t.TempDir()
+	const perWriter = 200
+	var warn bytes.Buffer
+	var mu sync.Mutex // warn buffer is shared by both handles
+	open := func() *Disk[uint64] {
+		t.Helper()
+		d, err := Open[uint64](dir, u64Codec{}, WithWarner(NewWarner(lockedWriter{&mu, &warn}, DefaultWarnLimit)), WithSleep(nopSleep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := open(), open()
+
+	var wg sync.WaitGroup
+	for i, d := range []*Disk[uint64]{a, b} {
+		wg.Add(1)
+		go func(parity uint64, d *Disk[uint64]) {
+			defer wg.Done()
+			for k := uint64(0); k < perWriter; k++ {
+				d.Put(k*2+parity, (k*2+parity)*3)
+			}
+		}(uint64(i), d)
+	}
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := openTest(t, dir, &warn)
+	defer d.Close()
+	st := d.Stats()
+	if st.Loaded != 2*perWriter || st.Corrupt != 0 {
+		t.Fatalf("reopen stats = %+v, want all %d records intact", st, 2*perWriter)
+	}
+	for k := uint64(0); k < 2*perWriter; k++ {
+		if v, ok := d.Get(k); !ok || v != k*3 {
+			t.Fatalf("lost record %d (= %d, %t)", k, v, ok)
+		}
+	}
+}
+
+// lockedWriter serializes writes from two stores sharing one test buffer.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

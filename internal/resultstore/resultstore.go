@@ -63,6 +63,23 @@ type Stats struct {
 	// DiskBytes is the on-disk footprint: every segment byte scanned at
 	// open plus every byte appended since.
 	DiskBytes int64
+	// Retries counts I/O attempts repeated after a transient failure or an
+	// O_EXCL segment-name collision; Recovered counts operations that
+	// ultimately succeeded after at least one retry. Retries with no
+	// matching Recovered exhausted the budget and degraded the store.
+	Retries, Recovered uint64
+	// Unpersisted counts values accepted into the memory tier but never
+	// written durably (every Put after degradation, plus the one whose
+	// append failure triggered it). They are correct for this run and will
+	// be recomputed by the next.
+	Unpersisted uint64
+	// Warnings is the total routed through the store's rate-limited warner,
+	// printed or suppressed.
+	Warnings uint64
+	// Degraded reports the store demoted itself to memory-only after
+	// exhausting retries (or opened that way under WithDegradedFallback on
+	// an unusable directory).
+	Degraded bool
 }
 
 // Mem is the in-memory Store tier: cache.Memo behind the Store interface.

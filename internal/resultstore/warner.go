@@ -1,0 +1,109 @@
+package resultstore
+
+// Warner is the rate-limited warning sink shared by the store layer (and
+// borrowed by the experiment runner for its memo-bypass notice): warnings
+// are grouped into short category keys, the first few of each category
+// print in full, and the rest are counted silently — a mass-corrupt store
+// emits a handful of lines plus one summary instead of 10k near-identical
+// ones, while the totals still land in the -v statistics.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultWarnLimit is how many warnings of one category print in full
+// before suppression kicks in.
+const DefaultWarnLimit = 5
+
+// Warner rate-limits warning lines per category. Safe for concurrent use.
+type Warner struct {
+	mu      sync.Mutex
+	w       io.Writer
+	limit   uint64
+	counts  map[string]uint64
+	order   []string // categories in first-seen order, for stable summaries
+	flushed map[string]uint64
+}
+
+// NewWarner returns a Warner writing to w, printing at most limit warnings
+// per category (limit <= 0 means DefaultWarnLimit).
+func NewWarner(w io.Writer, limit int) *Warner {
+	if limit <= 0 {
+		limit = DefaultWarnLimit
+	}
+	return &Warner{
+		w:       w,
+		limit:   uint64(limit),
+		counts:  map[string]uint64{},
+		flushed: map[string]uint64{},
+	}
+}
+
+// Warnf records one warning in category cat and prints it (with a trailing
+// newline) unless the category is over its limit. The first suppressed
+// warning prints a one-line notice instead, so silence is never mistaken
+// for health.
+func (wr *Warner) Warnf(cat, format string, args ...any) {
+	wr.mu.Lock()
+	defer wr.mu.Unlock()
+	if _, seen := wr.counts[cat]; !seen {
+		wr.order = append(wr.order, cat)
+	}
+	wr.counts[cat]++
+	switch n := wr.counts[cat]; {
+	case n <= wr.limit:
+		fmt.Fprintf(wr.w, format+"\n", args...)
+	case n == wr.limit+1:
+		fmt.Fprintf(wr.w, "resultstore: suppressing further %q warnings (%d shown); totals follow at close\n", cat, wr.limit)
+	}
+}
+
+// Count returns how many warnings category cat has recorded.
+func (wr *Warner) Count(cat string) uint64 {
+	wr.mu.Lock()
+	defer wr.mu.Unlock()
+	return wr.counts[cat]
+}
+
+// Total returns the number of warnings recorded across every category,
+// printed or suppressed.
+func (wr *Warner) Total() uint64 {
+	wr.mu.Lock()
+	defer wr.mu.Unlock()
+	var t uint64
+	for _, n := range wr.counts {
+		t += n
+	}
+	return t
+}
+
+// Suppressed returns how many warnings were counted but not printed.
+func (wr *Warner) Suppressed() uint64 {
+	wr.mu.Lock()
+	defer wr.mu.Unlock()
+	var t uint64
+	for _, n := range wr.counts {
+		if n > wr.limit {
+			t += n - wr.limit
+		}
+	}
+	return t
+}
+
+// Flush prints one summary line per category that suppressed warnings since
+// the previous Flush. Store Close calls it, so a shared Warner may be
+// flushed more than once without repeating totals.
+func (wr *Warner) Flush() {
+	wr.mu.Lock()
+	defer wr.mu.Unlock()
+	for _, cat := range wr.order {
+		n := wr.counts[cat]
+		if n <= wr.limit || n == wr.flushed[cat] {
+			continue
+		}
+		fmt.Fprintf(wr.w, "resultstore: %q warnings: %d total, %d suppressed\n", cat, n, n-wr.limit)
+		wr.flushed[cat] = n
+	}
+}

@@ -1,0 +1,95 @@
+package resultstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWarnerRateLimits: the first limit warnings print, the next one prints
+// a suppression notice, and the rest are silent — but all are counted.
+func TestWarnerRateLimits(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWarner(&buf, 2)
+	for i := 0; i < 7; i++ {
+		w.Warnf("torn", "torn record %d", i)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("printed %d lines, want 2 warnings + 1 notice:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "torn record 0" || lines[1] != "torn record 1" {
+		t.Fatalf("wrong warning lines: %q", lines[:2])
+	}
+	if !strings.Contains(lines[2], "suppressing") || !strings.Contains(lines[2], `"torn"`) {
+		t.Fatalf("third line %q is not the suppression notice", lines[2])
+	}
+	if w.Count("torn") != 7 || w.Total() != 7 || w.Suppressed() != 5 {
+		t.Fatalf("count=%d total=%d suppressed=%d, want 7/7/5",
+			w.Count("torn"), w.Total(), w.Suppressed())
+	}
+}
+
+// TestWarnerCategoriesAreIndependent: one noisy category must not silence
+// another.
+func TestWarnerCategoriesAreIndependent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWarner(&buf, 1)
+	w.Warnf("a", "first a")
+	w.Warnf("a", "second a")
+	w.Warnf("b", "first b")
+	out := buf.String()
+	if !strings.Contains(out, "first a") || !strings.Contains(out, "first b") {
+		t.Fatalf("missing first-of-category warnings:\n%s", out)
+	}
+	if strings.Contains(out, "second a") {
+		t.Fatalf("over-limit warning printed:\n%s", out)
+	}
+}
+
+// TestWarnerFlushSummarizesOnce: Flush prints totals for suppressed
+// categories, and a re-Flush with no new warnings prints nothing (shared
+// warners are flushed by every store that closes over them).
+func TestWarnerFlushSummarizesOnce(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWarner(&buf, 1)
+	w.Warnf("checksum", "bad sum")
+	w.Warnf("checksum", "bad sum")
+	w.Warnf("checksum", "bad sum")
+	w.Warnf("clean", "only once")
+	buf.Reset()
+
+	w.Flush()
+	out := buf.String()
+	if !strings.Contains(out, `"checksum" warnings: 3 total, 2 suppressed`) {
+		t.Fatalf("flush summary wrong:\n%s", out)
+	}
+	if strings.Contains(out, "clean") {
+		t.Fatalf("under-limit category summarized:\n%s", out)
+	}
+
+	buf.Reset()
+	w.Flush()
+	if buf.Len() != 0 {
+		t.Fatalf("second flush repeated totals:\n%s", buf.String())
+	}
+
+	w.Warnf("checksum", "bad sum")
+	buf.Reset()
+	w.Flush()
+	if !strings.Contains(buf.String(), "4 total") {
+		t.Fatalf("flush after new warnings should re-summarize:\n%s", buf.String())
+	}
+}
+
+// TestWarnerDefaultLimit: a non-positive limit falls back to the default.
+func TestWarnerDefaultLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWarner(&buf, 0)
+	for i := 0; i < DefaultWarnLimit+3; i++ {
+		w.Warnf("x", "warning %d", i)
+	}
+	if got := w.Suppressed(); got != 3 {
+		t.Fatalf("suppressed = %d, want 3 past the default limit", got)
+	}
+}

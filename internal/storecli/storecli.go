@@ -1,7 +1,7 @@
 // Package storecli wires the durable-trial-store CLI surface shared by
-// pinsim and pinsweep — the -store / -merge / -shard / -v flags — into an
-// experiments.Config, so the two commands cannot drift apart in store
-// semantics.
+// pinsim and pinsweep — the -store / -merge / -shard / -store-degraded /
+// -v flags — into an experiments.Config, so the commands cannot drift
+// apart in store semantics.
 package storecli
 
 import (
@@ -10,6 +10,18 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
+)
+
+// Degraded-mode policies for an unusable -store directory.
+const (
+	// DegradedFail (the default) fails fast at open with a clear message,
+	// before any simulation time is spent.
+	DegradedFail = "fail"
+	// DegradedAllow demotes the store to its in-memory tier with one
+	// warning line: the run completes with identical output, it just is
+	// not incremental.
+	DegradedAllow = "allow"
 )
 
 // Options are the parsed values of the shared flags.
@@ -20,6 +32,9 @@ type Options struct {
 	Merge string
 	// Shard is the "i/n" grid partition to run ("" = the whole grid).
 	Shard string
+	// Degraded is the -store-degraded policy for an unusable store
+	// directory: DegradedFail ("" or "fail") or DegradedAllow ("allow").
+	Degraded string
 	// Workers is the CLI -workers value, carried into the shard's inner
 	// pool (the default pool reads it from Config.Workers directly).
 	Workers int
@@ -33,10 +48,18 @@ type Options struct {
 // partial figures — and returns a finish func to defer: it prints the -v
 // statistics line (prefixed "prog: ") and closes the store.
 func Apply(prog string, cfg *experiments.Config, o Options) (sharded bool, finish func(), err error) {
+	var storeOpts []resultstore.Option
+	switch o.Degraded {
+	case "", DegradedFail:
+	case DegradedAllow:
+		storeOpts = append(storeOpts, resultstore.WithDegradedFallback(true))
+	default:
+		return false, nil, fmt.Errorf("%s: -store-degraded=%q (want %q or %q)", prog, o.Degraded, DegradedFail, DegradedAllow)
+	}
 	if o.Store != "" {
-		ts, err := experiments.OpenTrialStore(o.Store)
+		ts, err := experiments.OpenTrialStore(o.Store, storeOpts...)
 		if err != nil {
-			return false, nil, err
+			return false, nil, fmt.Errorf("%w\n%s: fix the -store path, or pass -store-degraded=%s to run without persistence", err, prog, DegradedAllow)
 		}
 		cfg.Memo = ts
 	} else if o.Merge != "" || o.Verbose {
@@ -65,6 +88,9 @@ func Apply(prog string, cfg *experiments.Config, o Options) (sharded bool, finis
 		}
 		if o.Verbose {
 			fmt.Fprintln(os.Stderr, prog+": "+experiments.StoreStatsLine(st))
+			if n := experiments.MemoBypassCount(); n > 0 {
+				fmt.Fprintf(os.Stderr, "%s: store: %d runs bypassed the memo (MutateHost set)\n", prog, n)
+			}
 		}
 		if err := st.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: store close: %v\n", prog, err)

@@ -1,0 +1,91 @@
+package storecli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// unusableStorePath returns a -store path whose parent is a plain file, so
+// opening it fails with ENOTDIR for any user — including root, which a
+// chmod-based read-only directory would not stop.
+func unusableStorePath(t *testing.T) string {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(file, "store")
+}
+
+// TestApplyRejectsBadDegradedPolicy: -store-degraded only accepts the two
+// documented policies.
+func TestApplyRejectsBadDegradedPolicy(t *testing.T) {
+	var cfg experiments.Config
+	_, _, err := Apply("prog", &cfg, Options{Store: t.TempDir(), Degraded: "maybe"})
+	if err == nil || !strings.Contains(err.Error(), `"fail"`) || !strings.Contains(err.Error(), `"allow"`) {
+		t.Fatalf("err = %v, want the two valid policies named", err)
+	}
+}
+
+// TestApplyFailsFastWithHint: an unusable -store directory under the
+// default policy aborts before any simulation, with a message naming both
+// the problem and the escape hatch.
+func TestApplyFailsFastWithHint(t *testing.T) {
+	var cfg experiments.Config
+	_, _, err := Apply("prog", &cfg, Options{Store: unusableStorePath(t)})
+	if err == nil {
+		t.Fatal("an unusable store directory must fail fast by default")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "cannot create store directory") {
+		t.Fatalf("error %q does not name the problem", msg)
+	}
+	if !strings.Contains(msg, "-store-degraded=allow") {
+		t.Fatalf("error %q does not offer the degraded-mode escape hatch", msg)
+	}
+}
+
+// TestApplyDegradedAllowRunsMemoryOnly: the allow policy turns the same
+// failure into a usable in-memory store, and finish() still works.
+func TestApplyDegradedAllowRunsMemoryOnly(t *testing.T) {
+	var cfg experiments.Config
+	_, finish, err := Apply("prog", &cfg, Options{Store: unusableStorePath(t), Degraded: DegradedAllow})
+	if err != nil {
+		t.Fatalf("allow policy still failed: %v", err)
+	}
+	if cfg.Memo == nil {
+		t.Fatal("no store installed")
+	}
+	cfg.Memo.Put(1, experiments.TrialResult{Metric: 2.5})
+	if r, ok := cfg.Memo.Get(1); !ok || r.Metric != 2.5 {
+		t.Fatal("degraded store dropped a result")
+	}
+	if st := cfg.Memo.Stats(); !st.Degraded || st.Unpersisted != 1 {
+		t.Fatalf("stats = %+v, want a degraded store counting unpersisted results", st)
+	}
+	finish()
+}
+
+// TestApplyHealthyStoreUnaffectedByPolicy: the allow policy is inert when
+// the directory is fine — results persist exactly as under fail.
+func TestApplyHealthyStoreUnaffectedByPolicy(t *testing.T) {
+	dir := t.TempDir()
+	var cfg experiments.Config
+	_, finish, err := Apply("prog", &cfg, Options{Store: dir, Degraded: DegradedAllow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Memo.Put(7, experiments.TrialResult{Metric: 1})
+	if st := cfg.Memo.Stats(); st.Degraded || st.Appended != 1 {
+		t.Fatalf("stats = %+v, want a healthy persisting store", st)
+	}
+	finish()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.psr"))
+	if len(segs) != 1 {
+		t.Fatalf("store wrote %d segments, want 1", len(segs))
+	}
+}

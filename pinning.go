@@ -103,8 +103,12 @@ type (
 	TrialMemo = experiments.TrialMemo
 	// StoreStats is a TrialStore's counter snapshot: hits, misses
 	// (= simulations executed), records loaded/appended, corrupt records
-	// skipped and bytes on disk.
+	// skipped, bytes on disk, and the robustness counters (retries,
+	// recoveries, degraded mode, unpersisted results, warnings).
 	StoreStats = resultstore.Stats
+	// StoreOption configures OpenTrialStore — e.g. StoreDegradedFallback
+	// to run memory-only on an unusable store directory instead of failing.
+	StoreOption = resultstore.Option
 
 	// TrialExecutor is the pluggable trial-execution strategy behind
 	// ExperimentConfig.Executor.
@@ -118,6 +122,12 @@ type (
 	// experiment can run across N machines whose durable stores are merged
 	// afterwards (MergeTrialStores).
 	ShardExecutor = experiments.Shard
+	// TrialPanicsError is PoolExecutor's end-of-sweep report of trials that
+	// panicked on both their run and the containment retry: the sweep
+	// completed, only the listed trials' cells are missing.
+	TrialPanicsError = experiments.TrialPanicsError
+	// TrialPanic is one contained trial panic inside a TrialPanicsError.
+	TrialPanic = experiments.TrialPanic
 
 	// Hypothesis is one falsifiable claim over a registered scenario: a
 	// predicate reduces each per-seed scenario run to a scalar effect, and
@@ -247,8 +257,17 @@ func NewTrialMemo() *TrialMemo { return experiments.NewTrialMemo() }
 // for ExperimentConfig.Memo: intact records load at open, newly-simulated
 // trials append, so repeated runs are incremental across processes.
 // Corrupt or stale-schema records are skipped with a warning and
-// recomputed — never replayed wrong. Close the store to flush.
-func OpenTrialStore(dir string) (TrialStore, error) { return experiments.OpenTrialStore(dir) }
+// recomputed — never replayed wrong. An unusable directory fails fast
+// unless StoreDegradedFallback is passed. Close the store to flush.
+func OpenTrialStore(dir string, opts ...StoreOption) (TrialStore, error) {
+	return experiments.OpenTrialStore(dir, opts...)
+}
+
+// StoreDegradedFallback makes OpenTrialStore treat an unusable store
+// directory as a degraded in-memory store (one warning, results do not
+// persist) instead of an error — the library form of the CLIs'
+// -store-degraded=allow.
+func StoreDegradedFallback() StoreOption { return resultstore.WithDegradedFallback(true) }
 
 // MergeTrialStores loads every intact record of the trial stores at dirs
 // into dst — the assembly step after sharded runs (ShardExecutor, or the
