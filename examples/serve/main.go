@@ -1,0 +1,108 @@
+// Serve: the always-on pinning advisor, end to end in one process. Boots
+// the daemon's engine on a loopback listener, asks it a question three
+// ways — cold (simulated), again (warm, byte-identical), and as a
+// thundering herd (coalesced onto one simulation) — then pulls the
+// /statsz audit and a model-fit recommendation. The same engine serves
+// cmd/pinservd; this walkthrough is what its endpoints look like from a
+// client.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	pinning "repro"
+)
+
+func main() {
+	srv := pinning.NewAdvisorServer(pinning.AdvisorOptions{
+		Config: pinning.ExperimentConfig{Quick: true, Reps: 2, Seed: 42},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("advisor listening on", base)
+
+	const question = `{"name":"fig3","recommend":{"cores":16}}`
+
+	// 1. Cold: this request simulates the figure.
+	body, source := post(base, question)
+	fmt.Printf("\ncold ask:   source=%s, %d bytes\n", source, len(body))
+	var resp pinning.AdvisorResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		log.Fatal(err)
+	}
+	if rec := resp.Recommendation; rec != nil {
+		fmt.Printf("advice for %s at %d cores (CHR %.2f): %s/%s, predicted overhead %.3f\n",
+			rec.Class, rec.Cores, rec.CHR, rec.Platform, rec.Mode, rec.Predicted)
+		for _, c := range rec.Ranked {
+			fmt.Printf("  ranked: %-5s %-8s %.3f\n", c.Platform, c.Mode, c.Predicted)
+		}
+	}
+
+	// 2. Warm: the same question is one cache read — identical bytes.
+	warmBody, warmSource := post(base, question)
+	fmt.Printf("\nwarm ask:   source=%s, identical=%v\n", warmSource, string(warmBody) == string(body))
+
+	// 3. Herd: many clients asking a NEW question at once still cost one
+	// simulation — the singleflight leader answers for everyone.
+	const herd = 8
+	sources := make([]string, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sources[i] = post(base, `{"name":"fig4"}`)
+		}(i)
+	}
+	wg.Wait()
+	counts := map[string]int{}
+	for _, s := range sources {
+		counts[s]++
+	}
+	fmt.Printf("\nherd of %d on a cold key: sources %v\n", herd, counts)
+
+	var stats struct {
+		Warm, Coalesced, Simulated, Shed uint64
+		Store                            struct{ Hits, Misses uint64 }
+	}
+	get(base+"/statsz", &stats)
+	fmt.Printf("statsz: warm=%d coalesced=%d simulated=%d shed=%d; trial store %d hits / %d misses\n",
+		stats.Warm, stats.Coalesced, stats.Simulated, stats.Shed, stats.Store.Hits, stats.Store.Misses)
+}
+
+func post(base, body string) ([]byte, string) {
+	resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST /run: %d %s (%v)", resp.StatusCode, b, err)
+	}
+	return b, resp.Header.Get("X-Pinserv-Source")
+}
+
+func get(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatal(err)
+	}
+}

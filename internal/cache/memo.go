@@ -5,9 +5,20 @@ package cache
 // simulation results. Experiment sweeps key each trial by a hash of its
 // full configuration fingerprint plus its substream seed; repeated or
 // overlapping sweeps then skip every cell that has already been simulated.
+//
+// The table is sharded: 64 independently-locked maps, with each key routed
+// to its shard by a bit-mix of the key itself. Keys here are already
+// FNV-1a outputs of the canonical trial-key encoder (resultstore.Enc) or
+// of a fingerprint string, so their bits are uniform; the extra Fibonacci
+// multiply only guards callers that use small hand-picked integers as
+// keys. Sharding is what lets warm lookups scale with cores — the serving
+// daemon's 10k req/s warm path is N goroutines doing RLock-per-shard reads
+// instead of serializing on one table-wide mutex — while the hit/miss
+// audit stays exact through per-shard atomic counters.
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // fnv64Offset/fnv64Prime are the FNV-1a 64-bit parameters.
@@ -42,83 +53,126 @@ func HashBytes(p []byte) uint64 {
 	return h
 }
 
+// memoShards is the shard count: a power of two comfortably above any
+// plausible worker count, so concurrent warm readers almost never share a
+// lock even when the key population is skewed.
+const memoShards = 64
+
+// shardOf routes a key to its shard: a Fibonacci multiply whose top bits
+// select the shard. FNV-hashed keys are already uniform; the multiply
+// keeps sequential or small-integer keys (tests, hand-rolled callers) from
+// piling into shard 0.
+func shardOf(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> (64 - 6)
+}
+
+// memoShard is one lock's worth of the table. Hit/miss counters are
+// atomics so the hot read path takes only an RLock; the trailing pad
+// spaces shards out so two cores hammering adjacent shards do not false-
+// share a cache line.
+type memoShard[V any] struct {
+	mu     sync.RWMutex
+	m      map[uint64]V
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	_      [80]byte
+}
+
 // Memo is a concurrency-safe memoization table from 64-bit keys to computed
 // values. Any number of worker goroutines may Get and Put concurrently;
 // two workers racing to fill the same key is benign for deterministic
 // computations (both store the identical value).
 type Memo[V any] struct {
-	mu     sync.RWMutex
-	m      map[uint64]V
-	hits   uint64
-	misses uint64
+	shards [memoShards]memoShard[V]
 }
 
 // NewMemo returns an empty memoization table.
 func NewMemo[V any]() *Memo[V] {
-	return &Memo[V]{m: make(map[uint64]V)}
+	c := &Memo[V]{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]V)
+	}
+	return c
 }
 
 // Get returns the stored value for key. Every call counts as a hit or a
 // miss, so Hits/Misses audit exactly how much simulation a sweep skipped.
 func (c *Memo[V]) Get(key uint64) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.m[key]
+	s := &c.shards[shardOf(key)]
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
 	if ok {
-		c.hits++
+		s.hits.Add(1)
 	} else {
-		c.misses++
+		s.misses.Add(1)
 	}
 	return v, ok
 }
 
 // Put stores the value for key, overwriting any previous entry.
 func (c *Memo[V]) Put(key uint64, v V) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[key] = v
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
 }
 
 // Contains reports whether key is stored without counting a hit or a miss —
 // the probe the durable store's append-dedup uses, which must not skew the
 // hit/miss audit.
 func (c *Memo[V]) Contains(key uint64) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	_, ok := c.m[key]
+	s := &c.shards[shardOf(key)]
+	s.mu.RLock()
+	_, ok := s.m[key]
+	s.mu.RUnlock()
 	return ok
 }
 
 // Range calls fn for every stored entry until fn returns false. Iteration
-// order is unspecified (map order); fn must not call back into the memo.
+// order is unspecified (shard then map order); fn must not call back into
+// the memo.
 func (c *Memo[V]) Range(fn func(key uint64, v V) bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for k, v := range c.m {
-		if !fn(k, v) {
-			return
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !fn(k, v) {
+				s.mu.RUnlock()
+				return
+			}
 		}
+		s.mu.RUnlock()
 	}
 }
 
 // Len returns the number of stored entries.
 func (c *Memo[V]) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Hits returns how many Gets found their key.
 func (c *Memo[V]) Hits() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.hits
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].hits.Load()
+	}
+	return n
 }
 
 // Misses returns how many Gets did not find their key — for a memoized
 // sweep, exactly the number of trials that actually ran.
 func (c *Memo[V]) Misses() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.misses
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].misses.Load()
+	}
+	return n
 }

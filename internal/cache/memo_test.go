@@ -77,6 +77,62 @@ func TestMemoContainsDoesNotCount(t *testing.T) {
 	}
 }
 
+// TestMemoShardDistribution proves the shard router spreads both
+// hand-rolled small keys and FNV-hashed keys across the table: no shard
+// may stay empty (sequential keys piling into one shard would turn the
+// 64-way table back into one mutex) and no shard may hoard more than a
+// loose multiple of its fair share.
+func TestMemoShardDistribution(t *testing.T) {
+	for name, keyFn := range map[string]func(i int) uint64{
+		"sequential": func(i int) uint64 { return uint64(i) },
+		"fnv":        func(i int) uint64 { return HashKey(fmt.Sprintf("trial|%d", i)) },
+	} {
+		const n = 64 * 256
+		counts := make(map[uint64]int)
+		for i := 0; i < n; i++ {
+			counts[shardOf(keyFn(i))]++
+		}
+		if len(counts) != memoShards {
+			t.Fatalf("%s keys reached %d of %d shards", name, len(counts), memoShards)
+		}
+		for shard, c := range counts {
+			if c > 4*n/memoShards {
+				t.Fatalf("%s keys: shard %d holds %d of %d (>4x fair share)", name, shard, c, n)
+			}
+		}
+	}
+}
+
+// TestMemoCountersExactUnderParallelGets pins the audit contract the -v
+// stats line and the CI "0 misses (0 simulations)" gates rely on: however
+// many goroutines hammer the table, hits+misses equals Get calls exactly
+// (per-shard atomics, not racy non-atomic increments).
+func TestMemoCountersExactUnderParallelGets(t *testing.T) {
+	m := NewMemo[int]()
+	const present = 100
+	for i := 0; i < present; i++ {
+		m.Put(uint64(i), i)
+	}
+	const workers, gets = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < gets; i++ {
+				m.Get(uint64((w*gets + i) % (2 * present))) // half hit, half miss
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Hits() + m.Misses(); got != workers*gets {
+		t.Fatalf("hits+misses = %d, want %d", got, workers*gets)
+	}
+	if m.Hits() != workers*gets/2 {
+		t.Fatalf("hits = %d, want %d", m.Hits(), workers*gets/2)
+	}
+}
+
 func TestMemoRangeVisitsEveryEntry(t *testing.T) {
 	m := NewMemo[int]()
 	for i := 0; i < 10; i++ {

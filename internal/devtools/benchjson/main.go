@@ -80,6 +80,13 @@ var suites = []suite{
 	// keeps the two nanosecond-scale measurements stable enough for a
 	// 10%-headroom same-run comparison on noisy CI runners.
 	{pkg: "./internal/experiments", pattern: "^(BenchmarkMemoHit|BenchmarkStoreHit)$", benchtime: "1s"},
+	// The sharded memo under GOMAXPROCS-way warm-key contention: the
+	// -fraction gate holds the parallel per-op cost near the serial hit
+	// (the pre-shard single-RWMutex table serialized here).
+	{pkg: "./internal/experiments", pattern: "^BenchmarkMemoHitParallel$", benchtime: "1s"},
+	// The daemon's full warm request path (decode, key, sharded read,
+	// write) — the per-request cost bounding pinservd's warm throughput.
+	{pkg: "./internal/serve", pattern: "^BenchmarkServeWarm$"},
 }
 
 // Result is one benchmark's parsed measurements.

@@ -55,16 +55,13 @@ func runTrial(cfg Config, host *topology.Topology, stack platform.Stack, size in
 		return TrialResult{Metric: v, Breakdown: bd}, err
 	}
 	key := trialKey(cfg, host, stack, size, ws, memGB, seed)
-	if r, ok := cfg.Memo.Get(key); ok {
-		return r, nil
-	}
-	v, bd, err := runStack(cfg, host, stack, size, ws, memGB, seed)
-	if err != nil {
-		return TrialResult{}, err
-	}
-	r := TrialResult{Metric: v, Breakdown: bd}
-	cfg.Memo.Put(key, r)
-	return r, nil
+	return cfg.Memo.GetOrCompute(key, func() (TrialResult, error) {
+		v, bd, err := runStack(cfg, host, stack, size, ws, memGB, seed)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		return TrialResult{Metric: v, Breakdown: bd}, nil
+	})
 }
 
 // The MutateHost/Memo notice goes through the same rate-limited warner

@@ -21,6 +21,32 @@ func BenchmarkMemoHit(b *testing.B) {
 	}
 }
 
+// BenchmarkMemoHitParallel is the warm-key contention witness: GOMAXPROCS
+// goroutines hammering Get on a warm store through the TrialStore
+// interface, each walking its own slice of a shared hot key set — the
+// shape of the serving daemon's warm path. With the sharded memo the
+// per-op cost must stay close to the serial BenchmarkMemoHit (CI gates
+// MemoHitParallel=MemoHit:1.50); the pre-shard single-RWMutex table
+// serialized here and regressed multiple-fold on multi-core runners.
+func BenchmarkMemoHitParallel(b *testing.B) {
+	var st TrialStore = NewTrialMemo()
+	const hotKeys = 64
+	for k := uint64(0); k < hotKeys; k++ {
+		st.Put(k, TrialResult{Metric: float64(k)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		k := uint64(0)
+		for pb.Next() {
+			if _, ok := st.Get(k % hotKeys); !ok {
+				b.Fatal("miss")
+			}
+			k++
+		}
+	})
+}
+
 // BenchmarkMillionTrialReplay measures the warm-replay path of a whole
 // figure: every trial of the grid hits the memo, so one op is the full
 // runner machinery — grid derivation, seed substreams, store lookups,

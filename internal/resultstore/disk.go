@@ -355,6 +355,24 @@ func (d *Disk[V]) Put(key uint64, v V) {
 	}
 }
 
+// GetOrCompute implements Store: a warm hit is one sharded memo read with
+// no disk I/O and no store lock; a miss runs compute outside d.mu (an
+// append must never stall behind a simulation) and persists the value via
+// Put, whose Contains dedup keeps racing cold computations of one key from
+// writing duplicate records.
+func (d *Disk[V]) GetOrCompute(key uint64, compute func() (V, error)) (V, error) {
+	if v, ok := d.memo.Get(key); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	d.Put(key, v)
+	return v, nil
+}
+
 // degradeLocked demotes the store to memory-only with one warning line.
 // Callers hold d.mu (or own the store exclusively, as Open does).
 func (d *Disk[V]) degradeLocked(cause error) {

@@ -397,3 +397,77 @@ func TestMergeIntoDiskPersistsUnion(t *testing.T) {
 		t.Fatal("merged record did not persist in the destination store")
 	}
 }
+
+// TestMemGetOrCompute pins the single-entry-point contract runTrial and
+// the serving daemon rely on: a warm key is one counted hit with compute
+// never called; a cold key computes once and persists; a compute error is
+// returned without storing anything; and a typed-nil *Mem computes without
+// retaining — identical to its drop-writes Put.
+func TestMemGetOrCompute(t *testing.T) {
+	m := NewMem[uint64]()
+	calls := 0
+	v, err := m.GetOrCompute(1, func() (uint64, error) { calls++; return 10, nil })
+	if err != nil || v != 10 || calls != 1 {
+		t.Fatalf("cold: v=%d err=%v calls=%d", v, err, calls)
+	}
+	v, err = m.GetOrCompute(1, func() (uint64, error) { calls++; return 0, nil })
+	if err != nil || v != 10 || calls != 1 {
+		t.Fatalf("warm: v=%d err=%v calls=%d (compute ran on a warm key)", v, err, calls)
+	}
+	if m.Hits() != 1 || m.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", m.Hits(), m.Misses())
+	}
+
+	sentinel := fmt.Errorf("compute failed")
+	if _, err := m.GetOrCompute(2, func() (uint64, error) { return 99, sentinel }); err != sentinel {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, ok := m.Get(2); ok {
+		t.Fatal("failed computation was stored")
+	}
+
+	var nilMem *Mem[uint64]
+	nilCalls := 0
+	for i := 0; i < 2; i++ {
+		if v, err := nilMem.GetOrCompute(3, func() (uint64, error) { nilCalls++; return 7, nil }); err != nil || v != 7 {
+			t.Fatalf("nil mem: v=%d err=%v", v, err)
+		}
+	}
+	if nilCalls != 2 {
+		t.Fatalf("nil mem memoized: %d calls, want 2", nilCalls)
+	}
+}
+
+// TestDiskGetOrCompute: the disk tier's single entry point persists cold
+// results (a re-open sees them) and replays warm ones without recompute.
+func TestDiskGetOrCompute(t *testing.T) {
+	dir := t.TempDir()
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, err := d.GetOrCompute(4, func() (uint64, error) { calls++; return 44, nil })
+		if err != nil || v != 44 {
+			t.Fatalf("v=%d err=%v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	sentinel := fmt.Errorf("sim failed")
+	if _, err := d.GetOrCompute(5, func() (uint64, error) { return 0, sentinel }); err != sentinel {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if st := d.Stats(); st.Appended != 1 {
+		t.Fatalf("appended = %d, want 1 (failed compute must not persist)", st.Appended)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTest(t, dir, &warn)
+	defer re.Close()
+	if v, err := re.GetOrCompute(4, func() (uint64, error) { t.Error("recompute after re-open"); return 0, nil }); err != nil || v != 44 {
+		t.Fatalf("warm re-open: v=%d err=%v", v, err)
+	}
+}

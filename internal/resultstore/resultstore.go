@@ -34,6 +34,14 @@ type Store[V any] interface {
 	// two Puts of the same key carry the same value — so racing writers
 	// and re-puts are benign.
 	Put(key uint64, v V)
+	// GetOrCompute is the single warm-or-cold entry point: the stored
+	// value on a hit (one sharded read, counted as a hit), otherwise the
+	// result of compute, stored before returning (counted as a miss).
+	// compute runs outside any store lock, so two goroutines racing on one
+	// cold key may both compute — benign for deterministic values; callers
+	// that must guarantee exactly-one computation (the serving daemon)
+	// wrap this in a singleflight. A compute error is returned unstored.
+	GetOrCompute(key uint64, compute func() (V, error)) (V, error)
 	// Len returns the number of distinct keys resident.
 	Len() int
 	// Hits and Misses audit Get outcomes.
@@ -117,6 +125,26 @@ func (m *Mem[V]) Put(key uint64, v V) {
 		return
 	}
 	m.memo.Put(key, v)
+}
+
+// GetOrCompute implements Store: a warm hit is exactly one sharded memo
+// read (the Contains-then-Get double lookup the pre-PR-9 runner paid is
+// gone); a miss runs compute and stores the value. On a nil *Mem the value
+// is computed but not retained, matching the nil store's drop-writes Get/Put.
+func (m *Mem[V]) GetOrCompute(key uint64, compute func() (V, error)) (V, error) {
+	if m == nil {
+		return compute()
+	}
+	if v, ok := m.memo.Get(key); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	m.memo.Put(key, v)
+	return v, nil
 }
 
 // Len implements Store.

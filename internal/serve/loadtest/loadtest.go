@@ -1,0 +1,150 @@
+// Package loadtest is the serving-throughput harness behind pinservd
+// -selftest and the CI serving gate: N keep-alive connections hammer one
+// endpoint for a fixed duration and the report carries throughput plus
+// latency percentiles (internal/stats.Percentiles over every request's
+// observed latency — measured, not sampled).
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Options configures one load run.
+type Options struct {
+	// URL is the endpoint to POST Body to (e.g. http://host/run). For a
+	// unix-socket server use any authority (http://pinservd/run) and set
+	// Socket.
+	URL string
+	// Socket, when set, dials this unix socket path instead of the URL
+	// authority.
+	Socket string
+	// Body is the request body, reused verbatim for every request.
+	Body []byte
+	// Conns is the number of concurrent keep-alive connections (0 = 4).
+	Conns int
+	// Duration is how long to hammer (0 = 2s).
+	Duration time.Duration
+	// WantSource, when set, counts responses whose X-Pinserv-Source header
+	// differs (Report.WrongSource) — the warm gate asserts it stays 0.
+	WantSource string
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	// Requests completed within the window; Errors are transport failures
+	// or non-200 statuses; WrongSource counts 200s whose provenance header
+	// differed from Options.WantSource.
+	Requests, Errors, WrongSource int
+	Elapsed                       time.Duration
+	// RPS is Requests / Elapsed.
+	RPS float64
+	// P50/P95/P99/Max are request latencies in milliseconds.
+	P50, P95, P99, Max float64
+}
+
+// String renders the one-line summary the selftest prints.
+func (r Report) String() string {
+	return fmt.Sprintf("%d requests in %.2fs = %.0f req/s (errors %d, wrong-source %d; latency ms p50 %.3f p95 %.3f p99 %.3f max %.3f)",
+		r.Requests, r.Elapsed.Seconds(), r.RPS, r.Errors, r.WrongSource, r.P50, r.P95, r.P99, r.Max)
+}
+
+// Run executes the load test and aggregates per-connection results.
+func Run(o Options) (Report, error) {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        o.Conns,
+		MaxIdleConnsPerHost: o.Conns,
+	}
+	if o.Socket != "" {
+		tr.DialContext = func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", o.Socket)
+		}
+	}
+	client := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	type workerResult struct {
+		lat                 []float64 // milliseconds
+		errors, wrongSource int
+	}
+	results := make([]workerResult, o.Conns)
+	deadline := time.Now().Add(o.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			res.lat = make([]float64, 0, 16384)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				req, err := http.NewRequest(http.MethodPost, o.URL, bytes.NewReader(o.Body))
+				if err != nil {
+					res.errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					res.errors++
+					continue
+				}
+				_, cerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if cerr != nil || resp.StatusCode != http.StatusOK {
+					res.errors++
+					continue
+				}
+				if o.WantSource != "" && resp.Header.Get("X-Pinserv-Source") != o.WantSource {
+					res.wrongSource++
+				}
+				res.lat = append(res.lat, float64(time.Since(t0))/float64(time.Millisecond))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	rep := Report{Elapsed: elapsed}
+	for _, res := range results {
+		all = append(all, res.lat...)
+		rep.Errors += res.errors
+		rep.WrongSource += res.wrongSource
+	}
+	rep.Requests = len(all)
+	if elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		ps := stats.Percentiles(all, 50, 95, 99, 100)
+		rep.P50, rep.P95, rep.P99, rep.Max = ps[0], ps[1], ps[2], ps[3]
+	}
+	return rep, nil
+}
+
+// ParseListen splits a -listen value into (network, address): "unix:path"
+// dials/binds a unix socket, anything else is a TCP address.
+func ParseListen(s string) (network, addr string) {
+	if rest, ok := strings.CutPrefix(s, "unix:"); ok {
+		return "unix", rest
+	}
+	return "tcp", s
+}

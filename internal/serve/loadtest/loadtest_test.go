@@ -1,0 +1,78 @@
+package loadtest
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Pinserv-Source", "warm")
+		w.Write([]byte(`{"ok":true}`))
+	})
+}
+
+// TestRunAgainstTCP: the harness counts, times and source-checks requests
+// over plain TCP.
+func TestRunAgainstTCP(t *testing.T) {
+	srv := httptest.NewServer(handler())
+	defer srv.Close()
+	rep, err := Run(Options{
+		URL: srv.URL + "/run", Body: []byte(`{}`),
+		Conns: 2, Duration: 200 * time.Millisecond, WantSource: "warm",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 || rep.WrongSource != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.RPS <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Fatalf("implausible latency stats: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestRunAgainstUnixSocket: Socket mode dials the unix path regardless of
+// the URL authority — the transport pinservd -selftest uses.
+func TestRunAgainstUnixSocket(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "s.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	rep, err := Run(Options{
+		URL: "http://pinservd/run", Socket: sock, Body: []byte(`{}`),
+		Conns: 2, Duration: 200 * time.Millisecond, WantSource: "coalesced",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Every response says "warm", the check wanted "coalesced".
+	if rep.WrongSource != rep.Requests {
+		t.Fatalf("wrong-source = %d, want %d", rep.WrongSource, rep.Requests)
+	}
+}
+
+// TestParseListen covers the -listen syntax.
+func TestParseListen(t *testing.T) {
+	if n, a := ParseListen("unix:/tmp/x.sock"); n != "unix" || a != "/tmp/x.sock" {
+		t.Fatalf("unix: %s %s", n, a)
+	}
+	if n, a := ParseListen("127.0.0.1:8080"); n != "tcp" || a != "127.0.0.1:8080" {
+		t.Fatalf("tcp: %s %s", n, a)
+	}
+}

@@ -1,0 +1,99 @@
+// Package singleflight coalesces concurrent computations of the same key:
+// when N goroutines ask for one key at once, exactly one (the leader) runs
+// the computation and the other N−1 (the followers) block until the
+// leader's result is ready and then share it.
+//
+// This is the serving daemon's cold-miss shield: a thundering herd of
+// identical scenario requests — the millionth user asking the question the
+// first user is still waiting on — costs one simulation, not N. Keys are
+// the same 64-bit canonical-encoding hashes the trial store uses, so
+// request identity and cache identity cannot drift apart.
+//
+// Unlike golang.org/x/sync/singleflight this version is generic (no
+// interface{} boxing on a hot path), keyed by uint64 instead of string,
+// and counts coalesced calls for the daemon's /statsz audit.
+package singleflight
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// call is one in-flight computation: the leader fills val/err and closes
+// done; followers block on done.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Group coalesces Do calls per key. The zero value is ready to use; a
+// Group must not be copied after first use.
+type Group[V any] struct {
+	mu        sync.Mutex
+	calls     map[uint64]*call[V]
+	leads     atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// Do returns the result of running fn for key. If another Do for the same
+// key is already in flight, the call blocks until that leader finishes and
+// returns the leader's result with shared=true — fn is not run. Otherwise
+// this call is the leader: it runs fn (outside the group lock, so distinct
+// keys never serialize) and hands the result to every follower that
+// arrived meanwhile.
+//
+// The result — including fn's error — is shared only with followers that
+// arrived while the call was in flight; once the leader finishes, the key
+// is forgotten and the next Do computes afresh. A panicking fn is
+// re-panicked in the leader after waking its followers with an error, so a
+// crashed computation can never strand waiters.
+func (g *Group[V]) Do(key uint64, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[uint64]*call[V])
+	}
+	if c, inFlight := g.calls[key]; inFlight {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+	g.leads.Add(1)
+
+	finished := false
+	defer func() {
+		if !finished {
+			// fn panicked: wake followers with a real error (a closed channel
+			// with zero value and nil error would read as success) before the
+			// panic continues up the leader's stack.
+			c.err = fmt.Errorf("singleflight: leader panicked computing key %#x", key)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	finished = true
+	return c.val, false, c.err
+}
+
+// Coalesced reports how many Do calls were followers — requests served
+// without running their computation because an identical one was already
+// in flight.
+func (g *Group[V]) Coalesced() uint64 { return g.coalesced.Load() }
+
+// Leads reports how many Do calls ran their computation as leader.
+func (g *Group[V]) Leads() uint64 { return g.leads.Load() }
+
+// InFlight reports how many keys currently have a leader running.
+func (g *Group[V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -1,0 +1,179 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoCoalescesConcurrentCalls is the contract the serving daemon's cold
+// path rides on: N concurrent Do calls for one key run fn exactly once,
+// every call gets the same value, and exactly one call reports shared=false.
+func TestDoCoalescesConcurrentCalls(t *testing.T) {
+	var g Group[int]
+	var runs atomic.Int32
+	release := make(chan struct{})
+	const n = 32
+
+	var wg sync.WaitGroup
+	var leaders atomic.Int32
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			v, shared, err := g.Do(7, func() (int, error) {
+				runs.Add(1)
+				<-release // hold the flight open until every goroutine has called Do
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("got %v, %v", v, err)
+			}
+			if !shared {
+				leaders.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// Everyone has at least reached Do; wait for the followers to enqueue.
+	for g.Coalesced() < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := leaders.Load(); got != 1 {
+		t.Fatalf("%d calls reported shared=false, want 1", got)
+	}
+	if g.Coalesced() != n-1 || g.Leads() != 1 {
+		t.Fatalf("coalesced=%d leads=%d, want %d and 1", g.Coalesced(), g.Leads(), n-1)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("%d keys still in flight after completion", g.InFlight())
+	}
+}
+
+// TestDoDistinctKeysDoNotSerialize: two keys in flight at once both make
+// progress — the group lock is not held while fn runs.
+func TestDoDistinctKeysDoNotSerialize(t *testing.T) {
+	var g Group[string]
+	aInside := make(chan struct{})
+	aRelease := make(chan struct{})
+	go g.Do(1, func() (string, error) {
+		close(aInside)
+		<-aRelease
+		return "a", nil
+	})
+	<-aInside // key 1's leader is parked inside fn
+	v, shared, err := g.Do(2, func() (string, error) { return "b", nil })
+	if v != "b" || shared || err != nil {
+		t.Fatalf("key 2 got %q shared=%v err=%v while key 1 in flight", v, shared, err)
+	}
+	close(aRelease)
+}
+
+// TestDoSequentialCallsRecompute: once a flight lands, the key is
+// forgotten — the next Do runs fn again (the response cache, not the
+// flight group, is what makes repeats cheap).
+func TestDoSequentialCallsRecompute(t *testing.T) {
+	var g Group[int]
+	runs := 0
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(9, func() (int, error) { runs++; return runs, nil })
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d: v=%d shared=%v err=%v", i, v, shared, err)
+		}
+	}
+	if runs != 3 {
+		t.Fatalf("fn ran %d times, want 3", runs)
+	}
+}
+
+// TestDoSharesLeaderError: followers receive the leader's error verbatim.
+func TestDoSharesLeaderError(t *testing.T) {
+	var g Group[int]
+	sentinel := errors.New("boom")
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	var followerErr error
+	var followerShared bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-inside
+		_, followerShared, followerErr = g.Do(5, func() (int, error) {
+			t.Error("follower ran fn")
+			return 0, nil
+		})
+	}()
+	_, _, err := g.Do(5, func() (int, error) {
+		close(inside)
+		for g.Coalesced() == 0 {
+			select {
+			case <-release:
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return 0, sentinel
+	})
+	wg.Wait()
+	if !errors.Is(err, sentinel) || !errors.Is(followerErr, sentinel) {
+		t.Fatalf("leader err %v, follower err %v, want %v", err, followerErr, sentinel)
+	}
+	if !followerShared {
+		t.Fatal("follower did not report shared=true")
+	}
+}
+
+// TestDoLeaderPanicWakesFollowers: a panicking fn must not strand waiters
+// — followers get an error, the key is cleared, and the panic still
+// reaches the leader's goroutine.
+func TestDoLeaderPanicWakesFollowers(t *testing.T) {
+	var g Group[int]
+	inside := make(chan struct{})
+	var followerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-inside
+		_, _, followerErr = g.Do(3, func() (int, error) { return 0, nil })
+	}()
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		g.Do(3, func() (int, error) {
+			close(inside)
+			for g.Coalesced() == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			panic("kaboom")
+		})
+	}()
+	if r := <-panicked; r != "kaboom" {
+		t.Fatalf("leader panic = %v, want kaboom", r)
+	}
+	wg.Wait()
+	if followerErr == nil {
+		t.Fatal("follower saw nil error from a panicked leader")
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("key still in flight after panic")
+	}
+	// The group stays usable: the next Do is a fresh leader.
+	if v, shared, err := g.Do(3, func() (int, error) { return 11, nil }); v != 11 || shared || err != nil {
+		t.Fatalf("post-panic Do: v=%d shared=%v err=%v", v, shared, err)
+	}
+}

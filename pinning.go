@@ -29,6 +29,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/platform"
 	"repro/internal/resultstore"
+	"repro/internal/serve"
+	"repro/internal/serve/loadtest"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -173,6 +175,22 @@ type (
 	TraceCollector = trace.Collector
 	// ProfileSpec selects a deployment for BCC-style profiling.
 	ProfileSpec = experiments.ProfileSpec
+
+	// AdvisorServer is the always-on pinning-advisor daemon's http.Handler
+	// (cmd/pinservd): POST /run serves figures and recommendations from a
+	// sharded response cache with singleflight coalescing and admission
+	// control. Build with NewAdvisorServer.
+	AdvisorServer = serve.Server
+	// AdvisorOptions configures an AdvisorServer (run template, simulation
+	// bound, queue depth, Retry-After hint).
+	AdvisorOptions = serve.Options
+	// AdvisorRequest and AdvisorResponse are the POST /run wire shapes.
+	AdvisorRequest  = serve.RunRequest
+	AdvisorResponse = serve.RunResponse
+	// LoadtestOptions and LoadtestReport drive the serving-throughput
+	// harness behind pinservd -selftest and the CI serving gate.
+	LoadtestOptions = loadtest.Options
+	LoadtestReport  = loadtest.Report
 )
 
 // Application classes.
@@ -360,3 +378,11 @@ func RunProfile(spec ProfileSpec, cfg ExperimentConfig) (*TraceCollector, float6
 	}
 	return res.Collector, res.MetricSecs, nil
 }
+
+// NewAdvisorServer builds the pinning-advisor daemon's handler around the
+// given run template and admission bounds; serve it with net/http.
+func NewAdvisorServer(o AdvisorOptions) *AdvisorServer { return serve.NewServer(o) }
+
+// RunLoadtest hammers one serving endpoint with keep-alive connections and
+// reports throughput plus measured latency percentiles.
+func RunLoadtest(o LoadtestOptions) (LoadtestReport, error) { return loadtest.Run(o) }
