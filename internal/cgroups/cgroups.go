@@ -121,6 +121,9 @@ type Controller struct {
 	eng    *sim.Engine
 	topo   *topology.Topology
 	groups []*Group
+	// acctCost is AcctCost's per-invocation charge, fixed by (P, topo) at
+	// construction/Reset and precomputed off the per-switch hot path.
+	acctCost sim.Time
 }
 
 // NewController returns a controller for one machine.
@@ -131,12 +134,44 @@ func NewController(eng *sim.Engine, topo *topology.Topology, p Params) *Controll
 	if p.AcctAmplification <= 0 {
 		p.AcctAmplification = 1
 	}
-	return &Controller{P: p, eng: eng, topo: topo}
+	c := &Controller{P: p, eng: eng, topo: topo}
+	c.acctCost = c.computeAcctCost()
+	return c
+}
+
+func (c *Controller) computeAcctCost() sim.Time {
+	return sim.Time(float64(c.P.AcctBase+sim.Time(int64(c.P.AcctPerCPU)*int64(c.topo.NumCPUs()))) * c.P.AcctAmplification)
+}
+
+// Reset returns the controller to the state NewController(eng, topo, p)
+// would construct, keeping the engine/topology wiring and the group-list
+// backing. Groups created before the Reset are dead — the scheduler and
+// deployment that referenced them are reset alongside — and their structs
+// are recycled by the next NewGroup calls.
+func (c *Controller) Reset(p Params) {
+	if p.Period <= 0 {
+		p.Period = 100 * sim.Millisecond
+	}
+	if p.AcctAmplification <= 0 {
+		p.AcctAmplification = 1
+	}
+	c.P = p
+	c.acctCost = c.computeAcctCost()
+	c.groups = c.groups[:0]
 }
 
 // NewGroup creates a group. quotaCores <= 0 means no bandwidth limit; an
 // empty cpuset means all CPUs.
 func (c *Controller) NewGroup(name string, quotaCores float64, cpus topology.CPUSet) *Group {
+	// Recycle the struct of a same-position group from before a Reset: the
+	// full overwrite also zeroes its embedded period timer, which rebinds
+	// lazily at the first bandwidth charge.
+	if n := len(c.groups); n < cap(c.groups) && c.groups[:n+1][n] != nil {
+		c.groups = c.groups[:n+1]
+		g := c.groups[n]
+		*g = Group{Name: name, QuotaCores: quotaCores, CPUs: cpus, ctl: c}
+		return g
+	}
 	g := &Group{Name: name, QuotaCores: quotaCores, CPUs: cpus, ctl: c}
 	c.groups = append(c.groups, g)
 	return g
@@ -219,10 +254,20 @@ func (g *Group) Throttled() bool { return g.throttled }
 // AcctCost returns the cost of one accounting invocation (tick, context
 // switch or wakeup of a grouped task) and records it.
 func (g *Group) AcctCost() sim.Time {
-	c := sim.Time(float64(g.ctl.P.AcctBase+sim.Time(int64(g.ctl.P.AcctPerCPU)*int64(g.ctl.topo.NumCPUs()))) * g.ctl.P.AcctAmplification)
+	c := g.ctl.acctCost
 	g.Stats.AcctInvocations++
 	g.Stats.AcctTime += c
 	return c
+}
+
+// AcctCostN records n accounting invocations at once and returns their
+// total cost — bookkeeping identical to n consecutive AcctCost calls,
+// without the per-call loop (the per-invocation charge is a constant).
+func (g *Group) AcctCostN(n int64) sim.Time {
+	total := g.ctl.acctCost * sim.Time(n)
+	g.Stats.AcctInvocations += uint64(n)
+	g.Stats.AcctTime += total
+	return total
 }
 
 // ensurePeriod lazily starts the bandwidth period timer.

@@ -87,6 +87,13 @@ var suites = []suite{
 	// The daemon's full warm request path (decode, key, sharded read,
 	// write) — the per-request cost bounding pinservd's warm throughput.
 	{pkg: "./internal/serve", pattern: "^BenchmarkServeWarm$"},
+	// The per-trial redeploy cost on a warm reuse arena: what a repetition
+	// pays instead of a full platform-stack build (PR 10's tentpole).
+	{pkg: "./internal/experiments", pattern: "^BenchmarkTrialReuse$"},
+	// The store's group-commit append: one 64-record batch per op. Fixed
+	// iteration count bounds the segment files the benchmark leaves in its
+	// temp dir (~64 records × ~29 B × 10k iterations ≈ 18 MB).
+	{pkg: "./internal/resultstore", pattern: "^BenchmarkStoreAppendBatch$", benchtime: "10000x"},
 }
 
 // Result is one benchmark's parsed measurements.

@@ -22,13 +22,17 @@ import (
 
 // Executor runs the n independent trials of one grid.
 type Executor interface {
-	// Execute calls run(i) for the executor's share of indices 0..n-1 and
-	// reports the first (lowest-index) error among the trials it claimed.
-	// run must write its result into an index-addressed slot owned by that
-	// trial alone. progress, when non-nil, observes (done, total) after
-	// every completed trial — total is the number of trials this executor
-	// will run, and implementations serialize the calls.
-	Execute(n int, run func(i int) error, progress func(done, total int)) error
+	// Execute calls run(tc, i) for the executor's share of indices 0..n-1
+	// and reports the first (lowest-index) error among the trials it
+	// claimed. run must write its result into an index-addressed slot owned
+	// by that trial alone. tc is the calling worker's TrialContext — the
+	// per-goroutine deployment-reuse arena; an executor hands each worker
+	// its own and never shares one between concurrently running trials
+	// (nil degrades run to always building fresh). progress, when non-nil,
+	// observes (done, total) after every completed trial — total is the
+	// number of trials this executor will run, and implementations
+	// serialize the calls.
+	Execute(n int, run func(tc *TrialContext, i int) error, progress func(done, total int)) error
 }
 
 // Serial runs every trial in index order on the calling goroutine — the
@@ -37,9 +41,10 @@ type Executor interface {
 type Serial struct{}
 
 // Execute implements Executor.
-func (Serial) Execute(n int, run func(i int) error, progress func(done, total int)) error {
+func (Serial) Execute(n int, run func(tc *TrialContext, i int) error, progress func(done, total int)) error {
+	tc := new(TrialContext)
 	for i := 0; i < n; i++ {
-		if err := run(i); err != nil {
+		if err := run(tc, i); err != nil {
 			return err
 		}
 		if progress != nil {
@@ -84,8 +89,10 @@ func (e *TrialPanicsError) Error() string {
 // containTrial runs one trial with panic containment: a panicking trial is
 // retried once (transient panics — e.g. a MutateHost hook tripping over
 // shared state — heal invisibly), and a second panic is captured as a
-// TrialPanic instead of unwinding the worker.
-func containTrial(run func(i int) error, i int) (err error, pan *TrialPanic) {
+// TrialPanic instead of unwinding the worker. The retry runs with the
+// worker's reuse arena discarded — the panic may have left a half-rewound
+// machine in it.
+func containTrial(run func(tc *TrialContext, i int) error, tc *TrialContext, i int) (err error, pan *TrialPanic) {
 	attempt := func() (err error, pan *TrialPanic) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -93,11 +100,12 @@ func containTrial(run func(i int) error, i int) (err error, pan *TrialPanic) {
 				pan = &TrialPanic{Index: i, Value: r, Stack: string(debug.Stack())}
 			}
 		}()
-		return run(i), nil
+		return run(tc, i), nil
 	}
 	if err, pan = attempt(); pan == nil {
 		return err, nil
 	}
+	tc.discard()
 	return attempt()
 }
 
@@ -133,7 +141,7 @@ func (p Pool) count(n int) int {
 }
 
 // Execute implements Executor.
-func (p Pool) Execute(n int, run func(i int) error, progress func(done, total int)) error {
+func (p Pool) Execute(n int, run func(tc *TrialContext, i int) error, progress func(done, total int)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -161,12 +169,13 @@ func (p Pool) Execute(n int, run func(i int) error, progress func(done, total in
 		mu.Unlock()
 	}
 	worker := func() {
+		tc := new(TrialContext)
 		for !failed.Load() {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			err, pan := containTrial(run, i)
+			err, pan := containTrial(run, tc, i)
 			if pan != nil {
 				// A persistently panicking trial poisons only its own slot:
 				// record it, keep sweeping, report the batch at the end.
@@ -229,7 +238,7 @@ type Shard struct {
 }
 
 // Execute implements Executor.
-func (s Shard) Execute(n int, run func(i int) error, progress func(done, total int)) error {
+func (s Shard) Execute(n int, run func(tc *TrialContext, i int) error, progress func(done, total int)) error {
 	if s.Count <= 0 || s.Index < 0 || s.Index >= s.Count {
 		return fmt.Errorf("experiments: invalid shard %d/%d (want 0 ≤ index < count)", s.Index, s.Count)
 	}
@@ -241,7 +250,7 @@ func (s Shard) Execute(n int, run func(i int) error, progress func(done, total i
 	if inner == nil {
 		inner = Pool{}
 	}
-	return inner.Execute(len(idx), func(j int) error { return run(idx[j]) }, progress)
+	return inner.Execute(len(idx), func(tc *TrialContext, j int) error { return run(tc, idx[j]) }, progress)
 }
 
 // ParseShard parses the CLI -shard form "i/n" (0-based, e.g. "0/2", "1/2").

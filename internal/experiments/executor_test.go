@@ -18,7 +18,7 @@ func TestShardPartitionCoversEveryIndexOnce(t *testing.T) {
 	for _, count := range []int{1, 2, 3, 7} {
 		var ran [n]atomic.Int64
 		for idx := 0; idx < count; idx++ {
-			err := Shard{Index: idx, Count: count, Inner: Pool{Workers: 3}}.Execute(n, func(i int) error {
+			err := Shard{Index: idx, Count: count, Inner: Pool{Workers: 3}}.Execute(n, func(tc *TrialContext, i int) error {
 				if i%count != idx {
 					t.Errorf("shard %d/%d claimed index %d", idx, count, i)
 				}
@@ -42,7 +42,7 @@ func TestShardPartitionCoversEveryIndexOnce(t *testing.T) {
 func TestShardProgressTotalIsSubsetSize(t *testing.T) {
 	const n = 10
 	var last, total int
-	err := Shard{Index: 1, Count: 3, Inner: Serial{}}.Execute(n, func(i int) error { return nil },
+	err := Shard{Index: 1, Count: 3, Inner: Serial{}}.Execute(n, func(tc *TrialContext, i int) error { return nil },
 		func(done, tot int) { last, total = done, tot })
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +55,7 @@ func TestShardProgressTotalIsSubsetSize(t *testing.T) {
 // TestShardRejectsBadBounds locks the validation error.
 func TestShardRejectsBadBounds(t *testing.T) {
 	for _, s := range []Shard{{Index: 0, Count: 0}, {Index: -1, Count: 2}, {Index: 2, Count: 2}} {
-		if err := s.Execute(5, func(int) error { return nil }, nil); err == nil {
+		if err := s.Execute(5, func(*TrialContext, int) error { return nil }, nil); err == nil {
 			t.Fatalf("shard %d/%d: expected an error", s.Index, s.Count)
 		}
 	}
@@ -79,7 +79,7 @@ func TestParseShard(t *testing.T) {
 func TestConfigExecutorOverridesPool(t *testing.T) {
 	var claimed []int
 	cfg := Config{Executor: recordingExecutor{&claimed}}
-	if err := forEachTrial(cfg, 4, func(i int) error { return nil }); err != nil {
+	if err := forEachTrial(cfg, 4, func(tc *TrialContext, i int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if len(claimed) != 4 {
@@ -89,10 +89,11 @@ func TestConfigExecutorOverridesPool(t *testing.T) {
 
 type recordingExecutor struct{ claimed *[]int }
 
-func (r recordingExecutor) Execute(n int, run func(i int) error, progress func(done, total int)) error {
+func (r recordingExecutor) Execute(n int, run func(tc *TrialContext, i int) error, progress func(done, total int)) error {
+	tc := new(TrialContext)
 	for i := 0; i < n; i++ {
 		*r.claimed = append(*r.claimed, i)
-		if err := run(i); err != nil {
+		if err := run(tc, i); err != nil {
 			return err
 		}
 	}
@@ -161,7 +162,7 @@ func TestPoolRetriesTransientPanic(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var tripped atomic.Bool
 		var ran [8]atomic.Int64
-		err := Pool{Workers: workers}.Execute(8, func(i int) error {
+		err := Pool{Workers: workers}.Execute(8, func(tc *TrialContext, i int) error {
 			if i == 5 && tripped.CompareAndSwap(false, true) {
 				panic("transient trial panic")
 			}
@@ -186,7 +187,7 @@ func TestPoolReportsPersistentPanics(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		const n = 20
 		var ran [n]atomic.Int64
-		err := Pool{Workers: workers}.Execute(n, func(i int) error {
+		err := Pool{Workers: workers}.Execute(n, func(tc *TrialContext, i int) error {
 			if i == 7 || i == 13 {
 				panic(fmt.Sprintf("poisoned trial %d", i))
 			}
@@ -222,7 +223,7 @@ func TestPoolReportsPersistentPanics(t *testing.T) {
 // wins over the end-of-sweep panic report.
 func TestPoolErrorOutranksPanicReport(t *testing.T) {
 	boom := errors.New("trial failed")
-	err := Pool{Workers: 1}.Execute(6, func(i int) error {
+	err := Pool{Workers: 1}.Execute(6, func(tc *TrialContext, i int) error {
 		if i == 1 {
 			panic("poisoned")
 		}
@@ -244,7 +245,7 @@ func TestSerialStaysRaw(t *testing.T) {
 			t.Fatal("Serial must not contain trial panics")
 		}
 	}()
-	Serial{}.Execute(3, func(i int) error {
+	Serial{}.Execute(3, func(tc *TrialContext, i int) error {
 		if i == 1 {
 			panic("raw")
 		}

@@ -129,6 +129,12 @@ type Config struct {
 	// because an arbitrary function cannot be fingerprinted into a cache
 	// key.
 	MutateHost func(*machine.Config)
+	// NoReuse disables per-worker deployment reuse: every trial builds its
+	// platform stack from scratch instead of rewinding the worker's cached
+	// arena in place. Results are bit-identical either way (the
+	// reuse-equivalence tests pin this); the knob exists for A/B timing and
+	// for debugging a suspected reset bug.
+	NoReuse bool
 	// Workers is the trial fan-out: every figure and sweep is a grid of
 	// independent (series, cell, repetition) trials whose seeds are derived
 	// up front, so trials run on a pool of this many goroutines with
@@ -226,16 +232,12 @@ func seedFor(base uint64, parts ...uint64) uint64 {
 	return sim.Substream(base, parts...)
 }
 
-// runStack deploys a stack on host, spawns each tenant's workload and runs
-// the machine to completion, returning the workload metric in seconds (the
-// mean across tenants for multi-tenant stacks) and the machine's overhead
-// breakdown.
-func runStack(cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) (float64, sched.Breakdown, error) {
-	hostCfg := machine.HostDefaults(host, seed)
-	if cfg.MutateHost != nil {
-		cfg.MutateHost(&hostCfg)
-	}
-	d, err := platform.DeployStack(stack, size, hostCfg, *cfg.HV, seed)
+// runStack deploys a stack on host — through the worker's reuse arena when
+// one is threaded in — spawns each tenant's workload and runs the machine
+// to completion, returning the workload metric in seconds (the mean across
+// tenants for multi-tenant stacks) and the machine's overhead breakdown.
+func runStack(tc *TrialContext, cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) (float64, sched.Breakdown, error) {
+	d, err := tc.deploy(cfg, host, stack, size, seed)
 	if err != nil {
 		return 0, sched.Breakdown{}, err
 	}
@@ -249,14 +251,9 @@ func runStack(cfg Config, host *topology.Topology, stack platform.Stack, size in
 		return 0, sched.Breakdown{}, fmt.Errorf("experiments: %d workloads for %d tenant slot(s)",
 			len(ws), len(d.Tenants))
 	}
-	// Single-digit tenant counts are the norm; the stack buffer keeps the
-	// per-trial instance list allocation-free.
-	var instBuf [4]workload.Instance
-	insts := instBuf[:0]
-	if len(d.Tenants) > len(instBuf) {
-		insts = make([]workload.Instance, 0, len(d.Tenants))
-	}
-	insts = insts[:len(d.Tenants)]
+	// The context's buffer keeps the per-trial instance list allocation-free
+	// at any tenant count (a fresh slice only on a nil context).
+	insts := tc.instances(len(d.Tenants))
 	for ti, slot := range d.Tenants {
 		env := workload.EnvFor(d.M, slot.Group, slot.Affinity, slot.Cores)
 		if memGB > 0 {

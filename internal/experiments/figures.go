@@ -113,11 +113,11 @@ func RunCHRSweep(cfg Config) ([]CHRBand, error) {
 			// kinds × reps block is an independent grid and fans out.
 			kinds := []platform.Kind{platform.CN, platform.BM}
 			results := make([]TrialResult, len(kinds)*reps)
-			err := forEachTrial(cfg, len(results), func(i int) error {
+			err := forEachTrial(cfg, len(results), func(tc *TrialContext, i int) error {
 				kind, rep := kinds[i/reps], i%reps
 				seed := seedFor(cfg.Seed, 40, uint64(ai), uint64(ii), uint64(kind), uint64(rep))
 				spec := platform.Spec{Kind: kind, Mode: platform.Vanilla, Cores: it.Cores}
-				r, err := runTrial(cfg, cfg.Host, spec.Stack(), it.Cores,
+				r, err := runTrial(tc, cfg, cfg.Host, spec.Stack(), it.Cores,
 					[]workload.Workload{a.mk(it)}, it.MemGB, seed)
 				if err != nil {
 					return err

@@ -36,7 +36,7 @@ type TrialResult struct {
 // cfg.Workers} — the atomic-claim worker fan-out, degrading to the legacy
 // serial loop at Workers 1. cfg.Progress, when set, is observed after
 // every completed trial.
-func forEachTrial(cfg Config, n int, run func(i int) error) error {
+func forEachTrial(cfg Config, n int, run func(tc *TrialContext, i int) error) error {
 	ex := cfg.Executor
 	if ex == nil {
 		ex = Pool{Workers: cfg.Workers}
@@ -49,14 +49,14 @@ func forEachTrial(cfg Config, n int, run func(i int) error) error {
 // process, from disk across processes when the store is durable. Trials
 // with a MutateHost hook bypass the store — an arbitrary function cannot
 // be fingerprinted.
-func runTrial(cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) (TrialResult, error) {
+func runTrial(tc *TrialContext, cfg Config, host *topology.Topology, stack platform.Stack, size int, ws []workload.Workload, memGB int, seed uint64) (TrialResult, error) {
 	if cfg.Memo == nil || cfg.MutateHost != nil {
-		v, bd, err := runStack(cfg, host, stack, size, ws, memGB, seed)
+		v, bd, err := runStack(tc, cfg, host, stack, size, ws, memGB, seed)
 		return TrialResult{Metric: v, Breakdown: bd}, err
 	}
 	key := trialKey(cfg, host, stack, size, ws, memGB, seed)
 	return cfg.Memo.GetOrCompute(key, func() (TrialResult, error) {
-		v, bd, err := runStack(cfg, host, stack, size, ws, memGB, seed)
+		v, bd, err := runStack(tc, cfg, host, stack, size, ws, memGB, seed)
 		if err != nil {
 			return TrialResult{}, err
 		}

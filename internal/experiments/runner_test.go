@@ -30,7 +30,7 @@ func TestForEachTrialCoversEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 7} {
 		const n = 100
 		var counts [n]atomic.Int64
-		err := forEachTrial(Config{Workers: workers}, n, func(i int) error {
+		err := forEachTrial(Config{Workers: workers}, n, func(tc *TrialContext, i int) error {
 			counts[i].Add(1)
 			return nil
 		})
@@ -47,7 +47,7 @@ func TestForEachTrialCoversEveryIndexOnce(t *testing.T) {
 
 func TestForEachTrialReturnsLowestIndexError(t *testing.T) {
 	for _, workers := range []int{1, 7} {
-		err := forEachTrial(Config{Workers: workers}, 50, func(i int) error {
+		err := forEachTrial(Config{Workers: workers}, 50, func(tc *TrialContext, i int) error {
 			if i == 13 || i == 37 {
 				return fmt.Errorf("trial %d failed", i)
 			}
@@ -57,7 +57,7 @@ func TestForEachTrialReturnsLowestIndexError(t *testing.T) {
 			t.Fatalf("workers=%d: err = %v, want the lowest-index failure", workers, err)
 		}
 	}
-	if err := forEachTrial(Config{Workers: 4}, 0, func(int) error {
+	if err := forEachTrial(Config{Workers: 4}, 0, func(*TrialContext, int) error {
 		return errors.New("must not run")
 	}); err != nil {
 		t.Fatalf("empty grid: %v", err)
@@ -79,7 +79,7 @@ func TestForEachTrialProgressReachesTotal(t *testing.T) {
 			}
 			last = done
 		}}
-		if err := forEachTrial(cfg, n, func(int) error { return nil }); err != nil {
+		if err := forEachTrial(cfg, n, func(*TrialContext, int) error { return nil }); err != nil {
 			t.Fatal(err)
 		}
 		if calls != n {
@@ -148,6 +148,17 @@ func TestMemoizedFigureMatchesUnmemoized(t *testing.T) {
 func BenchmarkQuickFig3Serial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := RunFig3(Config{Quick: true, Reps: 2, Seed: 1234, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuickFig3SerialNoReuse is the A/B partner of QuickFig3Serial:
+// the identical grid with per-worker deployment reuse switched off, so the
+// pair isolates what arena rewinding saves.
+func BenchmarkQuickFig3SerialNoReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFig3(Config{Quick: true, Reps: 2, Seed: 1234, Workers: 1, NoReuse: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

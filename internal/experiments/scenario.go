@@ -446,9 +446,9 @@ func RunScenario(cfg Config, sc Scenario) (Figure, error) {
 		parts = append(parts, uint64(si), uint64(ci), uint64(rep))
 		seeds[i] = seedFor(cfg.Seed, parts...)
 	}
-	err := forEachTrial(cfg, len(results), func(i int) error {
+	err := forEachTrial(cfg, len(results), func(tc *TrialContext, i int) error {
 		si, ci := i/(nC*reps), i/reps%nC
-		r, err := runTrial(cfg, plans[ci].host, stacks[si], sc.Cells[ci].Cores,
+		r, err := runTrial(tc, cfg, plans[ci].host, stacks[si], sc.Cells[ci].Cores,
 			wlists[si*nC+ci], plans[ci].memGB, seeds[i])
 		if err != nil {
 			return fmt.Errorf("%s %s %s: %w", sc.Name, sc.Series[si].Label, sc.Cells[ci].Label, err)

@@ -188,7 +188,7 @@ func Sweep(cfg Config, spec SweepSpec) (*SweepResult, error) {
 
 	reps := spec.Reps
 	results := make([]TrialResult, len(plan)*reps)
-	err := forEachTrial(cfg, len(results), func(i int) error {
+	err := forEachTrial(cfg, len(results), func(tc *TrialContext, i int) error {
 		pc, rep := plan[i/reps], i%reps
 		// Content-derived seed: a cell draws the same substream in every
 		// sweep that contains it, which is what lets a shared memo skip it.
@@ -196,7 +196,7 @@ func Sweep(cfg Config, spec SweepSpec) (*SweepResult, error) {
 			uint64(pc.cell.Spec.Kind), uint64(pc.cell.Spec.Mode),
 			uint64(pc.cell.Cores), uint64(pc.cell.MemGB),
 			workloadTag(pc.cell.Workload), uint64(rep))
-		r, err := runTrial(cfg, cfg.Host, pc.cell.Spec.Stack(), pc.cell.Cores,
+		r, err := runTrial(tc, cfg, cfg.Host, pc.cell.Spec.Stack(), pc.cell.Cores,
 			[]workload.Workload{pc.w}, pc.cell.MemGB, seed)
 		if err != nil {
 			return fmt.Errorf("sweep %s %s %dc/%dGB: %w",

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// TestReuseEquivalence is the tentpole's correctness contract: every quick
+// figure regenerated with deployment reuse disabled must be cell-for-cell
+// identical to the reusing run — same Summary, same Ratio, same Breakdown.
+func TestReuseEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates six figures twice")
+	}
+	for n := 3; n <= 8; n++ {
+		reused, err := RunFigure(n, Config{Seed: 42, Quick: true, Workers: 2})
+		if err != nil {
+			t.Fatalf("fig %d reuse on: %v", n, err)
+		}
+		fresh, err := RunFigure(n, Config{Seed: 42, Quick: true, Workers: 2, NoReuse: true})
+		if err != nil {
+			t.Fatalf("fig %d reuse off: %v", n, err)
+		}
+		if !reflect.DeepEqual(reused, fresh) {
+			t.Fatalf("figure %d: reused deployments changed the result\nreused: %+v\nfresh:  %+v",
+				n, reused, fresh)
+		}
+	}
+}
+
+// TestFigAllQuickNoReuseMatchesGolden pins the build-fresh path to the same
+// committed golden bytes the reusing path must match: the NoReuse knob is an
+// A/B switch, not a second behavior.
+func TestFigAllQuickNoReuseMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates six figures per worker count")
+	}
+	golden, err := os.ReadFile("testdata/fig_all_quick.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		var buf bytes.Buffer
+		for n := 3; n <= 8; n++ {
+			f, err := RunFigure(n, Config{Seed: 42, Quick: true, Workers: workers, NoReuse: true})
+			if err != nil {
+				t.Fatalf("workers=%d figure %d: %v", workers, n, err)
+			}
+			f.RenderText(&buf)
+		}
+		if !bytes.Equal(buf.Bytes(), golden) {
+			t.Fatalf("workers=%d NoReuse diverged from the golden fingerprint\n got sha256 %s\nwant sha256 %s\nfirst divergence at byte %d",
+				workers, shortHash(buf.Bytes()), shortHash(golden), firstDiff(buf.Bytes(), golden))
+		}
+	}
+}
+
+// TestDeployStatsCountReuse: a serial quick figure builds each distinct
+// (host, stack, size) shape once and rewinds it for every further trial.
+func TestDeployStatsCountReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick figure")
+	}
+	b0, r0 := DeployStats()
+	if _, err := RunFig3(Config{Seed: 7, Quick: true, Reps: 2, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	built, reused := DeployStats()
+	built, reused = built-b0, reused-r0
+	if built == 0 || reused == 0 {
+		t.Fatalf("built %d, reused %d — expected both paths to run", built, reused)
+	}
+	if reused < built {
+		t.Fatalf("built %d > reused %d: repetitions are not reusing their shape's arena", built, reused)
+	}
+	nr0, _ := DeployStats()
+	if _, err := RunFig3(Config{Seed: 7, Quick: true, Reps: 2, Workers: 1, NoReuse: true}); err != nil {
+		t.Fatal(err)
+	}
+	nrBuilt, nrReused := DeployStats()
+	if nrReused != reused+r0 {
+		t.Fatalf("NoReuse run reused %d deployments, want 0", nrReused-reused-r0)
+	}
+	if nrBuilt == nr0 {
+		t.Fatal("NoReuse run built nothing")
+	}
+}
+
+// BenchmarkTrialReuse isolates the per-trial deployment cost on a warm
+// reuse arena: every iteration redeploys one of the paper's four platform
+// stacks at a rotating size onto the worker's pooled machine — the price a
+// repetition pays now that the arena is rewound instead of rebuilt.
+func BenchmarkTrialReuse(b *testing.B) {
+	cfg := Config{Quick: true, Seed: 1234}.withDefaults()
+	stacks := []platform.Stack{
+		platform.Spec{Kind: platform.BM}.Stack(),
+		platform.Spec{Kind: platform.VM}.Stack(),
+		platform.Spec{Kind: platform.CN}.Stack(),
+		platform.Spec{Kind: platform.VMCN}.Stack(),
+	}
+	sizes := []int{2, 4, 8, 16}
+	tc := new(TrialContext)
+	for _, st := range stacks {
+		if _, err := tc.deploy(cfg, cfg.Host, st, sizes[0], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := stacks[i%len(stacks)]
+		if _, err := tc.deploy(cfg, cfg.Host, st, sizes[i%len(sizes)], uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestInstanceBufferAllocFree is the drive-by guard: the per-trial instance
+// list must not allocate once the context's buffer has grown to the tenant
+// count — including counts above the old fixed-size stack buffer (4).
+func TestInstanceBufferAllocFree(t *testing.T) {
+	tc := new(TrialContext)
+	for _, tenants := range []int{1, 4, 9} {
+		tc.instances(tenants) // warm the buffer
+		if avg := testing.AllocsPerRun(100, func() {
+			if got := len(tc.instances(tenants)); got != tenants {
+				t.Fatalf("instances(%d) returned %d slots", tenants, got)
+			}
+		}); avg != 0 {
+			t.Fatalf("%d tenants: %v allocs per trial instance list, want 0", tenants, avg)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/resultstore"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // TrialStore is the pluggable trial-result store behind Config.Memo: the
@@ -70,6 +71,15 @@ func StoreStatsLine(st TrialStore) string {
 	}
 	if s.Degraded {
 		line += fmt.Sprintf(", DEGRADED to memory-only (%d results unpersisted)", s.Unpersisted)
+	}
+	// Reuse counters ride the same append-only convention: they are
+	// process-wide (a trial deployment is not a store operation), and a
+	// process that deployed nothing keeps the original line byte-stable.
+	if built, reused := DeployStats(); built+reused > 0 {
+		line += fmt.Sprintf(", %d deployments reused (%d built)", reused, built)
+	}
+	if hits, misses := topology.IndexCacheStats(); hits+misses > 0 {
+		line += fmt.Sprintf(", %d topology index cache hits (%d misses)", hits, misses)
 	}
 	return line
 }

@@ -177,3 +177,22 @@ func TestStoreStatsLineFormat(t *testing.T) {
 		t.Fatalf("stats line drifted from the documented format: %q", line)
 	}
 }
+
+// TestStoreStatsLineReuseCounters: once the process has deployed trials,
+// the -v line reports the reuse counters as append-only suffixes, with the
+// documented base prefix intact in front of them.
+func TestStoreStatsLineReuseCounters(t *testing.T) {
+	m := NewTrialMemo()
+	if _, err := RunFig3(Config{Quick: true, Reps: 2, Seed: 3, Workers: 1, Memo: m}); err != nil {
+		t.Fatal(err)
+	}
+	line := StoreStatsLine(m)
+	if !strings.HasPrefix(line, "store: ") || !strings.Contains(line, " bytes on disk") {
+		t.Fatalf("base stats line lost its documented shape: %q", line)
+	}
+	for _, want := range []string{" deployments reused (", " built)", " topology index cache hits (", " misses)"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stats line is missing the %q reuse counter: %q", want, line)
+		}
+	}
+}

@@ -102,16 +102,42 @@ const (
 	ChanDisk = 1
 )
 
+// defaultSpecs is the shared spec slice the controller paths use internally,
+// so per-trial construction/reset of the standard device set allocates no
+// fresh spec slice. Read-only.
+var defaultSpecs = DefaultChannels()
+
 // NewController returns an IRQ controller; channels' homes are assigned
 // round-robin over the first physical cores of socket 0, matching default
 // irqbalance placement on an otherwise idle host.
 func NewController(topo *topology.Topology, p Params, specs []ChannelSpec) *Controller {
 	c := &Controller{P: p, topo: topo}
+	c.init(p, specs)
+	return c
+}
+
+// Reset returns the controller to the state NewController(topo, p, specs)
+// would construct, re-initializing the channel structs in place: all device
+// queue state and completion-affinity counters restart from zero.
+func (c *Controller) Reset(p Params, specs []ChannelSpec) {
+	c.init(p, specs)
+}
+
+func (c *Controller) init(p Params, specs []ChannelSpec) {
+	c.P = p
 	if len(specs) == 0 {
-		specs = DefaultChannels()
+		specs = defaultSpecs
 	}
 	// One backing array for the channel structs — the embedded buffers for
-	// the standard two-channel set, a single allocation past that.
+	// the standard two-channel set, a single allocation past that. A Reset
+	// whose channel count already matches rewrites the existing structs.
+	if len(specs) == len(c.channels) {
+		for i, spec := range specs {
+			home := (i * c.topo.ThreadsPerCore) % c.topo.NumCPUs()
+			*c.channels[i] = Channel{Spec: spec, Home: home}
+		}
+		return
+	}
 	back := c.chanBack[:]
 	c.channels = c.chanPtrs[:0]
 	if len(specs) > len(c.chanBack) {
@@ -119,11 +145,10 @@ func NewController(topo *topology.Topology, p Params, specs []ChannelSpec) *Cont
 		c.channels = make([]*Channel, 0, len(specs))
 	}
 	for i, spec := range specs {
-		home := (i * topo.ThreadsPerCore) % topo.NumCPUs()
+		home := (i * c.topo.ThreadsPerCore) % c.topo.NumCPUs()
 		back[i] = Channel{Spec: spec, Home: home}
 		c.channels = append(c.channels, &back[i])
 	}
-	return c
 }
 
 // Channels returns the controller's channels.

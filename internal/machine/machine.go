@@ -146,12 +146,66 @@ func New(cfg Config) (*Machine, error) {
 		IRQ:   irqsim.NewController(cfg.Topo, cfg.IRQ, cfg.Channels),
 		RNG:   rng,
 	}
+	m.Sched = sched.New(eng, m.schedConfig(cfg))
+	return m, nil
+}
+
+// Reset returns the machine to the state New(cfg) would construct while
+// keeping every arena the previous run grew: the event engine's slot pool,
+// the scheduler's cpuRun/runqueue/task backings, the cgroup and IRQ
+// controller structures. It is the per-trial reuse path — repetitions of
+// one deployment shape differ only by cfg.Seed, so resetting and
+// redeploying replays byte-identically to a fresh machine while allocating
+// almost nothing. cfg.Topo must be the same *Topology the machine was
+// built with (deployment reuse keys by host/guest shape, and guest
+// topologies are interned, so this holds by construction); a different
+// topology returns an error and the caller falls back to New.
+func (m *Machine) Reset(cfg Config) error {
+	if cfg.Topo != m.Topo {
+		return fmt.Errorf("machine: Reset with a different topology (%s vs %s) — rebuild instead",
+			cfg.Topo.Name, m.Topo.Name)
+	}
+	if cfg.ComputeTax <= 0 {
+		cfg.ComputeTax = 1
+	}
+	if cfg.IOScale <= 0 {
+		cfg.IOScale = 1
+	}
+	if cfg.NUMASockets <= 0 {
+		cfg.NUMASockets = cfg.Topo.Sockets
+	}
+	if cfg.Sched == (sched.Params{}) {
+		cfg.Sched = sched.DefaultParams()
+	}
+	if cfg.Cache == (cache.Params{}) {
+		cfg.Cache = cache.DefaultParams()
+	}
+	if cfg.IRQ == (irqsim.Params{}) {
+		cfg.IRQ = irqsim.DefaultParams()
+	}
+	m.Cfg = cfg
+	m.Eng.Reset()
+	m.RNG.Reseed(cfg.Seed)
+	// The cache model is stateless (params + topology); rebuild only when
+	// the calibration actually changed.
+	if m.Cache.P != cfg.Cache {
+		m.Cache = cache.New(cfg.Topo, cfg.Cache)
+	}
+	m.CG.Reset(cfg.CG)
+	m.IRQ.Reset(cfg.IRQ, cfg.Channels)
+	m.Sched.Reset(m.schedConfig(cfg))
+	return nil
+}
+
+// schedConfig assembles the scheduler wiring for cfg — shared by New and
+// Reset so the two paths cannot drift.
+func (m *Machine) schedConfig(cfg Config) sched.Config {
 	scfg := sched.Config{
 		Params:           cfg.Sched,
 		Topo:             cfg.Topo,
 		Cache:            m.Cache,
 		IRQ:              m.IRQ,
-		RNG:              rng,
+		RNG:              m.RNG,
 		Trace:            cfg.Trace,
 		IOScale:          cfg.IOScale,
 		MsgSyncCost:      cfg.MsgSyncCost,
@@ -172,8 +226,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.VirtioExtra > 0 || cfg.VirtioMissProb > 0 {
 		scfg.PerIOExtra = m.perIOExtra
 	}
-	m.Sched = sched.New(eng, scfg)
-	return m, nil
+	return scfg
 }
 
 // computeScale is the wall-time multiplier bound into the scheduler:
@@ -219,6 +272,12 @@ func (m *Machine) Spawn(spec sched.TaskSpec, at sim.Time) *sched.Task {
 // are applied to the event queue as one batch (see sched.SpawnBatch).
 func (m *Machine) SpawnBatch(specs []sched.TaskSpec, at sim.Time) []*sched.Task {
 	return m.Sched.SpawnBatch(specs, at)
+}
+
+// SpecScratch returns the scheduler's reusable TaskSpec build buffer (see
+// sched.Scheduler.SpecScratch): zero length, capacity for at least n specs.
+func (m *Machine) SpecScratch(n int) []sched.TaskSpec {
+	return m.Sched.SpecScratch(n)
 }
 
 // Result summarizes one run.

@@ -206,11 +206,20 @@ type Slot struct {
 	Cores int
 }
 
-// DeployStack builds a deployment from a composable stack. size is the
-// deployment's instance size in cores (Table II); layers and tenants with
-// Cores 0 inherit it. host is the physical host calibration; hv the
-// hypervisor calibration applied per guest layer; seed drives all the run's
-// randomness.
+// foldResult is the outcome of folding a stack's machine layers: the
+// innermost machine's full configuration plus the host-side state the
+// populate step needs. It is a pure value — deriving it touches no machine —
+// so the same fold feeds both fresh construction (DeployStack) and in-place
+// reuse (RedeployStack).
+type foldResult struct {
+	cfg         machine.Config  // innermost machine configuration
+	affinity    topology.CPUSet // host-layer core-limit affinity (empty inside guests)
+	depth       int             // number of guest layers folded
+	firstCgroup int             // index of the first cgroup layer (len(Layers) if none)
+}
+
+// foldLayers validates a stack and folds its machine layers (host + nested
+// guests) into the innermost machine's configuration.
 //
 // Only the innermost machine is ever built: guest layers fold their
 // virtualization overlay over the configuration of the machine beneath them
@@ -218,23 +227,19 @@ type Slot struct {
 // deeper stack pays the overlay repeatedly — compute tax on compute tax —
 // which is the cost model related work measures for nested
 // container-on-VM stacks.
-//
-// Nested cgroup layers fold into their effective constraint: the quota is
-// the tightest vanilla layer, the cpuset the tightest pinned layer (the
-// kernel enforces the intersection; the simulator folds it up front).
-func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Params, seed uint64) (*Deployment, error) {
+func foldLayers(stack Stack, size int, host machine.Config, hv hypervisor.Params, seed uint64) (foldResult, error) {
+	var fr foldResult
 	if size <= 0 {
-		return nil, fmt.Errorf("platform: instance size must be positive, got %d", size)
+		return fr, fmt.Errorf("platform: instance size must be positive, got %d", size)
 	}
 	if size > host.Topo.NumCPUs() {
-		return nil, fmt.Errorf("platform: instance size %d exceeds host's %d CPUs",
+		return fr, fmt.Errorf("platform: instance size %d exceeds host's %d CPUs",
 			size, host.Topo.NumCPUs())
 	}
 	if err := stack.Validate(); err != nil {
-		return nil, err
+		return fr, err
 	}
 
-	d := &Deployment{Stack: stack}
 	cfg := host
 	cfg.Seed = seed
 
@@ -268,7 +273,7 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 					n = size
 				}
 				if n > cfg.Topo.NumCPUs() {
-					return nil, fmt.Errorf("platform: host layer limit %d exceeds host's %d CPUs",
+					return fr, fmt.Errorf("platform: host layer limit %d exceeds host's %d CPUs",
 						n, cfg.Topo.NumCPUs())
 				}
 				affinity = cfg.Topo.InterleavedCPUs(n)
@@ -280,7 +285,7 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 				vcpus = size
 			}
 			if vcpus > cfg.Topo.NumCPUs() {
-				return nil, fmt.Errorf("platform: guest layer %d: %d vCPUs exceed the %d CPUs beneath it",
+				return fr, fmt.Errorf("platform: guest layer %d: %d vCPUs exceed the %d CPUs beneath it",
 					i, vcpus, cfg.Topo.NumCPUs())
 			}
 			// Only the innermost guest hosts the cgroups, so only it pays
@@ -301,7 +306,7 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 				Containerized: containerized,
 			}, hv, seed)
 			if err != nil {
-				return nil, err
+				return fr, err
 			}
 			cfg = gcfg
 			// Tasks live inside the guest; any host-side affinity no longer
@@ -309,17 +314,125 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 			affinity = topology.CPUSet{}
 		}
 	}
+	return foldResult{cfg: cfg, affinity: affinity, depth: depth, firstCgroup: firstCgroup}, nil
+}
 
-	m, err := machine.New(cfg)
+// DeployStack builds a deployment from a composable stack. size is the
+// deployment's instance size in cores (Table II); layers and tenants with
+// Cores 0 inherit it. host is the physical host calibration; hv the
+// hypervisor calibration applied per guest layer; seed drives all the run's
+// randomness.
+//
+// Nested cgroup layers fold into their effective constraint: the quota is
+// the tightest vanilla layer, the cpuset the tightest pinned layer (the
+// kernel enforces the intersection; the simulator folds it up front).
+func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Params, seed uint64) (*Deployment, error) {
+	fr, err := foldLayers(stack, size, host, hv, seed)
 	if err != nil {
 		return nil, err
 	}
-	d.M = m
+	m, err := machine.New(fr.cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{Stack: stack, M: m}
+	if err := populate(d, stack, size, fr); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RedeployStack rewinds an existing deployment in place so the next trial
+// reuses its machine arena instead of rebuilding it: the layer fold is
+// recomputed (it is pure), the machine resets to the folded configuration,
+// and the cgroup/tenant slots repopulate. The deployment afterwards is
+// observationally identical to DeployStack's — same machine semantics, same
+// group registration order, same tenant carving — just without the
+// allocation storm. It fails (leaving d unusable until redeployed or
+// rebuilt) when the folded configuration needs a different machine shape;
+// callers fall back to a fresh DeployStack.
+func RedeployStack(d *Deployment, stack Stack, size int, host machine.Config, hv hypervisor.Params, seed uint64) error {
+	fr, err := foldLayers(stack, size, host, hv, seed)
+	if err != nil {
+		return err
+	}
+	return redeploy(d, stack, size, fr)
+}
+
+// redeploy is RedeployStack past the fold: reset the machine, clear the
+// per-deployment attachments, repopulate.
+func redeploy(d *Deployment, stack Stack, size int, fr foldResult) error {
+	if err := d.M.Reset(fr.cfg); err != nil {
+		return err
+	}
+	d.Spec = Spec{}
+	d.Stack = stack
+	d.Group = nil
+	d.Container = nil
+	d.Affinity = topology.CPUSet{}
+	d.Tenants = d.Tenants[:0]
+	return populate(d, stack, size, fr)
+}
+
+// Pool reuses machine arenas across deployments. The key is the folded
+// innermost machine's topology pointer (host topologies are long-lived
+// shared values; guest topologies are interned per (name, vCPUs)), which is
+// exactly the shape a machine.Reset can rewind onto — so one pooled
+// 112-CPU host machine serves every BM and CN trial at every instance
+// size, and each guest shape keeps one arena. A Pool is single-goroutine
+// state, like the machines it holds: concurrent trial workers each own one.
+type Pool struct {
+	deployments map[*topology.Topology]*Deployment
+}
+
+// Deploy builds a deployment from a composable stack like DeployStack,
+// rewinding a pooled same-topology machine arena in place when one exists.
+// reused reports which path ran. A redeploy failure discards the pooled
+// arena and falls back to fresh construction — Deploy never returns an
+// error a cold DeployStack would not.
+func (p *Pool) Deploy(stack Stack, size int, host machine.Config, hv hypervisor.Params, seed uint64) (d *Deployment, reused bool, err error) {
+	fr, err := foldLayers(stack, size, host, hv, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	if d := p.deployments[fr.cfg.Topo]; d != nil {
+		if err := redeploy(d, stack, size, fr); err == nil {
+			return d, true, nil
+		}
+		delete(p.deployments, fr.cfg.Topo)
+	}
+	m, err := machine.New(fr.cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	d = &Deployment{Stack: stack, M: m}
+	if err := populate(d, stack, size, fr); err != nil {
+		return nil, false, err
+	}
+	if p.deployments == nil {
+		p.deployments = make(map[*topology.Topology]*Deployment)
+	}
+	p.deployments[fr.cfg.Topo] = d
+	return d, false, nil
+}
+
+// Clear drops every pooled arena — the containment path after a trial
+// panic may have left a machine half-rewound.
+func (p *Pool) Clear() {
+	p.deployments = nil
+}
+
+// populate attaches the cgroup layers and tenant slots of a stack to the
+// deployment's (fresh or reset) machine.
+func populate(d *Deployment, stack Stack, size int, fr foldResult) error {
+	m := d.M
+	affinity := fr.affinity
+	depth := fr.depth
 	d.Affinity = affinity
 
 	// Cgroup layers on the innermost machine.
-	if hasCgroups {
-		cgLayers := stack.Layers[firstCgroup:]
+	if fr.firstCgroup < len(stack.Layers) {
+		cgLayers := stack.Layers[fr.firstCgroup:]
 		base := "cn"
 		if depth > 0 {
 			base = "cn-in-vm"
@@ -337,7 +450,7 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 				NearCPU: m.IRQ.Channel(irqsim.ChanDisk).Home,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			d.Group = cn.Group
 			d.Container = cn
@@ -351,7 +464,7 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 					cores = size
 				}
 				if cores > m.Topo.NumCPUs() {
-					return nil, fmt.Errorf("platform: cgroup layer: %d cores exceed machine's %d CPUs",
+					return fmt.Errorf("platform: cgroup layer: %d cores exceed machine's %d CPUs",
 						cores, m.Topo.NumCPUs())
 				}
 				if l.Pinned {
@@ -371,9 +484,11 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 	}
 
 	// Tenant slots: explicit co-location, or the single implicit tenant.
+	// Appending onto the (possibly truncated) existing slice lets a
+	// redeployed deployment reuse its slot backing.
 	if len(stack.Tenants) == 0 {
-		d.Tenants = []Slot{{Name: "tenant0", Group: d.Group, Affinity: d.Affinity, Cores: size}}
-		return d, nil
+		d.Tenants = append(d.Tenants[:0], Slot{Name: "tenant0", Group: d.Group, Affinity: d.Affinity, Cores: size})
+		return nil
 	}
 	// A host-layer Limit confines every tenant: pinned/affinity tenants
 	// carve their CPUs from the limited set, and floating (quota) tenants
@@ -389,7 +504,7 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 			cores = size
 		}
 		if cores > m.Topo.NumCPUs() {
-			return nil, fmt.Errorf("platform: tenant %d: %d cores exceed machine's %d CPUs",
+			return fmt.Errorf("platform: tenant %d: %d cores exceed machine's %d CPUs",
 				ti, cores, m.Topo.NumCPUs())
 		}
 		name := t.Name
@@ -408,7 +523,7 @@ func DeployStack(stack Stack, size int, host machine.Config, hv hypervisor.Param
 		}
 		d.Tenants = append(d.Tenants, slot)
 	}
-	return d, nil
+	return nil
 }
 
 // takeCPUs carves the next n CPUs from a rolling cursor over the allowed

@@ -96,6 +96,170 @@ func TestCrashConsistencyEveryByte(t *testing.T) {
 	}
 }
 
+// batchCrashWorkload plays the crash workload through the group-commit
+// path: the same n records (values k*13+7), landed in PutBatch calls of
+// batchN records each.
+func batchCrashWorkload(t *testing.T, dir string, fsys FS, warn *bytes.Buffer, n, batchN int) Stats {
+	t.Helper()
+	d, err := Open[uint64](dir, u64Codec{}, WithFS(fsys), WithWarnWriter(warn), WithSleep(nopSleep))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for lo := 0; lo < n; lo += batchN {
+		hi := lo + batchN
+		if hi > n {
+			hi = n
+		}
+		keys := make([]uint64, 0, hi-lo)
+		vals := make([]uint64, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			keys = append(keys, uint64(k))
+			vals = append(vals, uint64(k)*13+7)
+		}
+		d.PutBatch(keys, vals)
+	}
+	st := d.Stats()
+	d.Close()
+	return st
+}
+
+// verifyBatchSurvivors is the batch-grained analog of verifySurvivors.
+// Acknowledgment is per batch, but a crash mid-write tears only the tail
+// of the batch's single buffer: whole-record prefixes still replay. So a
+// reopen must load at least the acknowledged records, the survivors must
+// be exactly the keys 0..Loaded-1 (batch bytes land in key order), and
+// every one must carry the right value.
+func verifyBatchSurvivors(t *testing.T, dir string, acked uint64, n int, label string) {
+	t.Helper()
+	var warn bytes.Buffer
+	d, err := Open[uint64](dir, u64Codec{}, WithWarnWriter(&warn))
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", label, err)
+	}
+	defer d.Close()
+	st := d.Stats()
+	if st.Loaded < acked || st.Loaded > uint64(n) {
+		t.Fatalf("%s: reopen loaded %d records with %d acknowledged of %d put (stats %+v, warnings %s)",
+			label, st.Loaded, acked, n, st, warn.String())
+	}
+	for k := uint64(0); k < st.Loaded; k++ {
+		if v, ok := d.Get(k); !ok || v != k*13+7 {
+			t.Fatalf("%s: surviving record %d = %d, %t after reopen", label, k, v, ok)
+		}
+	}
+	for k := st.Loaded; k < uint64(n); k++ {
+		if _, ok := d.Get(k); ok {
+			t.Fatalf("%s: record %d survived out of prefix order (loaded %d)", label, k, st.Loaded)
+		}
+	}
+}
+
+// TestCrashConsistencyEveryByteBatched sweeps a crash cut point across
+// every byte a batched workload writes — before the batch, inside every
+// record of its buffer, and between batches. At every cut the store
+// degrades instead of erroring, acknowledgment stays batch-grained, every
+// record remains resident in memory, and a reopen recovers a clean
+// whole-record prefix that covers everything acknowledged.
+func TestCrashConsistencyEveryByteBatched(t *testing.T) {
+	const n, batchN = 8, 4
+	probe := NewFaultFS(OS(), FaultSpec{})
+	var warn bytes.Buffer
+	st := batchCrashWorkload(t, t.TempDir(), probe, &warn, n, batchN)
+	total := probe.BytesWritten()
+	if st.Appended != n || total == 0 {
+		t.Fatalf("fault-free batched workload: %+v, %d bytes", st, total)
+	}
+
+	for cut := int64(1); cut < total; cut++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS(), FaultSpec{CrashAfterBytes: cut})
+		var warn bytes.Buffer
+		st := batchCrashWorkload(t, dir, ffs, &warn, n, batchN)
+		if !st.Degraded {
+			t.Fatalf("cut %d: store did not degrade after the crash (stats %+v)", cut, st)
+		}
+		if st.Entries != n {
+			t.Fatalf("cut %d: run lost results in memory: %d entries, want %d", cut, st.Entries, n)
+		}
+		if st.Appended+st.Unpersisted != n {
+			t.Fatalf("cut %d: acked %d + unpersisted %d != %d puts", cut, st.Appended, st.Unpersisted, n)
+		}
+		if st.Appended%batchN != 0 {
+			t.Fatalf("cut %d: acknowledgment is not batch-grained: %d appended with batches of %d",
+				cut, st.Appended, batchN)
+		}
+		verifyBatchSurvivors(t, dir, st.Appended, n, warn.String())
+	}
+}
+
+// TestFaultScheduleSweepBatched: transient fault schedules tripping writes
+// mid-batch — including the rotation where a torn first attempt is
+// abandoned and the whole batch replays on a fresh segment — must retry
+// through without degrading, acknowledge every batch, and leave every
+// record recoverable. Short writes can land complete records twice (torn
+// attempt + replay), so recovery is verified by value, not load count.
+func TestFaultScheduleSweepBatched(t *testing.T) {
+	const n, batchN = 48, 6
+	for seed := uint64(0); seed < 8; seed++ {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS(), FaultSpec{
+			Seed:            seed,
+			FailWriteEvery:  3,
+			ShortWriteEvery: 5,
+			FailOpEvery:     7,
+		})
+		var warn bytes.Buffer
+		st := batchCrashWorkload(t, dir, ffs, &warn, n, batchN)
+		if st.Degraded {
+			t.Fatalf("seed %d: store degraded under transient-only faults: %+v\n%s", seed, st, warn.String())
+		}
+		if st.Appended != n {
+			t.Fatalf("seed %d: only %d/%d batch appends acknowledged: %+v", seed, st.Appended, n, st)
+		}
+		if st.Retries == 0 || st.Recovered == 0 {
+			t.Fatalf("seed %d: schedule injected %d faults but store counted retries=%d recovered=%d",
+				seed, ffs.Injected(), st.Retries, st.Recovered)
+		}
+		var rewarn bytes.Buffer
+		d, err := Open[uint64](dir, u64Codec{}, WithWarnWriter(&rewarn))
+		if err != nil {
+			t.Fatalf("seed %d: reopen: %v", seed, err)
+		}
+		if got := d.Stats().Loaded; got < n {
+			t.Fatalf("seed %d: reopen recovered only %d/%d records", seed, got, n)
+		}
+		for k := uint64(0); k < n; k++ {
+			if v, ok := d.Get(k); !ok || v != k*13+7 {
+				t.Fatalf("seed %d: recovered record %d = %d, %t", seed, k, v, ok)
+			}
+		}
+		d.Close()
+	}
+}
+
+// TestBatchSyncIsDurabilityBoundary: a nil Sync acknowledges every batch
+// landed so far; a crash immediately after loses none of it.
+func TestBatchSyncIsDurabilityBoundary(t *testing.T) {
+	dir := t.TempDir()
+	var warn bytes.Buffer
+	d, err := Open[uint64](dir, u64Codec{}, WithFS(NewFaultFS(OS(), FaultSpec{})), WithWarnWriter(&warn), WithSleep(nopSleep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 10)
+	vals := make([]uint64, 10)
+	for k := range keys {
+		keys[k], vals[k] = uint64(k), uint64(k)*13+7
+	}
+	d.PutBatch(keys[:5], vals[:5])
+	d.PutBatch(keys[5:], vals[5:])
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The machine dies without Close: no final sync, no tidy shutdown.
+	verifyBatchSurvivors(t, dir, 10, 10, "post-sync crash")
+}
+
 // TestCrashConsistencyEveryOp sweeps the cut across operation counts
 // instead of bytes, so opens, syncs and directory scans crash too, not
 // just writes.

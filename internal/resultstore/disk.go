@@ -189,6 +189,11 @@ type Disk[V any] struct {
 	nextSeg     int  // next segment number to try for O_EXCL creation
 	sinceSync   int  // appends since the last fsync
 	rng         uint64
+	// Group-commit scratch (PutBatch): the encoded-records buffer and the
+	// filtered key/value views, reused across batches.
+	batchBuf  []byte
+	batchKeys []uint64
+	batchVals []V
 	loaded      uint64
 	appended    uint64
 	corrupt     uint64
@@ -355,6 +360,46 @@ func (d *Disk[V]) Put(key uint64, v V) {
 	}
 }
 
+// PutBatch is the group-commit append path: it indexes and persists
+// len(keys) records through one lock acquisition, one encoded buffer, one
+// write syscall and one retry/rotation/sync-cadence decision — where N
+// single Puts would pay each of those N times. Semantics match N Puts
+// exactly otherwise: resident keys are dropped (their records are already
+// durable and correct), a degraded store only indexes, and an append that
+// exhausts retries demotes the store to memory-only with the whole batch
+// counted unpersisted. Durability is also batch-grained: none of the batch
+// is crash-durable before the next successful fsync, and a crash mid-write
+// tears only the batch's tail — records whose bytes landed intact still
+// replay (the crash harness proves both properties byte by byte).
+func (d *Disk[V]) PutBatch(keys []uint64, vals []V) {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("resultstore: PutBatch with %d keys and %d values", len(keys), len(vals)))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nk, nv := d.batchKeys[:0], d.batchVals[:0]
+	for i, k := range keys {
+		if d.memo.Contains(k) {
+			continue
+		}
+		d.memo.Put(k, vals[i])
+		nk = append(nk, k)
+		nv = append(nv, vals[i])
+	}
+	d.batchKeys, d.batchVals = nk, nv
+	if len(nk) == 0 {
+		return
+	}
+	if d.degraded {
+		d.unpersisted += uint64(len(nk))
+		return
+	}
+	if err := d.appendBatch(nk, nv); err != nil {
+		d.unpersisted += uint64(len(nk))
+		d.degradeLocked(fmt.Errorf("resultstore: %s: batch append failed: %w", d.dir, err))
+	}
+}
+
 // GetOrCompute implements Store: a warm hit is one sharded memo read with
 // no disk I/O and no store lock; a miss runs compute outside d.mu (an
 // append must never stall behind a simulation) and persists the value via
@@ -498,6 +543,64 @@ func (d *Disk[V]) append(key uint64, v V) error {
 	}
 }
 
+// appendBatch encodes every record into one contiguous buffer and lands it
+// with a single Write call — the group-commit counterpart of append. A
+// failed or short write rotates to a fresh segment and retries the whole
+// batch there, exactly like append's per-record retry: the torn tail left
+// behind holds only whole-record prefixes plus at most one torn record,
+// which the open scan already absorbs. The sync cadence is checked once
+// for the batch. Callers hold d.mu.
+func (d *Disk[V]) appendBatch(keys []uint64, vals []V) error {
+	buf := d.batchBuf[:0]
+	for i, key := range keys {
+		start := len(buf)
+		buf = binary.LittleEndian.AppendUint64(buf, key)
+		buf = append(buf, 0, 0, 0, 0) // payload length, patched below
+		buf = d.codec.Append(buf, vals[i])
+		payloadLen := len(buf) - start - recHeaderLen
+		if payloadLen > MaxPayload {
+			d.batchBuf = buf[:0]
+			return fmt.Errorf("record payload %d bytes exceeds MaxPayload", payloadLen)
+		}
+		binary.LittleEndian.PutUint32(buf[start+8:], uint32(payloadLen))
+		buf = binary.LittleEndian.AppendUint64(buf, sumRecord(buf[start:start+recHeaderLen+payloadLen]))
+	}
+	d.batchBuf = buf // keep the grown capacity for the next batch
+	for attempt := 0; ; attempt++ {
+		if d.seg == nil {
+			if err := d.createSegment(); err != nil {
+				return err
+			}
+		}
+		n, err := d.seg.Write(buf)
+		d.diskBytes += int64(n)
+		if err == nil && n < len(buf) {
+			err = io.ErrShortWrite
+		}
+		if err == nil {
+			if attempt > 0 {
+				d.recovered++
+			}
+			d.appended += uint64(len(keys))
+			d.sinceSync += len(keys)
+			if d.syncEvery > 0 && d.sinceSync >= d.syncEvery {
+				if serr := d.syncLocked(); serr != nil {
+					return serr
+				}
+			}
+			return nil
+		}
+		// This segment may now carry a torn tail; rotate before any retry.
+		d.seg.Close()
+		d.seg = nil
+		if !transientErr(err) || attempt >= d.maxRetries {
+			return err
+		}
+		d.retries++
+		d.sleep(d.backoffFor(attempt))
+	}
+}
+
 // syncLocked fsyncs the active segment under the retry policy. Callers
 // hold d.mu.
 func (d *Disk[V]) syncLocked() error {
@@ -585,6 +688,12 @@ func Merge[V any](dst Store[V], codec Codec[V], dirs []string, opts ...Option) e
 		opt(&o)
 	}
 	warner := o.warnerOrDefault()
+	// A group-committing destination takes each scanned segment as one
+	// batch: one lock acquisition, one append buffer and one write syscall
+	// per segment, instead of one of each per record.
+	batcher, _ := dst.(interface{ PutBatch(keys []uint64, vals []V) })
+	var batchKeys []uint64
+	var batchVals []V
 	for _, dir := range dirs {
 		segs, err := listSegments(o.fs, dir)
 		if err != nil {
@@ -592,7 +701,18 @@ func Merge[V any](dst Store[V], codec Codec[V], dirs []string, opts ...Option) e
 		}
 		var merged, corrupt uint64
 		for _, s := range segs {
-			loaded, bad, _ := scanSegmentFile(o.fs.ReadFile, s.path, codec, warner, dst.Put)
+			put := dst.Put
+			if batcher != nil {
+				batchKeys, batchVals = batchKeys[:0], batchVals[:0]
+				put = func(key uint64, v V) {
+					batchKeys = append(batchKeys, key)
+					batchVals = append(batchVals, v)
+				}
+			}
+			loaded, bad, _ := scanSegmentFile(o.fs.ReadFile, s.path, codec, warner, put)
+			if batcher != nil {
+				batcher.PutBatch(batchKeys, batchVals)
+			}
 			merged += loaded
 			corrupt += bad
 		}

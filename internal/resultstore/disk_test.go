@@ -92,6 +92,153 @@ func TestDiskPutIsIdempotent(t *testing.T) {
 	d.Close()
 }
 
+// TestPutBatchMatchesPutBytes: the group-commit path encodes exactly the
+// records N single Puts would — the segment files are byte-identical — so
+// a reader cannot tell which path wrote a store.
+func TestPutBatchMatchesPutBytes(t *testing.T) {
+	var warn bytes.Buffer
+	one := t.TempDir()
+	d1 := openTest(t, one, &warn)
+	for k := uint64(0); k < 20; k++ {
+		d1.Put(k, k*3)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	batched := t.TempDir()
+	d2 := openTest(t, batched, &warn)
+	keys := make([]uint64, 20)
+	vals := make([]uint64, 20)
+	for k := range keys {
+		keys[k], vals[k] = uint64(k), uint64(k)*3
+	}
+	d2.PutBatch(keys, vals)
+	if st := d2.Stats(); st.Appended != 20 || st.Entries != 20 {
+		t.Fatalf("batched stats = %+v, want 20 appended entries", st)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(segPath(t, one))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(segPath(t, batched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("batched segment differs from put-by-put segment: %d vs %d bytes", len(b), len(a))
+	}
+}
+
+// TestPutBatchIsOneWrite pins the group-commit syscall shape the same way
+// TestWithSyncEveryCountsDown pins Put's: a 6-record batch at sync-every-2
+// is 1 segment-create open + 1 magic write + 1 record write + 1 fsync = 4
+// operations, where the same records through Put cost 11.
+func TestPutBatchIsOneWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), FaultSpec{})
+	var warn bytes.Buffer
+	d, err := Open[uint64](dir, u64Codec{}, WithFS(ffs), WithWarnWriter(&warn), WithSyncEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 6)
+	vals := make([]uint64, 6)
+	for k := range keys {
+		keys[k], vals[k] = uint64(k), uint64(k)
+	}
+	before := ffs.Ops()
+	d.PutBatch(keys, vals)
+	if got := ffs.Ops() - before; got != 4 {
+		t.Fatalf("op delta = %d, want 4 (1 open + 2 writes + 1 fsync)", got)
+	}
+	// An all-resident batch touches the index only: zero filesystem ops.
+	before = ffs.Ops()
+	d.PutBatch(keys, vals)
+	if got := ffs.Ops() - before; got != 0 {
+		t.Fatalf("resident re-batch cost %d filesystem ops, want 0", got)
+	}
+	d.Close()
+}
+
+// TestPutBatchDedups: resident keys — from earlier Puts or duplicated
+// inside the batch itself — are dropped exactly like Put drops them.
+func TestPutBatchDedups(t *testing.T) {
+	dir := t.TempDir()
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	d.Put(7, 42)
+	d.PutBatch([]uint64{7, 8, 9, 9}, []uint64{42, 43, 44, 44})
+	if st := d.Stats(); st.Appended != 3 || st.Entries != 3 {
+		t.Fatalf("stats = %+v, want 3 appended entries", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openTest(t, dir, &warn)
+	defer d2.Close()
+	if st := d2.Stats(); st.Loaded != 3 {
+		t.Fatalf("reopen loaded %d, want 3", st.Loaded)
+	}
+	for k := uint64(7); k <= 9; k++ {
+		if v, ok := d2.Get(k); !ok || v != k+35 {
+			t.Fatalf("Get(%d) = %d, %t", k, v, ok)
+		}
+	}
+}
+
+// TestPutBatchEmptyAndMismatched: an empty batch is a no-op that creates no
+// segment, and mismatched key/value lengths panic loudly.
+func TestPutBatchEmptyAndMismatched(t *testing.T) {
+	dir := t.TempDir()
+	var warn bytes.Buffer
+	d := openTest(t, dir, &warn)
+	defer d.Close()
+	d.PutBatch(nil, nil)
+	if st := d.Stats(); st.DiskBytes != 0 || st.Appended != 0 {
+		t.Fatalf("empty batch touched the disk: %+v", st)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched PutBatch lengths did not panic")
+		}
+	}()
+	d.PutBatch([]uint64{1}, nil)
+}
+
+// BenchmarkStoreAppendBatch is the group-commit throughput figure: one
+// 64-record PutBatch per iteration — one lock, one buffer, one write
+// syscall — against a disk-backed store. The benchjson suite tracks it so
+// the batched path cannot quietly decay back toward per-record costs.
+func BenchmarkStoreAppendBatch(b *testing.B) {
+	var warn bytes.Buffer
+	d, err := Open[uint64](b.TempDir(), u64Codec{}, WithWarnWriter(&warn))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	const batchN = 64
+	keys := make([]uint64, batchN)
+	vals := make([]uint64, batchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i) * batchN
+		for j := range keys {
+			keys[j], vals[j] = base+uint64(j), base
+		}
+		d.PutBatch(keys, vals)
+	}
+	b.StopTimer()
+	if st := d.Stats(); st.Degraded || warn.Len() > 0 {
+		b.Fatalf("benchmark store degraded: %+v\n%s", st, warn.String())
+	}
+}
+
 // segPath returns the store's single segment file.
 func segPath(t *testing.T, dir string) string {
 	t.Helper()

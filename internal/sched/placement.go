@@ -16,21 +16,23 @@ type affEntry struct {
 // (affinities never change during a run). Distinct sets are interned
 // scheduler-wide: a run has a handful of masks (all CPUs, each group's
 // cpuset) shared by hundreds of tasks, so the Slice expansion is computed
-// once per mask instead of once per task.
-func (s *Scheduler) cachedAffinity(t *Task) (topology.CPUSet, []int) {
-	if t.affCache == nil {
+// once per mask instead of once per task. The returned set pointer aliases
+// the interned entry — callers must treat it as read-only — which keeps
+// every wakeup and rebalance free of CPUSet copies.
+func (s *Scheduler) cachedAffinity(t *Task) (*topology.CPUSet, []int) {
+	if t.aff == nil {
 		set := s.effAffinity(t)
-		for i := range s.affIntern {
-			if e := &s.affIntern[i]; e.set.Equal(set) {
-				t.affCacheSet, t.affCache = e.set, e.slice
-				return t.affCacheSet, t.affCache
+		for _, e := range s.affIntern {
+			if e.set.Equal(set) {
+				t.aff = e
+				return &e.set, e.slice
 			}
 		}
-		sl := set.Slice()
-		s.affIntern = append(s.affIntern, affEntry{set: set, slice: sl})
-		t.affCacheSet, t.affCache = set, sl
+		e := &affEntry{set: set, slice: set.Slice()}
+		s.affIntern = append(s.affIntern, e)
+		t.aff = e
 	}
-	return t.affCacheSet, t.affCache
+	return &t.aff.set, t.aff.slice
 }
 
 // loadOf approximates runqueue load: the running task plus waiting runnables.
@@ -116,7 +118,7 @@ func (s *Scheduler) placeTask(t *Task) int {
 // starting at startCPU, returning the first whose SMT siblings are all idle;
 // *firstIdle records the first idle CPU seen (-1 if none). Visit order
 // matches a circular walk of set's slice expansion restricted to idle CPUs.
-func (s *Scheduler) scanIdleAllowed(set topology.CPUSet, startCPU int, firstIdle *int) int {
+func (s *Scheduler) scanIdleAllowed(set *topology.CPUSet, startCPU int, firstIdle *int) int {
 	words := set.Words()
 	if words > len(s.idleMask) {
 		words = len(s.idleMask) // affinity bits past NumCPUs are unreachable

@@ -30,8 +30,18 @@ import (
 // callbacks on the hottest loops); fixes to one must be mirrored in the
 // other.
 
-// taskLess orders tasks by (vruntime, enqueue sequence).
-func taskLess(a, b *Task) bool {
+// rqEntry is one element of a subqueue heap: the task pointer plus a copy
+// of its (vruntime, rqSeq) sort key, so heap comparisons stay inside the
+// contiguous entry array instead of chasing each *Task. The copy is safe
+// because both key fields are frozen while a task is queued — vruntime
+// only advances for the running task, and rqSeq is stamped at enqueue.
+type rqEntry struct {
+	vruntime sim.Time
+	rqSeq    uint64
+	t        *Task
+}
+
+func entryLessRQ(a, b rqEntry) bool {
 	if a.vruntime != b.vruntime {
 		return a.vruntime < b.vruntime
 	}
@@ -41,7 +51,7 @@ func taskLess(a, b *Task) bool {
 // subQueue is the runqueue partition of one cgroup on one CPU.
 type subQueue struct {
 	g *cgroups.Group // nil for the ungrouped partition
-	h []*Task        // 4-ary min-heap by taskLess
+	h []rqEntry      // 4-ary min-heap by (vruntime, rqSeq)
 }
 
 // throttledQ reports whether the whole partition is banned from running.
@@ -49,29 +59,29 @@ func (sq *subQueue) throttledQ() bool { return sq.g != nil && sq.g.Throttled() }
 
 func (sq *subQueue) push(t *Task) {
 	t.rqPos = int32(len(sq.h))
-	sq.h = append(sq.h, t)
+	sq.h = append(sq.h, rqEntry{vruntime: t.vruntime, rqSeq: t.rqSeq, t: t})
 	sq.siftUp(int(t.rqPos))
 }
 
 func (sq *subQueue) siftUp(i int) {
-	t := sq.h[i]
+	ent := sq.h[i]
 	for i > 0 {
 		parent := (i - 1) / 4
 		p := sq.h[parent]
-		if !taskLess(t, p) {
+		if !entryLessRQ(ent, p) {
 			break
 		}
 		sq.h[i] = p
-		p.rqPos = int32(i)
+		p.t.rqPos = int32(i)
 		i = parent
 	}
-	sq.h[i] = t
-	t.rqPos = int32(i)
+	sq.h[i] = ent
+	ent.t.rqPos = int32(i)
 }
 
 func (sq *subQueue) siftDown(i int) {
 	n := len(sq.h)
-	t := sq.h[i]
+	ent := sq.h[i]
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -83,32 +93,32 @@ func (sq *subQueue) siftDown(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if taskLess(sq.h[c], sq.h[best]) {
+			if entryLessRQ(sq.h[c], sq.h[best]) {
 				best = c
 			}
 		}
 		b := sq.h[best]
-		if !taskLess(b, t) {
+		if !entryLessRQ(b, ent) {
 			break
 		}
 		sq.h[i] = b
-		b.rqPos = int32(i)
+		b.t.rqPos = int32(i)
 		i = best
 	}
-	sq.h[i] = t
-	t.rqPos = int32(i)
+	sq.h[i] = ent
+	ent.t.rqPos = int32(i)
 }
 
 // removeAt unlinks the task at heap position i and returns it.
 func (sq *subQueue) removeAt(i int) *Task {
-	t := sq.h[i]
+	t := sq.h[i].t
 	n := len(sq.h) - 1
 	moved := sq.h[n]
-	sq.h[n] = nil
+	sq.h[n] = rqEntry{}
 	sq.h = sq.h[:n]
 	if i != n {
 		sq.h[i] = moved
-		moved.rqPos = int32(i)
+		moved.t.rqPos = int32(i)
 		sq.siftDown(i)
 		sq.siftUp(i)
 	}
@@ -150,6 +160,7 @@ func (s *Scheduler) rqPush(c *cpuRun, t *Task) {
 	c.queued++
 	s.socketQueued[s.tix.Socket(c.id)]++
 	s.groupQueued[qi]++
+	s.totalQueued++
 }
 
 // rqUnlinked retires the queued-load accounting of a task just removed from
@@ -161,28 +172,29 @@ func (s *Scheduler) rqUnlinked(c *cpuRun, t *Task) {
 	}
 	s.socketQueued[s.tix.Socket(c.id)]--
 	s.groupQueued[t.qIdx]--
+	s.totalQueued--
 }
 
 // pickLocal removes and returns the min-vruntime runnable task of c's queue.
 func (s *Scheduler) pickLocal(c *cpuRun) *Task {
-	var best *Task
+	var best rqEntry
 	var bestQ *subQueue
 	for i := range c.subs {
 		sq := &c.subs[i]
 		if len(sq.h) == 0 || sq.throttledQ() {
 			continue
 		}
-		if r := sq.h[0]; best == nil || taskLess(r, best) {
+		if r := sq.h[0]; bestQ == nil || entryLessRQ(r, best) {
 			best, bestQ = r, sq
 		}
 	}
-	if best == nil {
+	if bestQ == nil {
 		return nil
 	}
 	bestQ.removeAt(0)
-	s.rqUnlinked(c, best)
-	best.rqCPU = -1
-	return best
+	s.rqUnlinked(c, best.t)
+	best.t.rqCPU = -1
+	return best.t
 }
 
 // steal pulls a waiting runnable task from the most loaded other queue that
@@ -210,6 +222,15 @@ func (s *Scheduler) pickLocal(c *cpuRun) *Task {
 // siblings before LLC mates), but the pick is a total order over victims and
 // tasks, so any traversal order yields the identical steal.
 func (s *Scheduler) steal(c *cpuRun) *Task {
+	// The bail-out lives in this small wrapper so the common miss (steal
+	// runs on an idle CPU, usually with nothing queued anywhere) never
+	// pays the scan machinery's stack frame and closure setup below. The
+	// aggregate count answers the empty case in one compare; the group
+	// loop only runs when something is queued, to skip all-throttled
+	// loads before committing to the scan.
+	if s.totalQueued == 0 {
+		return nil
+	}
 	stealable := false
 	for qi, n := range s.groupQueued {
 		if n == 0 {
@@ -224,6 +245,12 @@ func (s *Scheduler) steal(c *cpuRun) *Task {
 	if !stealable {
 		return nil
 	}
+	return s.stealScan(c)
+}
+
+// stealScan is steal's slow path: some group has queued, unthrottled tasks
+// somewhere, so scan the victim CPUs for the best pick.
+func (s *Scheduler) stealScan(c *cpuRun) *Task {
 	var cand *Task
 	var candQ *subQueue
 	var candCPU *cpuRun
@@ -236,6 +263,7 @@ func (s *Scheduler) steal(c *cpuRun) *Task {
 		}
 		load := 0
 		var best *Task
+		var bestKey rqEntry
 		var bestQ *subQueue
 		for i := range o.subs {
 			sq := &o.subs[i]
@@ -245,13 +273,13 @@ func (s *Scheduler) steal(c *cpuRun) *Task {
 			// Heap layout order is fine here: candidates are compared by
 			// the total (vruntime, rqSeq) order, so the scan result does
 			// not depend on traversal order.
-			for _, t := range sq.h {
-				if set, _ := s.cachedAffinity(t); !set.Contains(c.id) {
+			for _, ent := range sq.h {
+				if set, _ := s.cachedAffinity(ent.t); !set.Contains(c.id) {
 					continue
 				}
 				load++
-				if best == nil || taskLess(t, best) {
-					best, bestQ = t, sq
+				if best == nil || entryLessRQ(ent, bestKey) {
+					best, bestKey, bestQ = ent.t, ent, sq
 				}
 			}
 		}
@@ -337,8 +365,8 @@ func (s *Scheduler) minVruntime(c *cpuRun) sim.Time {
 		if len(sq.h) == 0 {
 			continue
 		}
-		if r := sq.h[0]; !seen || r.vruntime < mv {
-			mv = r.vruntime
+		if v := sq.h[0].vruntime; !seen || v < mv {
+			mv = v
 			seen = true
 		}
 	}

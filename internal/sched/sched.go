@@ -130,22 +130,37 @@ type Scheduler struct {
 	queuedMask   []uint64 // CPUs with queued > 0
 	socketQueued []int32
 	groupQueued  []int32
+	totalQueued  int32            // sum of groupQueued: steal's one-compare miss bail-out
 	qGroups      []*cgroups.Group // subqueue index -> group (nil at 0)
 
 	// affIntern dedups effective-affinity sets: tasks overwhelmingly share
 	// a handful of masks (all CPUs, the group cpuset), so their Slice
 	// expansions are computed once per distinct set instead of per task.
-	affIntern []affEntry
+	// Entries are individually heap-allocated so tasks can hold stable
+	// pointers into the intern table across appends. It survives Reset —
+	// interning is keyed by set value, so entries from a previous run are
+	// simply warm cache for the next.
+	affIntern []*affEntry
 	// taskArena slab-allocates Task structs (tasks live for the whole run,
 	// so a bump allocator needs no free path).
 	taskArena []Task
+	// taskBack is the recycled Task slab of a Reset scheduler: sized to the
+	// previous run's task high-water mark, so repeated same-shape runs spawn
+	// every task from one reused block instead of fresh arena slabs.
+	taskBack []Task
 	// heapBack bump-allocates the initial 8-slot backing of each subqueue
 	// heap; a heap that outgrows its carve falls back to append growth.
-	heapBack []*Task
-	// procArena slab-allocates procCount cells (they live for the run).
+	heapBack []rqEntry
+	// procArena slab-allocates procCount cells (they live for the run);
+	// procUsed counts cells handed out so Reset can rewind onto procBack.
 	procArena []procCount
+	procBack  []procCount
+	procUsed  int
 	// batchArgs is the reusable arrival-argument scratch of SpawnBatch.
 	batchArgs []any
+	// specScratch is the reusable TaskSpec build buffer handed out by
+	// SpecScratch for callers assembling a SpawnBatch argument.
+	specScratch []TaskSpec
 
 	// Embedded backings for the index slices above: hosts up to 1024 CPUs /
 	// 8 sockets / 7 cgroups construct without allocating them separately.
@@ -217,20 +232,118 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 	return s
 }
 
+// Reset returns the scheduler to the state New(eng, cfg) would construct —
+// same engine, new (same-shape) config — while keeping every arena and
+// index backing the previous run grew: cpuRun state, subqueue heaps and
+// their carves, the task/procCount slabs (rewound onto recycled backing
+// sized to the previous run's high-water marks), the affinity intern table
+// (value-keyed, so stale entries are warm cache, never wrong) and the
+// bitmask/queued-load indexes. It is the per-trial reuse path: repetitions
+// of one deployment shape differ only by seed, so redeploying onto a Reset
+// scheduler replays byte-identically to a fresh construction while
+// allocating almost nothing. The caller must Reset the engine first and
+// pass a topology of the same shape.
+func (s *Scheduler) Reset(cfg Config) {
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams()
+	}
+	if cfg.IOScale <= 0 {
+		cfg.IOScale = 1
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = sim.NewRNG(1)
+	}
+	if cfg.Topo.NumCPUs() != len(s.cpus) {
+		panic(fmt.Sprintf("sched: Reset with %d-CPU topology on a %d-CPU scheduler — reuse contexts must key deployments by shape",
+			cfg.Topo.NumCPUs(), len(s.cpus)))
+	}
+	s.cfg = cfg
+	s.tix = cfg.Topo.Index()
+	for _, c := range s.cpus {
+		for i := range c.subs {
+			sq := &c.subs[i]
+			sq.g = nil
+			sq.h = sq.h[:0] // keep the heap's carve/growth for the next run
+		}
+		c.subs = c.subs[:0]
+		c.queued = 0
+		c.current = nil
+		c.lastTask = nil
+		// sliceTimer stays bound (same engine, same static callback); the
+		// engine Reset already invalidated any pending arm.
+		c.sliceEndAt = 0
+		c.sliceStart = 0
+		c.sliceOver = 0
+		c.sliceWork = 0
+		c.sliceScale = 0
+		c.sliceFull = false
+		c.pendingStall = 0
+	}
+	// Rewind the Task slab onto recycled backing sized to the previous
+	// run's population: spawnTask fully overwrites each Task, so the cells
+	// need no zeroing.
+	if high := len(s.tasks); high > 0 {
+		if cap(s.taskBack) < high {
+			s.taskBack = make([]Task, high)
+		}
+		s.taskArena = s.taskBack[:cap(s.taskBack)]
+	}
+	s.tasks = s.tasks[:0]
+	// procCount cells must read zero at re-registration (a timed-out run
+	// can leave runnable counts standing).
+	if s.procUsed > 0 {
+		if cap(s.procBack) < s.procUsed {
+			s.procBack = make([]procCount, s.procUsed)
+		}
+		pb := s.procBack[:cap(s.procBack)]
+		for i := range pb {
+			pb[i] = procCount{}
+		}
+		s.procArena = pb
+		s.procUsed = 0
+	}
+	clear(s.procCtrs)
+	s.rqSeq = 0
+	s.live = 0
+	s.bd = Breakdown{}
+	s.curs = 0
+	s.completed = s.completed[:0]
+	for i := range s.idleMask {
+		s.idleMask[i] = 0
+	}
+	for i := 0; i < len(s.cpus); i++ {
+		s.idleMask[i>>6] |= 1 << uint(i&63)
+	}
+	for i := range s.queuedMask {
+		s.queuedMask[i] = 0
+	}
+	for i := range s.socketQueued {
+		s.socketQueued[i] = 0
+	}
+	s.groupQueued = s.groupQueued[:1]
+	s.groupQueued[0] = 0
+	s.totalQueued = 0
+	s.qGroups = s.qGroups[:1]
+	s.qMembers = s.qMembers[:1]
+	if cfg.WanderStallRate > 0 && cfg.WanderStallCost > 0 {
+		s.scheduleWander()
+	}
+}
+
 // carveHeap hands out the initial 8-slot backing of one subqueue heap from
 // the heapBack bump slab: one slab allocation covers every CPU's first
 // partition, instead of one small allocation per freshly-touched subqueue.
 // Heaps that outgrow their carve fall back to plain append growth.
-func (s *Scheduler) carveHeap() []*Task {
+func (s *Scheduler) carveHeap() []rqEntry {
 	const carve = 8
 	if len(s.heapBack) < carve {
 		// First slab covers all CPUs; refills (3+ partitions per CPU, or
 		// literal-constructed tiny topologies) use a fixed chunk.
 		n := carve * len(s.cpus)
-		if n < 512 {
-			n = 512
+		if n < 128 {
+			n = 128
 		}
-		s.heapBack = make([]*Task, n)
+		s.heapBack = make([]rqEntry, n)
 	}
 	h := s.heapBack[0:0:carve]
 	s.heapBack = s.heapBack[carve:]
@@ -241,7 +354,9 @@ func (s *Scheduler) carveHeap() []*Task {
 // random CPU accrues a stall, paid by the next dispatch there.
 func (s *Scheduler) scheduleWander() {
 	s.wanderMean = sim.Time(float64(sim.Second) / (s.cfg.WanderStallRate * float64(len(s.cpus))))
-	s.wanderTimer.InitArg(s.eng, wanderFired, s)
+	if !s.wanderTimer.Bound() {
+		s.wanderTimer.InitArg(s.eng, wanderFired, s)
+	}
 	s.wanderTimer.Reset(s.cfg.RNG.ExpDuration(s.wanderMean))
 }
 
@@ -275,6 +390,19 @@ func (s *Scheduler) Spawn(spec TaskSpec, at sim.Time) *Task {
 // arrival events are applied to the event queue as one batch and share the
 // static arrival callback, so a spawn storm (a 16-thread process per trial,
 // thousands of trials per sweep) costs no per-task closures or heap churn.
+// SpecScratch returns a zero-length TaskSpec buffer with capacity for at
+// least n specs, reused across calls. It exists for workload Spawn paths
+// that assemble a batch every trial: SpawnBatch copies each spec into the
+// task arena, so the buffer is dead the moment SpawnBatch returns and the
+// next trial can rebuild in place. Callers must not hold the returned
+// slice across another SpecScratch or SpawnBatch call.
+func (s *Scheduler) SpecScratch(n int) []TaskSpec {
+	if cap(s.specScratch) < n {
+		s.specScratch = make([]TaskSpec, 0, n)
+	}
+	return s.specScratch[:0]
+}
+
 func (s *Scheduler) SpawnBatch(specs []TaskSpec, at sim.Time) []*Task {
 	// Reserve task-table and arena capacity for the whole batch up front,
 	// replacing append doubling and arena block bumps mid-batch.
@@ -345,6 +473,7 @@ func (s *Scheduler) spawnTask(spec TaskSpec) *Task {
 				}
 				ctr = &s.procArena[0]
 				s.procArena = s.procArena[1:]
+				s.procUsed++
 				s.procCtrs[key] = ctr
 			}
 			t.procCtr = ctr
@@ -408,7 +537,16 @@ func (s *Scheduler) registerGroup(g *cgroups.Group) int32 {
 	qi := int32(len(s.qGroups))
 	s.groupQueued = append(s.groupQueued, 0)
 	s.qGroups = append(s.qGroups, g)
-	s.qMembers = append(s.qMembers, nil)
+	// Re-registration after a Reset reclaims the truncated member list's
+	// backing instead of appending nil over it.
+	if n := len(s.qMembers); n < cap(s.qMembers) {
+		s.qMembers = s.qMembers[:n+1]
+		if m := s.qMembers[n]; m != nil {
+			s.qMembers[n] = m[:0]
+		}
+	} else {
+		s.qMembers = append(s.qMembers, nil)
+	}
 	g.SetUnthrottleFn(func(churn sim.Time) {
 		for _, t := range s.qMembers[qi] {
 			switch t.state {
@@ -821,8 +959,8 @@ func (s *Scheduler) startSlice(c *cpuRun, t *Task) {
 	occ := over + work
 	// Accounting ticks over the slice for grouped tasks.
 	if g != nil && p.TickInterval > 0 {
-		for ticks := int64(occ / p.TickInterval); ticks > 0; ticks-- {
-			a := g.AcctCost()
+		if ticks := int64(occ / p.TickInterval); ticks > 0 {
+			a := g.AcctCostN(ticks)
 			occ += a
 			s.bd.AcctTime += a
 		}

@@ -209,8 +209,10 @@ type Task struct {
 	sendTo     *Task
 	sendBytes  int64
 
-	affCache    []int // cached effective-affinity slice (affinity is immutable)
-	affCacheSet topology.CPUSet
+	// aff points at the task's interned effective-affinity entry (affinity
+	// is immutable for a task's lifetime); the pointer is what keeps the
+	// placement hot paths free of 136-byte CPUSet copies.
+	aff *affEntry
 
 	SpawnedAt  sim.Time
 	FinishedAt sim.Time

@@ -32,7 +32,6 @@ package sim
 
 import (
 	"fmt"
-	"sync/atomic"
 )
 
 // Time is simulated time in nanoseconds since the start of the run.
@@ -101,26 +100,44 @@ type Engine struct {
 	seq       uint64
 	slots     []eventSlot
 	free      []uint32
-	order     []uint32 // 4-ary min-heap of slot indices, keyed by (at, seq)
+	order     []heapEntry // 4-ary min-heap keyed by (at, seq)
 	processed uint64
-	// running guards the executor entry points against concurrent use from
-	// a second goroutine (or re-entrant Step/Run from inside a callback).
-	// It is a best-effort assertion, not a synchronization mechanism.
-	running atomic.Bool
-	// idxSeed is the embedded first backing of free and order, so a fresh
-	// engine's index slices cost no separate allocation; either slice that
-	// outgrows its half falls back to append growth.
-	idxSeed [128]uint32
+	// running guards the executor entry points against re-entrant Step/Run
+	// from inside a callback and, best-effort, against concurrent use from
+	// a second goroutine. It is a plain bool on purpose: re-entrancy (the
+	// same goroutine) needs no atomicity, and cross-goroutine misuse is a
+	// data race by definition — the race detector reports it regardless,
+	// while the hot Step path stays free of atomic ops.
+	running bool
+	// idxSeed and orderSeed are the embedded first backings of free and
+	// order, so a fresh engine's queue slices cost no separate allocation;
+	// either slice that outgrows its seed falls back to append growth.
+	idxSeed   [64]uint32
+	orderSeed [64]heapEntry
+}
+
+// heapEntry is one element of the event heap. It carries a copy of the
+// slot's firing time next to the slot index, so the common heap comparison
+// (distinct times) touches only the contiguous order array — no
+// pointer-chase into the slot arena on the hottest loops (siftUp/siftDown
+// run on every schedule, cancel and pop). Only the tie-break on equal
+// times reads the slots' seq fields. The entry stays 16 bytes so sift
+// swaps move little; the slot remains the source of truth, and the time
+// copy is written once at push and never mutated while queued.
+type heapEntry struct {
+	at  Time
+	idx uint32
 }
 
 // enter asserts single-goroutine use of the executor; leave releases it.
 func (e *Engine) enter(op string) {
-	if !e.running.CompareAndSwap(false, true) {
+	if e.running {
 		panic("sim: concurrent " + op + " on one Engine — engines are goroutine-confined, give each concurrent run its own Engine")
 	}
+	e.running = true
 }
 
-func (e *Engine) leave() { e.running.Store(false) }
+func (e *Engine) leave() { e.running = false }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
@@ -132,8 +149,39 @@ func NewEngine() *Engine {
 	const seedCap = 64
 	e := &Engine{slots: make([]eventSlot, 0, seedCap)}
 	e.free = e.idxSeed[0:0:seedCap]
-	e.order = e.idxSeed[seedCap : seedCap : 2*seedCap]
+	e.order = e.orderSeed[0:0:seedCap]
 	return e
+}
+
+// Reset returns the engine to its just-constructed state — clock at zero,
+// no pending events, sequence and processed counters cleared — while
+// keeping every arena the previous run grew: the slot pool, free list and
+// heap order array retain their capacity, so a reused engine schedules its
+// first few thousand events without a single allocation. Every slot's
+// generation is bumped, which atomically invalidates all outstanding
+// EventIDs: a Timer or raw handle held from before the Reset becomes a
+// stale id whose Cancel/Pending/EventTime are safe no-ops, exactly as if
+// its event had already fired. Determinism is preserved because event
+// ordering is strictly (time, sequence) and both restart from zero.
+func (e *Engine) Reset() {
+	e.enter("Reset")
+	defer e.leave()
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.order = e.order[:0]
+	e.free = e.free[:0]
+	// Refill the free list high-to-low so allocation order after a Reset
+	// matches a fresh engine's append order (slot 0 first).
+	for i := len(e.slots) - 1; i >= 0; i-- {
+		s := &e.slots[i]
+		s.fn = nil
+		s.argFn = nil
+		s.arg = nil
+		s.pos = -1
+		s.gen++
+		e.free = append(e.free, uint32(i))
+	}
 }
 
 // Now returns the current simulated time.
@@ -195,39 +243,38 @@ func (e *Engine) slotOf(id EventID) *eventSlot {
 // would need non-inlinable less/position callbacks on the hottest loops —
 // but it means heap-logic fixes must be mirrored there.
 
-func (e *Engine) less(a, b uint32) bool {
-	sa, sb := &e.slots[a], &e.slots[b]
-	if sa.at != sb.at {
-		return sa.at < sb.at
+func (e *Engine) entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return sa.seq < sb.seq
+	return e.slots[a.idx].seq < e.slots[b.idx].seq
 }
 
-func (e *Engine) heapPush(idx uint32) {
+func (e *Engine) heapPush(idx uint32, at Time) {
 	e.slots[idx].pos = int32(len(e.order))
-	e.order = append(e.order, idx)
+	e.order = append(e.order, heapEntry{at: at, idx: idx})
 	e.siftUp(len(e.order) - 1)
 }
 
 func (e *Engine) siftUp(i int) {
-	idx := e.order[i]
+	ent := e.order[i]
 	for i > 0 {
 		parent := (i - 1) / 4
 		p := e.order[parent]
-		if !e.less(idx, p) {
+		if !e.entryLess(ent, p) {
 			break
 		}
 		e.order[i] = p
-		e.slots[p].pos = int32(i)
+		e.slots[p.idx].pos = int32(i)
 		i = parent
 	}
-	e.order[i] = idx
-	e.slots[idx].pos = int32(i)
+	e.order[i] = ent
+	e.slots[ent.idx].pos = int32(i)
 }
 
 func (e *Engine) siftDown(i int) {
 	n := len(e.order)
-	idx := e.order[i]
+	ent := e.order[i]
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -239,20 +286,20 @@ func (e *Engine) siftDown(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if e.less(e.order[c], e.order[best]) {
+			if e.entryLess(e.order[c], e.order[best]) {
 				best = c
 			}
 		}
 		b := e.order[best]
-		if !e.less(b, idx) {
+		if !e.entryLess(b, ent) {
 			break
 		}
 		e.order[i] = b
-		e.slots[b].pos = int32(i)
+		e.slots[b.idx].pos = int32(i)
 		i = best
 	}
-	e.order[i] = idx
-	e.slots[idx].pos = int32(i)
+	e.order[i] = ent
+	e.slots[ent.idx].pos = int32(i)
 }
 
 // heapRemove unlinks the element at heap position i.
@@ -264,7 +311,7 @@ func (e *Engine) heapRemove(i int) {
 		return
 	}
 	e.order[i] = moved
-	e.slots[moved].pos = int32(i)
+	e.slots[moved.idx].pos = int32(i)
 	e.siftDown(i)
 	e.siftUp(i)
 }
@@ -283,7 +330,7 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	s.seq = e.seq
 	s.fn = fn
 	e.seq++
-	e.heapPush(idx)
+	e.heapPush(idx, s.at)
 	return packID(idx, s.gen)
 }
 
@@ -310,7 +357,7 @@ func (e *Engine) AtArg(t Time, fn func(any), arg any) EventID {
 	s.argFn = fn
 	s.arg = arg
 	e.seq++
-	e.heapPush(idx)
+	e.heapPush(idx, s.at)
 	return packID(idx, s.gen)
 }
 
@@ -339,8 +386,8 @@ func (e *Engine) AtBatch(t Time, fn func(any), args ...any) {
 		s.argFn = fn
 		s.arg = arg
 		s.pos = int32(len(e.order))
+		e.order = append(e.order, heapEntry{at: t, idx: idx})
 		e.seq++
-		e.order = append(e.order, idx)
 	}
 	// Restore the heap invariant once. When the batch is a large fraction
 	// of the queue, Floyd's bottom-up heapify is O(n) total; otherwise
@@ -481,12 +528,13 @@ func (e *Engine) step() bool {
 	if len(e.order) == 0 {
 		return false
 	}
-	idx := e.order[0]
+	top := e.order[0]
+	idx := top.idx
 	s := &e.slots[idx]
-	if s.at < e.now {
+	if top.at < e.now {
 		panic("sim: event queue went backwards")
 	}
-	e.now = s.at
+	e.now = top.at
 	fn, argFn, arg := s.fn, s.argFn, s.arg
 	// Retire the slot before running the callback so it can immediately
 	// recycle the slot for whatever it schedules next.
@@ -495,7 +543,7 @@ func (e *Engine) step() bool {
 	e.order = e.order[:n]
 	if n > 0 {
 		e.order[0] = moved
-		e.slots[moved].pos = 0
+		e.slots[moved.idx].pos = 0
 		e.siftDown(0)
 	}
 	e.releaseSlot(idx)
@@ -546,7 +594,7 @@ func (e *Engine) RunWhile(cond func() bool) bool {
 func (e *Engine) RunUntil(deadline Time) {
 	e.enter("RunUntil")
 	defer e.leave()
-	for len(e.order) > 0 && e.slots[e.order[0]].at <= deadline {
+	for len(e.order) > 0 && e.order[0].at <= deadline {
 		e.step()
 	}
 	if e.now < deadline {

@@ -32,6 +32,16 @@ func Substream(base uint64, parts ...uint64) uint64 {
 // NewRNG returns a generator seeded from seed via splitmix64 so that nearby
 // seeds produce unrelated streams.
 func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-seeds the generator in place, leaving it in exactly the state
+// NewRNG(seed) would return. It is the reuse path for pooled simulation
+// stacks: a redeployed machine rewinds its random stream to a fresh trial's
+// seed without allocating a new generator.
+func (r *RNG) Reseed(seed uint64) {
 	z := seed + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -39,7 +49,7 @@ func NewRNG(seed uint64) *RNG {
 	if z == 0 {
 		z = 0x9e3779b97f4a7c15
 	}
-	return &RNG{state: z}
+	r.state = z
 }
 
 // Uint64 returns the next 64 random bits.

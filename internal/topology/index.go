@@ -1,6 +1,9 @@
 package topology
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Index is the precomputed lookup side of a Topology: per-CPU sibling lists,
 // socket/core tables, the full CPU→CPU distance matrix and nearest-first
@@ -162,13 +165,54 @@ func (ix *Index) SocketRange(socket int) (lo, hi int) {
 	return lo, lo + len(ix.socketCPUs[socket])
 }
 
+// indexCache interns built Indexes by Topology.Fingerprint, so the
+// sibling/distance/steal-domain tables are computed once per host shape per
+// process no matter how many Topology instances describe that shape (guest
+// topologies per trial, per-request hosts in the advisor). Sharing is safe
+// because an Index is read-only after build — its only lazy member, the
+// steal-order table, hides behind a sync.Once — and every table derives
+// purely from the dimensions the fingerprint captures.
+var (
+	indexCacheMu sync.Mutex
+	indexCache   = map[string]*Index{}
+	indexHits    atomic.Uint64
+	indexMisses  atomic.Uint64
+)
+
+// internIndex returns the cached Index for t's shape, building and caching
+// it on first sight. Same-shape builds serialize on the cache lock so a
+// concurrent herd of first-builds produces exactly one table set.
+func internIndex(t *Topology) *Index {
+	key := t.Fingerprint()
+	indexCacheMu.Lock()
+	ix, ok := indexCache[key]
+	if !ok {
+		ix = buildIndex(t)
+		indexCache[key] = ix
+	}
+	indexCacheMu.Unlock()
+	if ok {
+		indexHits.Add(1)
+	} else {
+		indexMisses.Add(1)
+	}
+	return ix
+}
+
+// IndexCacheStats reports the process-wide topology index cache counters:
+// how many Index builds were skipped by the fingerprint cache (hits) and how
+// many shapes were actually built (misses).
+func IndexCacheStats() (hits, misses uint64) {
+	return indexHits.Load(), indexMisses.Load()
+}
+
 // Index returns the topology's precomputed index, building it on first use.
 // Topologies from New are pre-indexed and therefore safe to share across
 // goroutines; a literal-constructed Topology builds lazily and must not race
 // its first Index call.
 func (t *Topology) Index() *Index {
 	if t.idx == nil {
-		t.idx = buildIndex(t)
+		t.idx = internIndex(t)
 	}
 	return t.idx
 }

@@ -67,9 +67,12 @@ func New(name string, sockets, coresPerSocket, threadsPerCore int) (*Topology, e
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	// Pre-build the index here, before the topology can be shared: lazy
+	// Pre-resolve the index here, before the topology can be shared: lazy
 	// builds on a *Topology* used by several worker goroutines would race.
-	t.idx = buildIndex(t)
+	// The process-wide fingerprint cache makes repeat constructions of one
+	// shape (guest topologies, per-request hosts) a map lookup, not an
+	// O(cpus²) table build.
+	t.idx = internIndex(t)
 	return t, nil
 }
 

@@ -120,12 +120,23 @@ type Collector struct {
 }
 
 // histPool slab-allocates histograms: new keys appear a handful of times
-// per run, and the pool keeps them from costing one heap object each.
-type histPool struct{ block []Hist }
+// per run, and the pool keeps them from costing one heap object each. The
+// first slab is small — a single-key run (the common case for short
+// collections) touches only a few histograms — and refills jump to the
+// full slab size for key-heavy runs.
+type histPool struct {
+	block []Hist
+	grown bool
+}
 
 func (p *histPool) get() *Hist {
 	if len(p.block) == 0 {
-		p.block = make([]Hist, 16)
+		n := 4
+		if p.grown {
+			n = 16
+		}
+		p.block = make([]Hist, n)
+		p.grown = true
 	}
 	h := &p.block[0]
 	p.block = p.block[1:]
@@ -133,12 +144,21 @@ func (p *histPool) get() *Hist {
 	return h
 }
 
-// trackPool slab-allocates per-task tracks the same way.
-type trackPool struct{ block []taskTrack }
+// trackPool slab-allocates per-task tracks the same way, with the same
+// small-first-slab sizing for runs tracking only a handful of tasks.
+type trackPool struct {
+	block []taskTrack
+	grown bool
+}
 
 func (p *trackPool) get() *taskTrack {
 	if len(p.block) == 0 {
-		p.block = make([]taskTrack, 64)
+		n := 8
+		if p.grown {
+			n = 64
+		}
+		p.block = make([]taskTrack, n)
+		p.grown = true
 	}
 	t := &p.block[0]
 	p.block = p.block[1:]

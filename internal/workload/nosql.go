@@ -199,7 +199,7 @@ func (w NoSQL) Spawn(env Env) Instance {
 		}
 		perThread[i%threads] = append(perThread[i%threads], op)
 	}
-	specs := make([]sched.TaskSpec, 0, threads)
+	specs := env.M.SpecScratch(threads)
 	for i := 0; i < threads; i++ {
 		if len(perThread[i]) == 0 {
 			continue

@@ -154,7 +154,7 @@ func (w Transcode) Spawn(env Env) Instance {
 	// builds no per-job programs at all — and the whole job arrives as one
 	// event batch.
 	progs := transcodeProgsFor(heavyWork, lightWork, serial)
-	specs := make([]sched.TaskSpec, 0, segments*threads)
+	specs := env.M.SpecScratch(segments * threads)
 	for seg := 0; seg < segments; seg++ {
 		for th := 0; th < threads; th++ {
 			var work sim.Time

@@ -138,7 +138,7 @@ func (w Web) Spawn(env Env) Instance {
 		wi := i % workers
 		perWorker[wi] = append(perWorker[wi], rng.Float64() < w.DiskMissProb)
 	}
-	specs := make([]sched.TaskSpec, workers)
+	specs := env.M.SpecScratch(workers)[:workers]
 	for i := 0; i < workers; i++ {
 		specs[i] = sched.TaskSpec{
 			Name:        fmt.Sprintf("httpd%d", i),
